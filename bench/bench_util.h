@@ -1,0 +1,130 @@
+// Shared workload generators for the experiment benches (DESIGN.md §3).
+#ifndef GEREL_BENCH_BENCH_UTIL_H_
+#define GEREL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/parser.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel::bench {
+
+// The running example Σp (paper Example 1).
+inline const char* kRunningExample = R"(
+  publication(X) -> exists K1, K2. keywords(X, K1, K2).
+  keywords(X, K1, K2) -> hastopic(X, K1).
+  hastopic(X, Z), hasauthor(X, U), hasauthor(Y, U), hastopic(Y, Z2),
+    scientific(Z2), citedin(Y, X) -> scientific(Z).
+  hasauthor(X, Y), hastopic(X, Z), scientific(Z) -> q(Y).
+)";
+
+inline Theory MustTheory(const char* text, SymbolTable* syms) {
+  Result<Theory> t = ParseTheory(text, syms);
+  if (!t.ok()) {
+    std::fprintf(stderr, "bench theory parse error: %s\n",
+                 t.status().message().c_str());
+    std::abort();
+  }
+  return std::move(t).value();
+}
+
+// A publications database: `pubs` publications in a citation chain, each
+// with two authors from a pool, the first one carrying a scientific
+// topic.
+inline Database PublicationDatabase(int pubs, SymbolTable* syms) {
+  Database db;
+  auto c = [&](const std::string& s) { return syms->Constant(s); };
+  RelationId publication = syms->Relation("publication", 1);
+  RelationId citedin = syms->Relation("citedin", 2);
+  RelationId hasauthor = syms->Relation("hasauthor", 2);
+  RelationId hastopic = syms->Relation("hastopic", 2);
+  RelationId scientific = syms->Relation("scientific", 1);
+  for (int i = 0; i < pubs; ++i) {
+    Term p = c("p" + std::to_string(i));
+    db.Insert(Atom(publication, {p}));
+    db.Insert(Atom(hasauthor, {p, c("auth" + std::to_string(i / 2))}));
+    db.Insert(Atom(hasauthor, {p, c("auth" + std::to_string(i / 2 + 1))}));
+    if (i + 1 < pubs) {
+      db.Insert(Atom(citedin, {p, c("p" + std::to_string(i + 1))}));
+    }
+  }
+  db.Insert(Atom(hastopic, {c("p0"), c("t0")}));
+  db.Insert(Atom(scientific, {c("t0")}));
+  return db;
+}
+
+// A directed path a0 → a1 → ... → a_{n-1} in relation `rel`.
+inline Database ChainDatabase(int n, const std::string& rel,
+                              SymbolTable* syms) {
+  Database db;
+  RelationId e = syms->Relation(rel, 2);
+  for (int i = 0; i + 1 < n; ++i) {
+    db.Insert(Atom(e, {syms->Constant("a" + std::to_string(i)),
+                       syms->Constant("a" + std::to_string(i + 1))}));
+  }
+  return db;
+}
+
+// A random sparse digraph with n nodes and m edges (seeded).
+inline Database RandomGraph(int n, int m, const std::string& rel,
+                            SymbolTable* syms, unsigned seed = 42) {
+  Database db;
+  RelationId e = syms->Relation(rel, 2);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, n - 1);
+  for (int i = 0; i < m; ++i) {
+    db.Insert(Atom(e, {syms->Constant("v" + std::to_string(node(rng))),
+                       syms->Constant("v" + std::to_string(node(rng)))}));
+  }
+  return db;
+}
+
+// The frontier-guarded cycle-rule family of paper Examples 3/5: a cycle
+// of r-atoms of the given length feeding p, plus a guarded generator
+// whose nulls close cycles.
+inline std::string NullCycleTheoryText(int cycle_len) {
+  // a(X) -> exists Y0..Y_{k-2}. r(X,Y0), r(Y0,Y1), ..., r(Y_{k-2},X).
+  std::string gen = "a(X) -> exists ";
+  for (int i = 0; i + 1 < cycle_len; ++i) {
+    if (i > 0) gen += ", ";
+    gen += "Y" + std::to_string(i);
+  }
+  gen += ". r(X, Y0)";
+  for (int i = 0; i + 2 < cycle_len; ++i) {
+    gen += ", r(Y" + std::to_string(i) + ", Y" + std::to_string(i + 1) + ")";
+  }
+  gen += ", r(Y" + std::to_string(cycle_len - 2) + ", X).\n";
+  std::string rule;
+  for (int i = 0; i < cycle_len; ++i) {
+    if (i > 0) rule += ", ";
+    rule += "r(X" + std::to_string(i) + ", X" +
+            std::to_string((i + 1) % cycle_len) + ")";
+  }
+  rule += " -> p(X0).\n";
+  return gen + rule;
+}
+
+// A guarded existential chain of the given length (Thm 3 family):
+//   s0(X) → ∃Y s1(X, Y); s_i(X, Y) → ∃Z s_{i+1}(Y, Z); s_last(X, Y) → goal(X).
+inline std::string GuardedChainTheoryText(int length) {
+  std::string out = "s0(X) -> exists Y. s1(X, Y).\n";
+  for (int i = 1; i < length; ++i) {
+    out += "s" + std::to_string(i) + "(X, Y) -> exists Z. s" +
+           std::to_string(i + 1) + "(Y, Z).\n";
+  }
+  out += "s" + std::to_string(length) + "(X, Y) -> goal(X).\n";
+  // Propagate goal back down the chain so saturation has work to do.
+  for (int i = length; i >= 1; --i) {
+    out += "s" + std::to_string(i) + "(X, Y), goal(Y) -> goal(X).\n";
+  }
+  return out;
+}
+
+}  // namespace gerel::bench
+
+#endif  // GEREL_BENCH_BENCH_UTIL_H_

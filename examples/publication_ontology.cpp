@@ -1,0 +1,93 @@
+// Ontology-mediated query answering over the publications knowledge base
+// (paper §7): a conjunctive query is answered through the translation
+// pipeline — classification, normalization (Prop 1), rewriting into
+// nearly guarded rules (Thm 1/Prop 4), saturation into Datalog (Thm 3 /
+// Prop 6), and bottom-up evaluation — instead of chasing.
+//
+//   ./examples/publication_ontology
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "core/classify.h"
+#include "core/normalize.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "datalog/evaluator.h"
+#include "transform/fg_to_ng.h"
+#include "transform/saturation.h"
+
+int main() {
+  gerel::SymbolTable syms;
+  // A publications ontology: topics of keyword lists, co-author
+  // propagation of scientific status, and derived collaboration facts.
+  auto theory = gerel::ParseTheory(R"(
+    publication(X) -> exists K1, K2. keywords(X, K1, K2).
+    keywords(X, K1, K2) -> hastopic(X, K1).
+    hasauthor(X, Y), hastopic(X, Z), scientific(Z) -> sciauthor(Y).
+    hasauthor(P, A), hasauthor(P, B) -> collab(A, B).
+  )",
+                                   &syms);
+  if (!theory.ok()) {
+    std::fprintf(stderr, "%s\n", theory.status().message().c_str());
+    return 1;
+  }
+  auto db = gerel::ParseDatabase(R"(
+    publication(p1). publication(p2).
+    hasauthor(p1, ada). hasauthor(p1, bob). hasauthor(p2, bob).
+    hastopic(p1, databases). scientific(databases).
+  )",
+                                 &syms);
+
+  gerel::Classification c = gerel::Classify(theory.value());
+  std::printf("ontology is nearly frontier-guarded: %d (frontier-guarded: "
+              "%d)\n",
+              c.nearly_frontier_guarded, c.frontier_guarded);
+
+  // Step 1 (Prop 1): normal form.
+  gerel::Theory normal = gerel::Normalize(theory.value(), &syms);
+  std::printf("normalized: %zu rules\n", normal.size());
+
+  // Step 2 (Thm 1 / Prop 4): nearly frontier-guarded -> nearly guarded.
+  auto rewritten = gerel::RewriteNfgToNearlyGuarded(normal, &syms);
+  if (!rewritten.ok()) {
+    std::fprintf(stderr, "%s\n", rewritten.status().message().c_str());
+    return 1;
+  }
+  std::printf("rew(Sigma): %zu nearly guarded rules (complete=%d)\n",
+              rewritten.value().theory.size(), rewritten.value().complete);
+
+  // Step 3 (Prop 6): nearly guarded -> Datalog.
+  auto dat = gerel::NearlyGuardedToDatalog(rewritten.value().theory, &syms);
+  if (!dat.ok()) {
+    std::fprintf(stderr, "%s\n", dat.status().message().c_str());
+    return 1;
+  }
+  std::printf("dat(Sigma): %zu Datalog rules\n", dat.value().datalog.size());
+
+  // Step 4: one bottom-up evaluation answers every query.
+  auto eval = gerel::EvaluateDatalog(dat.value().datalog, db.value(), &syms);
+  if (!eval.ok()) {
+    std::fprintf(stderr, "%s\n", eval.status().message().c_str());
+    return 1;
+  }
+  for (const char* rel : {"sciauthor", "collab"}) {
+    gerel::RelationId r = syms.Relation(rel);
+    std::printf("\n%s:\n", rel);
+    for (uint32_t i : eval.value().database.AtomsOf(r)) {
+      const gerel::Atom& a = eval.value().database.atom(i);
+      if (a.IsGroundOverConstants()) {
+        std::printf("  %s\n", gerel::ToString(a, syms).c_str());
+      }
+    }
+  }
+
+  // Cross-check against the chase oracle.
+  gerel::ChaseResult chase = gerel::Chase(theory.value(), db.value(), &syms);
+  gerel::RelationId sci = syms.Relation("sciauthor");
+  std::printf("\nchase agrees on sciauthor: %s\n",
+              eval.value().database.AtomsOf(sci).size() ==
+                      chase.database.AtomsOf(sci).size()
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: the paper's running example (Example 1 / Figure 2).
+//
+// Parses the publication ontology Σp, classifies it, chases a small
+// database, and prints the inferred atoms and query answers.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "chase/chase_tree.h"
+#include "core/classify.h"
+#include "core/parser.h"
+#include "core/printer.h"
+
+int main() {
+  gerel::SymbolTable syms;
+
+  // Σp of Example 1: σ1–σ3 describe the ontology, σ4 defines the query
+  // "persons who authored a scientific publication".
+  auto theory = gerel::ParseTheory(R"(
+    publication(X) -> exists K1, K2. keywords(X, K1, K2).
+    keywords(X, K1, K2) -> hastopic(X, K1).
+    hastopic(X, Z), hasauthor(X, U), hasauthor(Y, U), hastopic(Y, Z2),
+      scientific(Z2), citedin(Y, X) -> scientific(Z).
+    hasauthor(X, Y), hastopic(X, Z), scientific(Z) -> q(Y).
+  )",
+                                   &syms);
+  if (!theory.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 theory.status().message().c_str());
+    return 1;
+  }
+
+  auto db = gerel::ParseDatabase(R"(
+    publication(p1). publication(p2). citedin(p1, p2).
+    hasauthor(p1, a1). hasauthor(p2, a1). hasauthor(p2, a2).
+    hastopic(p1, t1). scientific(t1).
+  )",
+                                 &syms);
+
+  std::printf("== The running example Sigma_p (Example 1) ==\n%s\n",
+              gerel::ToString(theory.value(), syms).c_str());
+
+  gerel::Classification c = gerel::Classify(theory.value());
+  std::printf("classification: guarded=%d frontier-guarded=%d "
+              "weakly-guarded=%d weakly-frontier-guarded=%d\n\n",
+              c.guarded, c.frontier_guarded, c.weakly_guarded,
+              c.weakly_frontier_guarded);
+
+  gerel::ChaseResult chase =
+      gerel::Chase(theory.value(), db.value(), &syms);
+  std::printf("== chase(Sigma_p, D): %zu atoms, saturated=%d (Figure 2) ==\n",
+              chase.database.size(), chase.saturated);
+  std::printf("%s\n", gerel::ToString(chase.database, syms).c_str());
+
+  gerel::RelationId q = syms.Relation("q");
+  std::printf("answers to (Sigma_p, Q):\n");
+  for (uint32_t i : chase.database.AtomsOf(q)) {
+    std::printf("  %s\n",
+                gerel::ToString(chase.database.atom(i), syms).c_str());
+  }
+
+  // The chase of a frontier-guarded theory is tree-shaped (§4).
+  auto tree = gerel::BuildChaseTree(theory.value(), db.value(), &syms);
+  if (tree.ok()) {
+    std::printf("\nchase tree: %zu nodes (root + one per invented bag)\n",
+                tree.value().nodes.size());
+    gerel::Status props = gerel::CheckChaseTreeProperties(
+        tree.value(), theory.value(), db.value());
+    std::printf("Prop 2 properties (P1)-(P3): %s\n",
+                props.ok() ? "hold" : props.message().c_str());
+  }
+  return 0;
+}

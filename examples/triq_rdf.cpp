@@ -1,0 +1,80 @@
+// TriQ-style RDF querying with stratified weakly guarded rules.
+//
+// The paper's introduction points at TriQ (Arenas, Gottlob, Pieris,
+// PODS'14) — an RDF query language based on stratified weakly guarded
+// rules — as a system whose expressive power Theorem 5 characterizes:
+// stratified weakly guarded rules capture EXPTIME, so TriQ subsumes
+// every query language with at most exponential data complexity.
+//
+// This example models an RDF graph as triple(S, P, O) facts, uses
+// existential rules for ontological value invention (every employee has
+// some department, known or not), recursion for transitive subclassing,
+// and stratified negation for a non-monotonic "unassigned" query.
+//
+//   ./examples/triq_rdf
+#include <cstdio>
+
+#include "core/classify.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "stratified/stratified_chase.h"
+
+int main() {
+  gerel::SymbolTable syms;
+  auto program = gerel::ParseProgram(R"(
+    % --- ontology (stratified weakly guarded rules) --------------------
+    % Every employee works in some (possibly unknown) department.
+    triple(X, rdftype, employee) -> exists D. worksin(X, D).
+    % Known assignments feed the same relation.
+    triple(X, dept, D) -> worksin(X, D).
+    % Transitive subclassing, and type inheritance along it.
+    triple(C, subclassof, D) -> subclass(C, D).
+    subclass(C, D), subclass(D, E) -> subclass(C, E).
+    triple(X, rdftype, C), subclass(C, D) -> triple(X, rdftype, D).
+    % Anyone working somewhere is staff.
+    worksin(X, D) -> staff(X).
+    % Non-monotonic layer: staff with no *known* department.
+    staff(X), not known(X) -> unassigned(X).
+    triple(X, dept, D) -> known(X).
+
+    % --- data -----------------------------------------------------------
+    triple(engineer, subclassof, employee).
+    triple(manager, subclassof, employee).
+    triple(ada, rdftype, engineer).
+    triple(bob, rdftype, manager).
+    triple(bob, dept, sales).
+    triple(eve, rdftype, employee).
+  )",
+                                     &syms);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().message().c_str());
+    return 1;
+  }
+
+  bool wg = gerel::IsStratifiedWeaklyGuarded(program.value().theory);
+  std::printf("stratified weakly guarded (TriQ fragment): %s\n\n",
+              wg ? "yes" : "no");
+
+  auto result = gerel::StratifiedChase(program.value().theory,
+                                       program.value().database, &syms);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().message().c_str());
+    return 1;
+  }
+  std::printf("stratified chase: %zu atoms over %zu strata, saturated=%d\n",
+              result.value().database.size(), result.value().strata,
+              result.value().saturated);
+  for (const char* rel : {"staff", "unassigned"}) {
+    std::printf("\n%s:\n", rel);
+    gerel::RelationId r = syms.Relation(rel);
+    for (uint32_t i : result.value().database.AtomsOf(r)) {
+      const gerel::Atom& a = result.value().database.atom(i);
+      if (a.IsGroundOverConstants()) {
+        std::printf("  %s\n", gerel::ToString(a, syms).c_str());
+      }
+    }
+  }
+  std::printf("\n(ada and eve are unassigned: their departments are "
+              "invented nulls, not known facts; bob is assigned.)\n");
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "capture/capture_compiler.h"
+
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace gerel {
+
+namespace {
+
+// Builds the k-variable tuples ~v used in cell/head atoms.
+std::vector<Term> TupleVars(const std::string& base, int k,
+                            SymbolTable* symbols) {
+  std::vector<Term> out;
+  for (int i = 0; i < k; ++i) {
+    out.push_back(symbols->Variable(base + std::to_string(i)));
+  }
+  return out;
+}
+
+std::vector<Term> Concat(std::vector<Term> a, const std::vector<Term>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+}  // namespace
+
+Result<CaptureCompilation> CompileAtmToWeaklyGuarded(
+    const Atm& machine, const StringSignature& signature,
+    SymbolTable* symbols) {
+  Status valid = machine.Validate();
+  if (!valid.ok()) return valid;
+  if (static_cast<int>(signature.alphabet.size()) != machine.alphabet_size) {
+    return Status::Error("signature alphabet does not match the machine");
+  }
+  int k = signature.degree;
+  CaptureCompilation out;
+  Theory& sigma = out.theory;
+
+  // --- Relations ---------------------------------------------------------
+  std::vector<RelationId> sym(machine.alphabet_size);
+  for (int a = 0; a < machine.alphabet_size; ++a) {
+    sym[a] = symbols->Relation(signature.alphabet[a], k);
+  }
+  RelationId firstk =
+      symbols->Relation(signature.order.first + std::to_string(k), k);
+  RelationId nextk =
+      symbols->Relation(signature.order.next + std::to_string(k), 2 * k);
+  RelationId lastk =
+      symbols->Relation(signature.order.last + std::to_string(k), k);
+  RelationId conf0 = symbols->Relation("tm#conf0", 1);
+  std::vector<RelationId> st(machine.num_states);
+  for (int q = 0; q < machine.num_states; ++q) {
+    st[q] = symbols->Relation("tm#st" + std::to_string(q), 1);
+  }
+  std::vector<RelationId> cell(machine.alphabet_size);
+  for (int a = 0; a < machine.alphabet_size; ++a) {
+    cell[a] = symbols->Relation("tm#cell" + std::to_string(a), k + 1);
+  }
+  RelationId head = symbols->Relation("tm#head", k + 1);
+  RelationId ltk = symbols->Relation("tm#lt", 2 * k);
+  RelationId neqk = symbols->Relation("tm#neq", 2 * k);
+  RelationId accepting = symbols->Relation("tm#accepting", 1);
+  out.accept_relation = symbols->Relation("tm#accept", 0);
+
+  Term u = symbols->Variable("Uc");
+  Term v1 = symbols->Variable("Vc1");
+  Term v2 = symbols->Variable("Vc2");
+  std::vector<Term> pos = TupleVars("Pc", k, symbols);
+  std::vector<Term> pos2 = TupleVars("Qc", k, symbols);
+  std::vector<Term> pos3 = TupleVars("Rc", k, symbols);
+
+  // --- Initial configuration ---------------------------------------------
+  // → ∃U conf0(U);  conf0(U) → st<q0>(U);
+  // first<k>(~v) ∧ conf0(U) → head(~v, U);
+  // sym<a>(~v) ∧ conf0(U) → cell<a>(~v, U).
+  sigma.AddRule(Rule({}, {Atom(conf0, {u})}));
+  sigma.AddRule(Rule::Positive({Atom(conf0, {u})},
+                               {Atom(st[machine.start_state], {u})}));
+  sigma.AddRule(Rule::Positive({Atom(firstk, pos), Atom(conf0, {u})},
+                               {Atom(head, Concat(pos, {u}))}));
+  for (int a = 0; a < machine.alphabet_size; ++a) {
+    sigma.AddRule(Rule::Positive({Atom(sym[a], pos), Atom(conf0, {u})},
+                                 {Atom(cell[a], Concat(pos, {u}))}));
+  }
+
+  // --- Tuple order helpers -----------------------------------------------
+  // lt is the transitive closure of next<k>; neq is its symmetrization.
+  sigma.AddRule(Rule::Positive({Atom(nextk, Concat(pos, pos2))},
+                               {Atom(ltk, Concat(pos, pos2))}));
+  sigma.AddRule(Rule::Positive(
+      {Atom(ltk, Concat(pos, pos2)), Atom(nextk, Concat(pos2, pos3))},
+      {Atom(ltk, Concat(pos, pos3))}));
+  sigma.AddRule(Rule::Positive({Atom(ltk, Concat(pos, pos2))},
+                               {Atom(neqk, Concat(pos, pos2))}));
+  sigma.AddRule(Rule::Positive({Atom(ltk, Concat(pos, pos2))},
+                               {Atom(neqk, Concat(pos2, pos))}));
+
+  // --- Transitions ---------------------------------------------------------
+  for (size_t ti = 0; ti < machine.transitions.size(); ++ti) {
+    const AtmTransition& t = machine.transitions[ti];
+    bool binary = t.moves.size() == 2;
+    RelationId stp = symbols->Relation(
+        "tm#stp" + std::to_string(ti), binary ? 3 : 2);
+    std::vector<Term> stp_args =
+        binary ? std::vector<Term>{u, v1, v2} : std::vector<Term>{u, v1};
+    Atom stp_atom(stp, stp_args);
+
+    // Spawn rule: st<q>(U) ∧ head(~v, U) ∧ cell<a>(~v, U) [∧ end-guard]
+    //             → ∃V1[,V2] stp<t>(U, V1[, V2]).
+    std::vector<Atom> body = {Atom(st[t.state], {u}),
+                              Atom(head, Concat(pos, {u})),
+                              Atom(cell[t.symbol], Concat(pos, {u}))};
+    if (t.at_end == AtEnd::kOnlyAtEnd) {
+      body.push_back(Atom(lastk, pos));
+    } else if (t.at_end == AtEnd::kOnlyBeforeEnd) {
+      body.push_back(Atom(nextk, Concat(pos, pos2)));
+    }
+    sigma.AddRule(Rule::Positive(body, {stp_atom}));
+
+    // Per-move successor description.
+    for (size_t mi = 0; mi < t.moves.size(); ++mi) {
+      const AtmMove& m = t.moves[mi];
+      Term v = mi == 0 ? v1 : v2;
+      // New state.
+      sigma.AddRule(Rule::Positive({stp_atom},
+                                   {Atom(st[m.next_state], {v})}));
+      // Head movement.
+      switch (m.dir) {
+        case Dir::kStay:
+          sigma.AddRule(Rule::Positive(
+              {Atom(head, Concat(pos, {u})), stp_atom},
+              {Atom(head, Concat(pos, {v}))}));
+          break;
+        case Dir::kRight:
+          sigma.AddRule(Rule::Positive(
+              {Atom(head, Concat(pos, {u})), stp_atom,
+               Atom(nextk, Concat(pos, pos2))},
+              {Atom(head, Concat(pos2, {v}))}));
+          break;
+        case Dir::kLeft:
+          sigma.AddRule(Rule::Positive(
+              {Atom(head, Concat(pos, {u})), stp_atom,
+               Atom(nextk, Concat(pos2, pos))},
+              {Atom(head, Concat(pos2, {v}))}));
+          break;
+      }
+      // The written symbol at the old head position.
+      sigma.AddRule(Rule::Positive(
+          {Atom(head, Concat(pos, {u})), stp_atom},
+          {Atom(cell[m.write], Concat(pos, {v}))}));
+      // Copy every other cell.
+      for (int b = 0; b < machine.alphabet_size; ++b) {
+        sigma.AddRule(Rule::Positive(
+            {Atom(cell[b], Concat(pos2, {u})), Atom(head, Concat(pos, {u})),
+             Atom(neqk, Concat(pos2, pos)), stp_atom},
+            {Atom(cell[b], Concat(pos2, {v}))}));
+      }
+    }
+
+    // Acceptance propagation through this step.
+    StateMode mode = machine.modes[t.state];
+    if (mode == StateMode::kOr) {
+      for (size_t mi = 0; mi < t.moves.size(); ++mi) {
+        Term v = mi == 0 ? v1 : v2;
+        sigma.AddRule(Rule::Positive({stp_atom, Atom(accepting, {v})},
+                                     {Atom(accepting, {u})}));
+      }
+    } else if (mode == StateMode::kAnd) {
+      std::vector<Atom> acc_body = {stp_atom};
+      for (size_t mi = 0; mi < t.moves.size(); ++mi) {
+        acc_body.push_back(Atom(accepting, {mi == 0 ? v1 : v2}));
+      }
+      sigma.AddRule(Rule::Positive(acc_body, {Atom(accepting, {u})}));
+    }
+  }
+
+  // Accept-state configurations accept; the initial one decides.
+  for (int q = 0; q < machine.num_states; ++q) {
+    if (machine.modes[q] == StateMode::kAccept) {
+      sigma.AddRule(Rule::Positive({Atom(st[q], {u})},
+                                   {Atom(accepting, {u})}));
+    }
+  }
+  sigma.AddRule(Rule::Positive({Atom(conf0, {u}), Atom(accepting, {u})},
+                               {Atom(out.accept_relation, {})}));
+  return out;
+}
+
+Result<bool> DecideAcceptanceViaChase(const CaptureCompilation& compiled,
+                                      const Database& string_db,
+                                      SymbolTable* symbols,
+                                      uint32_t max_steps_hint,
+                                      size_t max_atoms) {
+  ChaseOptions opts;
+  // Configuration nulls live at depth 1 (conf0) plus one per machine
+  // step; +2 covers the step nulls themselves.
+  opts.max_null_depth = max_steps_hint + 2;
+  opts.max_atoms = max_atoms;
+  opts.max_steps = 0;
+  ChaseResult r = Chase(compiled.theory, string_db, symbols, opts);
+  if (r.database.Contains(Atom(compiled.accept_relation, {}))) return true;
+  if (!r.saturated && r.database.size() >= max_atoms) {
+    return Status::Error("chase hit the atom budget before deciding");
+  }
+  return false;
+}
+
+}  // namespace gerel

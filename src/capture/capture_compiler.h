@@ -1,0 +1,48 @@
+// Theorem 4: compiling alternating Turing machines into weakly guarded
+// theories over string databases (paper §8).
+//
+// Configurations are labeled nulls. The compiled theory creates an
+// initial configuration, copies the input word into its cells, and for
+// each machine transition spawns successor-configuration nulls through a
+// step relation stp<t>(U, V1[, V2]) whose atom guards all unsafe
+// variables — the construction is weakly guarded by design. Acceptance
+// propagates backwards through the step atoms (disjunctively for OR
+// states, conjunctively for AND states), and a 0-ary `accept` relation is
+// derived at the initial configuration, so
+//     ΣM, D ⊨ accept   iff   M accepts w(D).
+#ifndef GEREL_CAPTURE_CAPTURE_COMPILER_H_
+#define GEREL_CAPTURE_CAPTURE_COMPILER_H_
+
+#include "capture/string_database.h"
+#include "capture/turing_machine.h"
+#include "chase/chase.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+struct CaptureCompilation {
+  Theory theory;
+  RelationId accept_relation = 0;
+};
+
+// Compiles `machine` for string databases of the given signature. The
+// alphabet of the signature must match the machine's alphabet size.
+Result<CaptureCompilation> CompileAtmToWeaklyGuarded(
+    const Atm& machine, const StringSignature& signature,
+    SymbolTable* symbols);
+
+// Decides ΣM, D ⊨ accept with a bounded chase. `max_steps_hint` bounds
+// the machine-run depth explored (the chase of ΣM is infinite in
+// general); a positive answer is always sound, a negative answer is
+// complete only when every branch of the machine halts within the hint.
+Result<bool> DecideAcceptanceViaChase(const CaptureCompilation& compiled,
+                                      const Database& string_db,
+                                      SymbolTable* symbols,
+                                      uint32_t max_steps_hint,
+                                      size_t max_atoms = 2000000);
+
+}  // namespace gerel
+
+#endif  // GEREL_CAPTURE_CAPTURE_COMPILER_H_

@@ -1,0 +1,33 @@
+#include "capture/code_program.h"
+
+#include "core/database.h"
+
+namespace gerel {
+
+CodeProgram BuildCodeProgram(const std::string& relation, int degree,
+                             SymbolTable* symbols, const OrderNames& order) {
+  CodeProgram out;
+  out.signature.degree = degree;
+  out.signature.order = order;
+  out.signature.alphabet = {"zero#" + relation, "one#" + relation};
+
+  out.theory = LexTupleOrderProgram(degree, symbols, order);
+  RelationId r = symbols->Relation(relation, degree);
+  RelationId zero = symbols->Relation(out.signature.alphabet[0], degree);
+  RelationId one = symbols->Relation(out.signature.alphabet[1], degree);
+  RelationId acdom = AcdomRelation(symbols);
+
+  std::vector<Term> xs;
+  for (int i = 0; i < degree; ++i) {
+    xs.push_back(symbols->Variable("Xe" + std::to_string(i)));
+  }
+  out.theory.AddRule(Rule::Positive({Atom(r, xs)}, {Atom(one, xs)}));
+  Rule zero_rule;
+  for (Term x : xs) zero_rule.body.emplace_back(Atom(acdom, {x}), false);
+  zero_rule.body.emplace_back(Atom(r, xs), /*negated=*/true);
+  zero_rule.head.push_back(Atom(zero, xs));
+  out.theory.AddRule(std::move(zero_rule));
+  return out;
+}
+
+}  // namespace gerel

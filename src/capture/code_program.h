@@ -1,0 +1,41 @@
+// Σcode: encoding an ordered database as a string database (paper §8,
+// discussion after Def 21).
+//
+// Given a linear order succ/min/max on the constants, plain Datalog
+// defines the lexicographic order on k-tuples (orderings.h) and
+// semipositive rules write the characteristic function of each relation:
+//   R(~x) → one_R(~x),
+//   acdom(x1) ∧ ... ∧ acdom(xk) ∧ ¬R(~x) → zero_R(~x).
+// The resulting facts, together with first<k>/next<k>/last<k>, form a
+// string database over the alphabet {zero_R, one_R} whose word is C(D).
+#ifndef GEREL_CAPTURE_CODE_PROGRAM_H_
+#define GEREL_CAPTURE_CODE_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "capture/string_database.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+struct CodeProgram {
+  // The lex-order program plus the characteristic rules (semipositive).
+  Theory theory;
+  // String-database signature of the encoding: alphabet {zero_R, one_R}.
+  StringSignature signature;
+};
+
+// Builds Σcode for a single k-ary relation named `relation`. The input
+// database must provide succ/min/max on its constants (see
+// AppendLinearOrderFacts); the output relations are "zero#<relation>" and
+// "one#<relation>".
+CodeProgram BuildCodeProgram(const std::string& relation, int degree,
+                             SymbolTable* symbols,
+                             const OrderNames& order = OrderNames());
+
+}  // namespace gerel
+
+#endif  // GEREL_CAPTURE_CODE_PROGRAM_H_

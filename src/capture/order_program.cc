@@ -1,0 +1,109 @@
+#include "capture/order_program.h"
+
+#include "core/database.h"
+
+namespace gerel {
+
+OrderProgram BuildOrderProgram(SymbolTable* symbols) {
+  OrderProgram out;
+  RelationId acdom = AcdomRelation(symbols);
+  RelationId min = symbols->Relation("ord#min", 2);
+  RelationId max = symbols->Relation("ord#max", 2);
+  RelationId lt = symbols->Relation("ord#lt", 3);
+  RelationId succ = symbols->Relation("ord#succ", 3);
+  RelationId ext = symbols->Relation("ord#ext", 4);
+  RelationId newr = symbols->Relation("ord#new", 2);
+  RelationId old = symbols->Relation("ord#old", 2);
+  RelationId good = symbols->Relation("ord#good", 1);
+  RelationId repetition = symbols->Relation("ord#repetition", 1);
+  RelationId omission = symbols->Relation("ord#omission", 1);
+  out.min = min;
+  out.max = max;
+  out.succ = succ;
+  out.lt = lt;
+  out.good = good;
+
+  Term x = symbols->Variable("Xo");
+  Term xp = symbols->Variable("Xp");
+  Term y = symbols->Variable("Yo");
+  Term yp = symbols->Variable("Yp");
+  Term z = symbols->Variable("Zo");
+  Term u = symbols->Variable("Uo");
+  Term v = symbols->Variable("Vo");
+
+  Theory& t = out.theory;
+  // (1) acdom(x) → ∃u. min(x, u) ∧ new(x, u).
+  t.AddRule(Rule::Positive({Atom(acdom, {x})},
+                           {Atom(min, {x, u}), Atom(newr, {x, u})}));
+  // (2) new(x, u) ∧ acdom(y) → ∃v. ext(x, y, u, v) ∧ new(y, v).
+  t.AddRule(Rule::Positive({Atom(newr, {x, u}), Atom(acdom, {y})},
+                           {Atom(ext, {x, y, u, v}), Atom(newr, {y, v})}));
+  // (2') ext(x, y, u, v) → succ(x, y, v).
+  t.AddRule(Rule::Positive({Atom(ext, {x, y, u, v})},
+                           {Atom(succ, {x, y, v})}));
+  // (3) new(x, u) → old(x, u).
+  t.AddRule(Rule::Positive({Atom(newr, {x, u})}, {Atom(old, {x, u})}));
+  // (4) ext(x, y, u, v) ∧ old(x′, u) → old(x′, v).
+  t.AddRule(Rule::Positive({Atom(ext, {x, y, u, v}), Atom(old, {xp, u})},
+                           {Atom(old, {xp, v})}));
+  // (5) ext(x, y, u, v) ∧ min(x′, u) → min(x′, v).
+  t.AddRule(Rule::Positive({Atom(ext, {x, y, u, v}), Atom(min, {xp, u})},
+                           {Atom(min, {xp, v})}));
+  // (6) ext(x, y, u, v) ∧ succ(x′, y′, u) → succ(x′, y′, v).
+  t.AddRule(Rule::Positive(
+      {Atom(ext, {x, y, u, v}), Atom(succ, {xp, yp, u})},
+      {Atom(succ, {xp, yp, v})}));
+  // (7) succ(x, y, u) → lt(x, y, u).
+  t.AddRule(Rule::Positive({Atom(succ, {x, y, u})}, {Atom(lt, {x, y, u})}));
+  // (8) lt(x, y, u) ∧ lt(y, z, u) → lt(x, z, u).
+  t.AddRule(Rule::Positive({Atom(lt, {x, y, u}), Atom(lt, {y, z, u})},
+                           {Atom(lt, {x, z, u})}));
+  // (9) lt(x, x, u) → repetition(u).
+  t.AddRule(Rule::Positive({Atom(lt, {x, x, u})}, {Atom(repetition, {u})}));
+  // (10) old(y, u) ∧ acdom(x) ∧ ¬old(x, u) → omission(u).
+  {
+    Rule r;
+    r.body.emplace_back(Atom(old, {y, u}), false);
+    r.body.emplace_back(Atom(acdom, {x}), false);
+    r.body.emplace_back(Atom(old, {x, u}), true);
+    r.head.push_back(Atom(omission, {u}));
+    t.AddRule(std::move(r));
+  }
+  // (11) old(x, u) ∧ ¬repetition(u) ∧ ¬omission(u) → good(u).
+  {
+    Rule r;
+    r.body.emplace_back(Atom(old, {x, u}), false);
+    r.body.emplace_back(Atom(repetition, {u}), true);
+    r.body.emplace_back(Atom(omission, {u}), true);
+    r.head.push_back(Atom(good, {u}));
+    t.AddRule(std::move(r));
+  }
+  // (12) new(x, u) ∧ good(u) → max(x, u).
+  t.AddRule(Rule::Positive({Atom(newr, {x, u}), Atom(good, {u})},
+                           {Atom(max, {x, u})}));
+  return out;
+}
+
+Result<StratifiedChaseResult> RunOrderProgram(const OrderProgram& program,
+                                              const Theory& extra,
+                                              const Database& input,
+                                              SymbolTable* symbols,
+                                              size_t max_atoms) {
+  Theory combined = program.theory;
+  for (const Rule& r : extra.rules()) combined.AddRule(r);
+  ChaseOptions opts;
+  // Sound truncation: orderings extending beyond |dom| distinct
+  // constants contain a repetition and can never become Good, and every
+  // Good ordering's null sits at depth ≤ |dom| + 1.
+  Database seeded = input;
+  PopulateAcdom(combined, symbols, &seeded);
+  RelationId acdom = AcdomRelation(symbols);
+  size_t n = seeded.AtomsOf(acdom).size();
+  opts.max_null_depth = static_cast<uint32_t>(n + 1);
+  opts.max_atoms = max_atoms;
+  opts.max_steps = 0;
+  opts.populate_acdom = true;
+  return StratifiedChase(combined, input, symbols, opts);
+}
+
+}  // namespace gerel

@@ -1,0 +1,49 @@
+// Σsucc: the stratified weakly guarded order-generation program of the
+// Theorem 5 proof (paper §8, rules (1)–(12)).
+//
+// The program creates, for every candidate sequence of database
+// constants, a labeled null u; Good(u) holds exactly for the nulls whose
+// sequence is a repetition-free enumeration of the whole active domain,
+// and Min(·, u), Max(·, u), Succ(·, ·, u) then describe that linear
+// order. Rule (2) of the paper writes Succ(x, y, u, v) with four
+// arguments although Succ is ternary; we realize it with the extension
+// relation ext(x, y, u, v) ("ordering v extends u by y after x") and the
+// projection ext(x, y, u, v) → succ(x, y, v).
+//
+// The stratification is: {(1)–(9)} ≺ {(10)} ≺ {(11)} ≺ {(12)}.
+#ifndef GEREL_CAPTURE_ORDER_PROGRAM_H_
+#define GEREL_CAPTURE_ORDER_PROGRAM_H_
+
+#include "chase/chase.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+#include "stratified/stratified_chase.h"
+
+namespace gerel {
+
+struct OrderProgram {
+  Theory theory;
+  RelationId min = 0;   // min(a, u)
+  RelationId max = 0;   // max(a, u)
+  RelationId succ = 0;  // succ(a, b, u)
+  RelationId lt = 0;    // lt(a, b, u)
+  RelationId good = 0;  // good(u)
+};
+
+// Builds Σsucc. Relation names are prefixed "ord#".
+OrderProgram BuildOrderProgram(SymbolTable* symbols);
+
+// Convenience: runs the stratified chase of Σsucc (optionally extended by
+// `extra` rules layered on top) over `input` with the sound null-depth
+// bound |active domain| + 1 (orderings longer than the domain necessarily
+// repeat and are never Good).
+Result<StratifiedChaseResult> RunOrderProgram(const OrderProgram& program,
+                                              const Theory& extra,
+                                              const Database& input,
+                                              SymbolTable* symbols,
+                                              size_t max_atoms = 5000000);
+
+}  // namespace gerel
+
+#endif  // GEREL_CAPTURE_ORDER_PROGRAM_H_

@@ -1,0 +1,47 @@
+// String databases of degree k (paper §8, Def 20).
+//
+// A string database over a signature Ω of k-ary symbol relations encodes
+// the word w(D): the i-th symbol is the relation holding the i-th
+// k-tuple of constants in the lexicographic order given by first<k>,
+// next<k>, last<k>. Every k-tuple carries exactly one symbol.
+#ifndef GEREL_CAPTURE_STRING_DATABASE_H_
+#define GEREL_CAPTURE_STRING_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "datalog/orderings.h"
+
+namespace gerel {
+
+struct StringSignature {
+  int degree = 1;                      // k
+  std::vector<std::string> alphabet;   // Ω relation names, each k-ary.
+  OrderNames order;                    // first<k>/next<k>/last<k> names.
+};
+
+struct StringDatabase {
+  Database db;
+  std::vector<Term> domain;  // Dom in its underlying order.
+  StringSignature signature;
+};
+
+// Builds a string database whose word is `word` (indices into the
+// alphabet). Requires |word| = n^k for some n ≥ 2; the domain constants
+// are named d0, d1, .... Includes the order relations of the signature.
+Result<StringDatabase> MakeStringDatabase(const std::vector<int>& word,
+                                          const StringSignature& signature,
+                                          SymbolTable* symbols);
+
+// Extracts w(D) by walking the next<k> chain from first<k>; verifies the
+// Def 20 invariants (exactly one symbol per tuple, total chain).
+Result<std::vector<int>> ExtractWord(const Database& db,
+                                     const StringSignature& signature,
+                                     SymbolTable* symbols);
+
+}  // namespace gerel
+
+#endif  // GEREL_CAPTURE_STRING_DATABASE_H_

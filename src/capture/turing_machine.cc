@@ -1,0 +1,340 @@
+#include "capture/turing_machine.h"
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "core/check.h"
+
+namespace gerel {
+
+namespace {
+
+bool AtEndOverlaps(AtEnd a, AtEnd b) {
+  if (a == AtEnd::kAny || b == AtEnd::kAny) return true;
+  return a == b;
+}
+
+struct Config {
+  int state;
+  int head;
+  std::vector<int> tape;
+
+  friend bool operator<(const Config& a, const Config& b) {
+    if (a.state != b.state) return a.state < b.state;
+    if (a.head != b.head) return a.head < b.head;
+    return a.tape < b.tape;
+  }
+};
+
+}  // namespace
+
+Status Atm::Validate() const {
+  if (num_states <= 0 || alphabet_size <= 0) {
+    return Status::Error("machine must have states and symbols");
+  }
+  if (static_cast<int>(modes.size()) != num_states) {
+    return Status::Error("modes must cover every state");
+  }
+  if (start_state < 0 || start_state >= num_states) {
+    return Status::Error("bad start state");
+  }
+  for (const AtmTransition& t : transitions) {
+    if (t.state < 0 || t.state >= num_states ||
+        t.symbol < 0 || t.symbol >= alphabet_size) {
+      return Status::Error("transition out of range");
+    }
+    if (t.moves.empty() || t.moves.size() > 2) {
+      return Status::Error("transitions must have one or two moves");
+    }
+    for (const AtmMove& m : t.moves) {
+      if (m.write < 0 || m.write >= alphabet_size || m.next_state < 0 ||
+          m.next_state >= num_states) {
+        return Status::Error("move out of range");
+      }
+    }
+    StateMode mode = modes[t.state];
+    if (mode == StateMode::kAccept || mode == StateMode::kReject) {
+      return Status::Error("halting states have no transitions");
+    }
+  }
+  // Determinism of dispatch: at most one transition applies per
+  // (state, symbol, end-status).
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    for (size_t j = i + 1; j < transitions.size(); ++j) {
+      const AtmTransition& a = transitions[i];
+      const AtmTransition& b = transitions[j];
+      if (a.state == b.state && a.symbol == b.symbol &&
+          AtEndOverlaps(a.at_end, b.at_end)) {
+        return Status::Error("overlapping transitions");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<AtmSimResult> SimulateAtm(const Atm& machine,
+                                 const std::vector<int>& input,
+                                 const AtmSimOptions& options) {
+  Status valid = machine.Validate();
+  if (!valid.ok()) return valid;
+  if (input.empty()) return Status::Error("empty input tape");
+  for (int s : input) {
+    if (s < 0 || s >= machine.alphabet_size) {
+      return Status::Error("input symbol out of range");
+    }
+  }
+  AtmSimResult result;
+  int tape_len = static_cast<int>(input.size());
+
+  // Forward exploration of the configuration graph.
+  std::map<Config, size_t> ids;
+  std::vector<Config> configs;
+  std::vector<std::vector<int>> children;  // -1 marks an off-tape child.
+  std::deque<size_t> frontier;
+  auto intern = [&](Config c) -> int {
+    auto it = ids.find(c);
+    if (it != ids.end()) return static_cast<int>(it->second);
+    size_t id = configs.size();
+    ids.emplace(c, id);
+    configs.push_back(std::move(c));
+    children.emplace_back();
+    frontier.push_back(id);
+    return static_cast<int>(id);
+  };
+  intern(Config{machine.start_state, 0, input});
+  while (!frontier.empty()) {
+    if (configs.size() > options.max_configurations) {
+      result.complete = false;
+      break;
+    }
+    size_t id = frontier.front();
+    frontier.pop_front();
+    const Config c = configs[id];
+    StateMode mode = machine.modes[c.state];
+    if (mode == StateMode::kAccept || mode == StateMode::kReject) continue;
+    bool at_end = c.head == tape_len - 1;
+    const AtmTransition* applicable = nullptr;
+    for (const AtmTransition& t : machine.transitions) {
+      if (t.state != c.state || t.symbol != c.tape[c.head]) continue;
+      if (t.at_end == AtEnd::kOnlyAtEnd && !at_end) continue;
+      if (t.at_end == AtEnd::kOnlyBeforeEnd && at_end) continue;
+      applicable = &t;
+      break;
+    }
+    if (applicable == nullptr) continue;  // Stuck: no successors.
+    for (const AtmMove& m : applicable->moves) {
+      int head = c.head + static_cast<int>(m.dir);
+      if (head < 0 || head >= tape_len) {
+        children[id].push_back(-1);  // Off-tape: never accepting.
+        continue;
+      }
+      Config next = c;
+      next.tape[c.head] = m.write;
+      next.head = head;
+      next.state = m.next_state;
+      // Evaluate intern() first: it may reallocate `children`.
+      int child = intern(std::move(next));
+      children[id].push_back(child);
+    }
+  }
+  result.configurations = configs.size();
+
+  // Backward least fixpoint of acceptance.
+  std::vector<bool> accepting(configs.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < configs.size(); ++i) {
+      if (accepting[i]) continue;
+      StateMode mode = machine.modes[configs[i].state];
+      bool value = false;
+      switch (mode) {
+        case StateMode::kAccept:
+          value = true;
+          break;
+        case StateMode::kReject:
+          value = false;
+          break;
+        case StateMode::kOr:
+          for (int ch : children[i]) {
+            if (ch >= 0 && accepting[ch]) value = true;
+          }
+          break;
+        case StateMode::kAnd:
+          value = !children[i].empty();
+          for (int ch : children[i]) {
+            if (ch < 0 || !accepting[ch]) value = false;
+          }
+          break;
+      }
+      if (value) {
+        accepting[i] = true;
+        changed = true;
+      }
+    }
+  }
+  result.accepted = accepting[0];
+  return result;
+}
+
+Atm FirstSymbolIsOneMachine() {
+  Atm m;
+  m.name = "first-symbol-is-one";
+  m.num_states = 3;
+  m.start_state = 0;
+  m.alphabet_size = 2;
+  m.modes = {StateMode::kOr, StateMode::kAccept, StateMode::kReject};
+  m.transitions = {
+      {0, 1, AtEnd::kAny, {{1, Dir::kStay, 1}}},
+      {0, 0, AtEnd::kAny, {{0, Dir::kStay, 2}}},
+  };
+  return m;
+}
+
+Atm EvenParityMachine() {
+  Atm m;
+  m.name = "even-parity";
+  m.num_states = 4;  // 0 = even, 1 = odd, 2 = accept, 3 = reject.
+  m.start_state = 0;
+  m.alphabet_size = 2;
+  m.modes = {StateMode::kOr, StateMode::kOr, StateMode::kAccept,
+             StateMode::kReject};
+  m.transitions = {
+      {0, 0, AtEnd::kOnlyBeforeEnd, {{0, Dir::kRight, 0}}},
+      {0, 1, AtEnd::kOnlyBeforeEnd, {{1, Dir::kRight, 1}}},
+      {1, 0, AtEnd::kOnlyBeforeEnd, {{0, Dir::kRight, 1}}},
+      {1, 1, AtEnd::kOnlyBeforeEnd, {{1, Dir::kRight, 0}}},
+      {0, 0, AtEnd::kOnlyAtEnd, {{0, Dir::kStay, 2}}},
+      {0, 1, AtEnd::kOnlyAtEnd, {{1, Dir::kStay, 3}}},
+      {1, 0, AtEnd::kOnlyAtEnd, {{0, Dir::kStay, 3}}},
+      {1, 1, AtEnd::kOnlyAtEnd, {{1, Dir::kStay, 2}}},
+  };
+  return m;
+}
+
+Atm AllOnesUniversalMachine() {
+  Atm m;
+  m.name = "all-ones-universal";
+  m.num_states = 4;  // 0 = walk (AND), 1 = check, 2 = accept, 3 = reject.
+  m.start_state = 0;
+  m.alphabet_size = 2;
+  m.modes = {StateMode::kAnd, StateMode::kOr, StateMode::kAccept,
+             StateMode::kReject};
+  m.transitions = {
+      // Branch: verify here AND continue right.
+      {0, 0, AtEnd::kOnlyBeforeEnd,
+       {{0, Dir::kStay, 1}, {0, Dir::kRight, 0}}},
+      {0, 1, AtEnd::kOnlyBeforeEnd,
+       {{1, Dir::kStay, 1}, {1, Dir::kRight, 0}}},
+      // Last cell: just verify.
+      {0, 0, AtEnd::kOnlyAtEnd, {{0, Dir::kStay, 1}}},
+      {0, 1, AtEnd::kOnlyAtEnd, {{1, Dir::kStay, 1}}},
+      {1, 0, AtEnd::kAny, {{0, Dir::kStay, 3}}},
+      {1, 1, AtEnd::kAny, {{1, Dir::kStay, 2}}},
+  };
+  return m;
+}
+
+Atm SomeOneExistentialMachine() {
+  Atm m = AllOnesUniversalMachine();
+  m.name = "some-one-existential";
+  m.modes[0] = StateMode::kOr;
+  return m;
+}
+
+Atm FirstEqualsLastMachine() {
+  Atm m;
+  m.name = "first-equals-last";
+  // 0 = start, 1 = saw0-walk, 2 = saw1-walk, 3 = accept, 4 = reject.
+  m.num_states = 5;
+  m.start_state = 0;
+  m.alphabet_size = 2;
+  m.modes = {StateMode::kOr, StateMode::kOr, StateMode::kOr,
+             StateMode::kAccept, StateMode::kReject};
+  m.transitions = {
+      // Remember the first symbol. A one-cell word compares with itself.
+      {0, 0, AtEnd::kOnlyAtEnd, {{0, Dir::kStay, 3}}},
+      {0, 1, AtEnd::kOnlyAtEnd, {{1, Dir::kStay, 3}}},
+      {0, 0, AtEnd::kOnlyBeforeEnd, {{0, Dir::kRight, 1}}},
+      {0, 1, AtEnd::kOnlyBeforeEnd, {{1, Dir::kRight, 2}}},
+      // Walk right carrying the memory.
+      {1, 0, AtEnd::kOnlyBeforeEnd, {{0, Dir::kRight, 1}}},
+      {1, 1, AtEnd::kOnlyBeforeEnd, {{1, Dir::kRight, 1}}},
+      {2, 0, AtEnd::kOnlyBeforeEnd, {{0, Dir::kRight, 2}}},
+      {2, 1, AtEnd::kOnlyBeforeEnd, {{1, Dir::kRight, 2}}},
+      // Compare at the end.
+      {1, 0, AtEnd::kOnlyAtEnd, {{0, Dir::kStay, 3}}},
+      {1, 1, AtEnd::kOnlyAtEnd, {{1, Dir::kStay, 4}}},
+      {2, 0, AtEnd::kOnlyAtEnd, {{0, Dir::kStay, 4}}},
+      {2, 1, AtEnd::kOnlyAtEnd, {{1, Dir::kStay, 3}}},
+  };
+  return m;
+}
+
+Atm BinaryCounterMachine() {
+  Atm m;
+  m.name = "binary-counter";
+  // Symbols: 0 = '0', 1 = '1', 2 = marked '0' (left end), 3 = marked '1'.
+  // States: 0 = check (verify marked all-zero input, walk right),
+  //         1 = inc (add one at the current cell, carrying right),
+  //         2 = rewind (walk left to the marked cell),
+  //         3 = accept, 4 = reject.
+  m.num_states = 5;
+  m.start_state = 0;
+  m.alphabet_size = 4;
+  m.modes = {StateMode::kOr, StateMode::kOr, StateMode::kOr,
+             StateMode::kAccept, StateMode::kReject};
+  m.transitions = {
+      // check: walk right over {m0, 0}; 1s (or marked 1s) reject. At the
+      // last cell, hand over to rewind (which finds the mark) or, on a
+      // 1-cell tape, increment directly.
+      {0, 2, AtEnd::kOnlyBeforeEnd, {{2, Dir::kRight, 0}}},
+      {0, 2, AtEnd::kOnlyAtEnd, {{2, Dir::kStay, 1}}},
+      {0, 0, AtEnd::kOnlyBeforeEnd, {{0, Dir::kRight, 0}}},
+      {0, 0, AtEnd::kOnlyAtEnd, {{0, Dir::kStay, 2}}},
+      {0, 1, AtEnd::kAny, {{1, Dir::kStay, 4}}},
+      {0, 3, AtEnd::kAny, {{3, Dir::kStay, 4}}},
+      // inc: a 0-bit flips to 1 (increment complete — rewind, which
+      // immediately bounces off the mark when we are already on it); a
+      // 1-bit flips to 0 and carries right; a carry leaving the last
+      // cell means the counter wrapped around: accept.
+      {1, 2, AtEnd::kAny, {{3, Dir::kStay, 2}}},
+      {1, 0, AtEnd::kAny, {{1, Dir::kStay, 2}}},
+      {1, 3, AtEnd::kOnlyBeforeEnd, {{2, Dir::kRight, 1}}},
+      {1, 1, AtEnd::kOnlyBeforeEnd, {{0, Dir::kRight, 1}}},
+      {1, 3, AtEnd::kOnlyAtEnd, {{2, Dir::kStay, 3}}},  // Overflow.
+      {1, 1, AtEnd::kOnlyAtEnd, {{0, Dir::kStay, 3}}},  // Overflow.
+      // rewind: walk left to the marked cell, then increment again.
+      {2, 0, AtEnd::kAny, {{0, Dir::kLeft, 2}}},
+      {2, 1, AtEnd::kAny, {{1, Dir::kLeft, 2}}},
+      {2, 2, AtEnd::kAny, {{2, Dir::kStay, 1}}},
+      {2, 3, AtEnd::kAny, {{3, Dir::kStay, 1}}},
+  };
+  return m;
+}
+
+Atm OnesDivisibleByThreeMachine() {
+  Atm m;
+  m.name = "ones-divisible-by-three";
+  // States 0,1,2 = ones count mod 3; 3 = accept, 4 = reject.
+  m.num_states = 5;
+  m.start_state = 0;
+  m.alphabet_size = 2;
+  m.modes = {StateMode::kOr, StateMode::kOr, StateMode::kOr,
+             StateMode::kAccept, StateMode::kReject};
+  auto step = [](int q, int sym) { return sym == 1 ? (q + 1) % 3 : q; };
+  for (int q = 0; q < 3; ++q) {
+    for (int sym = 0; sym < 2; ++sym) {
+      m.transitions.push_back(
+          {q, sym, AtEnd::kOnlyBeforeEnd,
+           {{sym, Dir::kRight, step(q, sym)}}});
+      m.transitions.push_back(
+          {q, sym, AtEnd::kOnlyAtEnd,
+           {{sym, Dir::kStay, step(q, sym) == 0 ? 3 : 4}}});
+    }
+  }
+  return m;
+}
+
+}  // namespace gerel

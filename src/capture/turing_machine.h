@@ -1,0 +1,105 @@
+// Alternating Turing machines with binary branching and bounded tape
+// (paper §8, Thm 4 substrate).
+//
+// The paper's capturing proof compiles an exponential-time Turing machine
+// into weakly guarded rules by "implementing an alternating polynomial
+// space algorithm" (APSPACE = EXPTIME). We model that route directly:
+// machines are alternating, binary-branching, and run on a fixed tape of
+// n^k cells (the k-tuples of the string database). Transitions may be
+// predicated on whether the head sits on the last cell (`at_end`), which
+// compiles to a last<k>/next<k> body atom.
+//
+// Acceptance is the least fixpoint over the configuration graph: an
+// accept-state configuration accepts; an OR configuration accepts iff
+// some successor does; an AND configuration iff all of its successors do.
+// Moving off the tape yields a stuck (non-accepting) successor.
+#ifndef GEREL_CAPTURE_TURING_MACHINE_H_
+#define GEREL_CAPTURE_TURING_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace gerel {
+
+enum class StateMode { kAccept, kReject, kOr, kAnd };
+
+// Head movement.
+enum class Dir { kLeft = -1, kStay = 0, kRight = 1 };
+
+// Whether a transition applies anywhere, only at the last cell, or only
+// strictly before it.
+enum class AtEnd { kAny, kOnlyAtEnd, kOnlyBeforeEnd };
+
+struct AtmMove {
+  int write = 0;       // Symbol written.
+  Dir dir = Dir::kStay;
+  int next_state = 0;
+};
+
+struct AtmTransition {
+  int state = 0;
+  int symbol = 0;
+  AtEnd at_end = AtEnd::kAny;
+  // One move = deterministic step; two moves = branch per the state mode.
+  std::vector<AtmMove> moves;
+};
+
+struct Atm {
+  std::string name;
+  int num_states = 0;
+  int start_state = 0;
+  int alphabet_size = 0;  // Symbols 0..alphabet_size-1.
+  std::vector<StateMode> modes;  // Indexed by state.
+  std::vector<AtmTransition> transitions;
+
+  Status Validate() const;
+};
+
+struct AtmSimOptions {
+  // Cap on distinct configurations explored.
+  size_t max_configurations = 1000000;
+};
+
+struct AtmSimResult {
+  bool accepted = false;
+  size_t configurations = 0;
+  bool complete = true;  // False if the cap was hit.
+};
+
+// Simulates the ATM on `input` written on a tape of exactly |input| cells
+// (the string-database convention: no blanks beyond the word).
+Result<AtmSimResult> SimulateAtm(const Atm& machine,
+                                 const std::vector<int>& input,
+                                 const AtmSimOptions& options =
+                                     AtmSimOptions());
+
+// --- Canned machines used by tests, examples, and benches --------------
+
+// Accepts iff the first symbol of the word is 1 (alphabet {0, 1}).
+Atm FirstSymbolIsOneMachine();
+// Accepts iff the word contains an even number of 1s.
+Atm EvenParityMachine();
+// Accepts iff every symbol is 1; exercises AND branching.
+Atm AllOnesUniversalMachine();
+// Accepts iff some symbol is 1; exercises OR branching.
+Atm SomeOneExistentialMachine();
+// Accepts iff the first symbol equals the last; exercises left moves
+// (walks to the end remembering the first symbol, then compares).
+Atm FirstEqualsLastMachine();
+// Accepts iff the number of 1s is divisible by three (three-state
+// counter).
+Atm OnesDivisibleByThreeMachine();
+// The EXPTIME demonstrator: interprets the tape as a binary counter
+// (least-significant bit first; the first cell uses marked symbols so the
+// machine can find the left end) and increments it until overflow —
+// 2^n · Θ(n) steps on an n-cell tape. Accepts iff the input is a marked
+// all-zero counter (alphabet: 0 = '0', 1 = '1', 2 = marked '0',
+// 3 = marked '1').
+Atm BinaryCounterMachine();
+
+}  // namespace gerel
+
+#endif  // GEREL_CAPTURE_TURING_MACHINE_H_

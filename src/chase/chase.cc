@@ -1,0 +1,247 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/check.h"
+#include "core/homomorphism.h"
+#include "core/substitution.h"
+
+namespace gerel {
+
+namespace {
+
+// A fired-trigger key: rule index plus the uvars' images, packed.
+struct TriggerKey {
+  std::vector<uint32_t> data;
+  friend bool operator==(const TriggerKey& a, const TriggerKey& b) {
+    return a.data == b.data;
+  }
+};
+
+struct TriggerKeyHash {
+  size_t operator()(const TriggerKey& k) const {
+    size_t h = 0xC0FFEE;
+    for (uint32_t v : k.data) {
+      h ^= static_cast<size_t>(v) + 0x9E3779B97F4A7C15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct PreparedRule {
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+  std::vector<Term> uvars;
+  std::vector<Term> evars;
+  std::vector<Term> fvars;
+};
+
+class ChaseEngine {
+ public:
+  ChaseEngine(const Theory& theory, const Database& input,
+              SymbolTable* symbols, const ChaseOptions& options)
+      : symbols_(symbols), options_(options) {
+    GEREL_CHECK(!theory.HasNegation());
+    for (const Rule& r : theory.rules()) {
+      PreparedRule p;
+      p.body = r.PositiveBody();
+      p.head = r.head;
+      p.uvars = r.UVars();
+      p.evars = r.EVars();
+      p.fvars = r.FVars();
+      rules_.push_back(std::move(p));
+    }
+    result_.database = input;
+    if (options.populate_acdom) {
+      PopulateAcdom(theory, symbols, &result_.database);
+    }
+  }
+
+  ChaseResult Run() {
+    size_t delta_begin = 0;
+    bool first_round = true;
+    while (true) {
+      size_t delta_end = result_.database.size();
+      for (uint32_t ri = 0; ri < rules_.size(); ++ri) {
+        const PreparedRule& rule = rules_[ri];
+        if (rule.body.empty()) {
+          if (first_round) Fire(ri, Substitution());
+          continue;
+        }
+        // Semi-naive enumeration: some body atom must match an atom of the
+        // delta window [delta_begin, delta_end); in the first round the
+        // delta is the whole input database.
+        for (size_t j = 0; j < rule.body.size(); ++j) {
+          std::vector<Atom> rest;
+          for (size_t i = 0; i < rule.body.size(); ++i) {
+            if (i != j) rest.push_back(rule.body[i]);
+          }
+          for (size_t ai = delta_begin; ai < delta_end; ++ai) {
+            const Atom& delta_atom = result_.database.atom(ai);
+            if (delta_atom.pred != rule.body[j].pred) continue;
+            Substitution seed;
+            if (!UnifySeed(rule.body[j], delta_atom, &seed)) continue;
+            ForEachHomomorphism(
+                rest, result_.database, seed, [&](const Substitution& h) {
+                  Fire(ri, h);
+                  return !LimitReached();
+                });
+            if (LimitReached()) break;
+          }
+          if (LimitReached()) break;
+        }
+        if (LimitReached()) break;
+      }
+      first_round = false;
+      if (LimitReached()) {
+        result_.saturated = false;
+        break;
+      }
+      if (result_.database.size() == delta_end) {
+        // Nothing was added this round: every remaining trigger has
+        // already fired, so this is a fixpoint (unless depth-limited
+        // triggers were skipped, in which case the true chase continues).
+        result_.saturated = !skipped_depth_limited_;
+        break;
+      }
+      // The next round's delta is everything added this round.
+      delta_begin = delta_end;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  bool LimitReached() const {
+    if (options_.max_steps != 0 && result_.steps >= options_.max_steps)
+      return true;
+    if (options_.max_atoms != 0 &&
+        result_.database.size() >= options_.max_atoms)
+      return true;
+    return false;
+  }
+
+  static bool UnifySeed(const Atom& pattern, const Atom& target,
+                        Substitution* seed) {
+    if (pattern.args.size() != target.args.size() ||
+        pattern.annotation.size() != target.annotation.size()) {
+      return false;
+    }
+    auto unify = [&](const std::vector<Term>& ps,
+                     const std::vector<Term>& ts) {
+      for (size_t i = 0; i < ps.size(); ++i) {
+        Term p = seed->Apply(ps[i]);
+        if (p.IsVariable()) {
+          seed->Bind(p, ts[i]);
+        } else if (p != ts[i]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    return unify(pattern.args, target.args) &&
+           unify(pattern.annotation, target.annotation);
+  }
+
+  uint32_t TermDepth(Term t) const {
+    if (!t.IsNull()) return 0;
+    auto it = null_depth_.find(t.id());
+    return it == null_depth_.end() ? 0 : it->second;
+  }
+
+  // Fires the trigger (rule ri, h) if it has not fired before. Returns
+  // true iff it fired.
+  bool Fire(uint32_t ri, const Substitution& h) {
+    const PreparedRule& rule = rules_[ri];
+    TriggerKey key;
+    const std::vector<Term>& key_vars =
+        options_.semi_oblivious ? rule.fvars : rule.uvars;
+    key.data.reserve(key_vars.size() + 1);
+    key.data.push_back(ri);
+    for (Term v : key_vars) key.data.push_back(h.Apply(v).bits());
+    if (!fired_.insert(key).second) return false;
+    if (options_.restricted) {
+      // Restricted chase: skip satisfied triggers. The trigger stays in
+      // the fired set — if it is satisfied now, it stays satisfied (the
+      // database only grows).
+      if (HasHomomorphism(rule.head, result_.database, h)) return false;
+    }
+    // Null-depth bound: skip triggers that would create too-deep nulls.
+    if (!rule.evars.empty() && options_.max_null_depth != 0) {
+      uint32_t depth = 0;
+      for (Term v : rule.uvars) depth = std::max(depth, TermDepth(h.Apply(v)));
+      if (depth + 1 > options_.max_null_depth) {
+        fired_.erase(key);  // The real chase still owes this trigger.
+        skipped_depth_limited_ = true;
+        return false;
+      }
+    }
+    Substitution full = h;
+    uint32_t new_depth = 1;
+    for (Term v : rule.uvars) {
+      new_depth = std::max(new_depth, TermDepth(h.Apply(v)) + 1);
+    }
+    for (Term e : rule.evars) {
+      Term null = symbols_->FreshNull();
+      null_depth_[null.id()] = new_depth;
+      full.Bind(e, null);
+    }
+    ++result_.steps;
+    std::vector<Term> frontier_image;
+    frontier_image.reserve(rule.fvars.size());
+    for (Term v : rule.fvars) frontier_image.push_back(h.Apply(v));
+    for (const Atom& ha : rule.head) {
+      Atom derived = full.Apply(ha);
+      if (result_.database.Insert(derived)) {
+        result_.derivation.push_back(
+            ChaseStep{ri, std::move(derived), frontier_image});
+      }
+    }
+    return true;
+  }
+
+  SymbolTable* symbols_;
+  ChaseOptions options_;
+  std::vector<PreparedRule> rules_;
+  ChaseResult result_;
+  std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
+  std::unordered_map<uint32_t, uint32_t> null_depth_;
+  bool skipped_depth_limited_ = false;
+};
+
+}  // namespace
+
+ChaseResult Chase(const Theory& theory, const Database& input,
+                  SymbolTable* symbols, const ChaseOptions& options) {
+  ChaseEngine engine(theory, input, symbols, options);
+  return engine.Run();
+}
+
+bool ChaseEntails(const Theory& theory, const Database& input,
+                  const Atom& ground_atom, SymbolTable* symbols,
+                  const ChaseOptions& options, bool allow_unsaturated) {
+  GEREL_CHECK(ground_atom.IsDatabaseAtom());
+  ChaseResult r = Chase(theory, input, symbols, options);
+  if (r.database.Contains(ground_atom)) return true;
+  GEREL_CHECK(r.saturated || allow_unsaturated);
+  return false;
+}
+
+std::set<std::vector<Term>> ChaseAnswers(const Theory& theory,
+                                         const Database& input,
+                                         RelationId output,
+                                         SymbolTable* symbols,
+                                         const ChaseOptions& options) {
+  ChaseResult r = Chase(theory, input, symbols, options);
+  std::set<std::vector<Term>> answers;
+  for (uint32_t ai : r.database.AtomsOf(output)) {
+    const Atom& a = r.database.atom(ai);
+    if (a.IsGroundOverConstants()) answers.insert(a.args);
+  }
+  return answers;
+}
+
+}  // namespace gerel

@@ -1,0 +1,40 @@
+// Chase-termination guarantees via acyclicity (paper §9 cites
+// acyclicity-based Datalog translations [Krötzsch & Rudolph, IJCAI'11]).
+//
+// Weak acyclicity (Fagin et al.): build the position dependency graph
+// with regular edges (a universal variable flows from a body position to
+// a head position) and special edges (a body position feeds an
+// existential position); the theory is weakly acyclic iff no cycle goes
+// through a special edge. The semi-oblivious (Skolem) chase of a weakly
+// acyclic theory terminates on every database in polynomially many
+// steps. (The naive oblivious chase, which keys triggers on *all* body
+// variables, can diverge even here — e.g. p(x) → ∃y p(y) has no frontier
+// and hence an empty position graph.)
+//
+// Joint acyclicity (Krötzsch & Rudolph) refines this with a dependency
+// relation between existential variables; it is strictly more general
+// and guarantees termination of the *semi-oblivious* (Skolem) chase
+// (ChaseOptions::semi_oblivious) — the fully oblivious chase may still
+// diverge on jointly acyclic theories by inventing fresh nulls for
+// non-frontier bindings.
+#ifndef GEREL_CORE_ACYCLICITY_H_
+#define GEREL_CORE_ACYCLICITY_H_
+
+#include "core/theory.h"
+
+namespace gerel {
+
+// Whether the position dependency graph has no cycle through a special
+// edge. Guarantees semi-oblivious chase termination.
+bool IsWeaklyAcyclic(const Theory& theory);
+
+// Joint acyclicity: the "existential dependency" graph over existential
+// variables (y depends on y' when a frontier variable feeding y's rule
+// can be bound to a null invented for y') is acyclic. Strictly
+// generalizes weak acyclicity; guarantees semi-oblivious chase
+// termination.
+bool IsJointlyAcyclic(const Theory& theory);
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_ACYCLICITY_H_

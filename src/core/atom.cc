@@ -1,0 +1,72 @@
+#include "core/atom.h"
+
+#include <algorithm>
+
+namespace gerel {
+
+namespace {
+
+void AppendDistinctVars(const std::vector<Term>& terms,
+                        std::vector<Term>* out) {
+  for (Term t : terms) {
+    if (t.IsVariable() && std::find(out->begin(), out->end(), t) == out->end())
+      out->push_back(t);
+  }
+}
+
+}  // namespace
+
+bool Atom::IsGroundOverConstants() const {
+  auto all_const = [](const std::vector<Term>& ts) {
+    return std::all_of(ts.begin(), ts.end(),
+                       [](Term t) { return t.IsConstant(); });
+  };
+  return all_const(args) && all_const(annotation);
+}
+
+bool Atom::IsDatabaseAtom() const {
+  auto no_var = [](const std::vector<Term>& ts) {
+    return std::none_of(ts.begin(), ts.end(),
+                        [](Term t) { return t.IsVariable(); });
+  };
+  return no_var(args) && no_var(annotation);
+}
+
+std::vector<Term> Atom::AllTerms() const {
+  std::vector<Term> out = args;
+  out.insert(out.end(), annotation.begin(), annotation.end());
+  return out;
+}
+
+std::vector<Term> Atom::ArgVars() const {
+  std::vector<Term> out;
+  AppendDistinctVars(args, &out);
+  return out;
+}
+
+std::vector<Term> Atom::AllVars() const {
+  std::vector<Term> out;
+  AppendDistinctVars(args, &out);
+  AppendDistinctVars(annotation, &out);
+  return out;
+}
+
+bool operator<(const Atom& a, const Atom& b) {
+  if (a.pred != b.pred) return a.pred < b.pred;
+  if (a.args != b.args) return a.args < b.args;
+  return a.annotation < b.annotation;
+}
+
+size_t AtomHash::operator()(const Atom& a) const {
+  size_t h = static_cast<size_t>(a.pred) * 0x9E3779B97F4A7C15ull;
+  auto mix = [&h](Term t) {
+    h ^= static_cast<size_t>(t.bits()) + 0x9E3779B97F4A7C15ull + (h << 6) +
+         (h >> 2);
+  };
+  for (Term t : a.args) mix(t);
+  h ^= 0xABCDEF;  // Separator between args and annotation.
+  for (Term t : a.annotation) mix(t);
+  return h;
+}
+
+}  // namespace gerel

@@ -1,0 +1,30 @@
+// Internal invariant checking for gerel.
+//
+// GEREL_CHECK aborts the process with a diagnostic when an invariant is
+// violated. It is intended for programmer errors (broken invariants), not
+// for recoverable conditions; fallible user-facing APIs return Status or
+// Result<T> from status.h instead.
+#ifndef GEREL_CORE_CHECK_H_
+#define GEREL_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gerel::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "GEREL_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace gerel::internal
+
+#define GEREL_CHECK(expr)                                          \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::gerel::internal::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                              \
+  } while (false)
+
+#endif  // GEREL_CORE_CHECK_H_

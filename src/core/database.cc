@@ -1,0 +1,109 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+namespace {
+const std::vector<uint32_t> kEmptyPostings;
+}  // namespace
+
+bool Database::Insert(const Atom& atom) {
+  GEREL_CHECK(atom.IsDatabaseAtom());
+  auto [it, inserted] = set_.insert(atom);
+  if (!inserted) return false;
+  uint32_t index = static_cast<uint32_t>(atoms_.size());
+  atoms_.push_back(atom);
+  by_relation_[atom.pred].push_back(index);
+  if (position_index_enabled_) {
+    uint32_t pos = 0;
+    for (Term t : atom.args) by_position_[PositionKey(atom.pred, pos++, t)].push_back(index);
+    for (Term t : atom.annotation)
+      by_position_[PositionKey(atom.pred, pos++, t)].push_back(index);
+  }
+  return true;
+}
+
+bool Database::Contains(const Atom& atom) const {
+  return set_.count(atom) > 0;
+}
+
+const std::vector<uint32_t>& Database::AtomsOf(RelationId pred) const {
+  auto it = by_relation_.find(pred);
+  return it == by_relation_.end() ? kEmptyPostings : it->second;
+}
+
+const std::vector<uint32_t>& Database::AtomsAt(RelationId pred, uint32_t pos,
+                                               Term term) const {
+  GEREL_CHECK(position_index_enabled_);
+  auto it = by_position_.find(PositionKey(pred, pos, term));
+  return it == by_position_.end() ? kEmptyPostings : it->second;
+}
+
+void Database::set_position_index_enabled(bool enabled) {
+  GEREL_CHECK(atoms_.empty());  // Must be configured before inserts.
+  position_index_enabled_ = enabled;
+}
+
+std::vector<Term> Database::ActiveTerms(RelationId except) const {
+  std::vector<Term> out;
+  std::unordered_set<uint32_t> seen;
+  for (const Atom& a : atoms_) {
+    if (a.pred == except) continue;
+    for (Term t : a.AllTerms()) {
+      if (seen.insert(t.bits()).second) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<Term> Database::ActiveTerms() const {
+  return ActiveTerms(static_cast<RelationId>(-1));
+}
+
+std::vector<Term> Database::ActiveConstants() const {
+  std::vector<Term> out;
+  std::unordered_set<uint32_t> seen;
+  for (const Atom& a : atoms_) {
+    for (Term t : a.AllTerms()) {
+      if (t.IsConstant() && seen.insert(t.bits()).second) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+Database Database::Restrict(const std::vector<RelationId>& preds) const {
+  Database out;
+  for (const Atom& a : atoms_) {
+    if (std::find(preds.begin(), preds.end(), a.pred) != preds.end())
+      out.Insert(a);
+  }
+  return out;
+}
+
+bool operator==(const Database& a, const Database& b) {
+  if (a.size() != b.size()) return false;
+  for (const Atom& atom : a.atoms_) {
+    if (!b.Contains(atom)) return false;
+  }
+  return true;
+}
+
+RelationId AcdomRelation(SymbolTable* symbols) {
+  return symbols->Relation(kAcdomName, 1);
+}
+
+void PopulateAcdom(const Theory& theory, SymbolTable* symbols, Database* db) {
+  RelationId acdom = AcdomRelation(symbols);
+  for (Term t : db->ActiveTerms(acdom)) {
+    db->Insert(Atom(acdom, {t}));
+  }
+  for (Term c : theory.Constants()) {
+    db->Insert(Atom(acdom, {c}));
+  }
+}
+
+}  // namespace gerel

@@ -1,0 +1,92 @@
+// Databases: sets of atoms over constants and labeled nulls (paper §2),
+// with per-relation and per-(relation, position, term) indexes used by the
+// homomorphism matcher, the chase, and the Datalog engine.
+#ifndef GEREL_CORE_DATABASE_H_
+#define GEREL_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/symbol_table.h"
+#include "core/term.h"
+
+namespace gerel {
+
+class Theory;
+
+// An append-only set of database atoms (ground over constants/nulls).
+// Atom identities are dense indices [0, size()); insertion order is
+// preserved, which the chase relies on for fairness.
+class Database {
+ public:
+  Database() = default;
+
+  // Inserts `atom`; returns true if it was new. CHECK-fails on atoms
+  // containing variables.
+  bool Insert(const Atom& atom);
+  bool Contains(const Atom& atom) const;
+
+  size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+  const Atom& atom(size_t i) const { return atoms_[i]; }
+  // Lvalue-only: iterating the atoms of a *temporary* database would
+  // dangle (the classic range-for-over-member pitfall), so it is a
+  // compile error.
+  const std::vector<Atom>& atoms() const& { return atoms_; }
+  const std::vector<Atom>& atoms() const&& = delete;
+
+  // Indices of atoms with the given relation.
+  const std::vector<uint32_t>& AtomsOf(RelationId pred) const;
+  // Indices of atoms with `term` at flattened position `pos` of `pred`
+  // (argument positions first, then annotation positions).
+  const std::vector<uint32_t>& AtomsAt(RelationId pred, uint32_t pos,
+                                       Term term) const;
+  // Whether the (relation, position, term) index is maintained.
+  void set_position_index_enabled(bool enabled);
+  bool position_index_enabled() const { return position_index_enabled_; }
+
+  // Distinct ground terms occurring in atoms (constants and nulls), in
+  // first-occurrence order. Excludes atoms of `except` (pass the acdom
+  // relation to get the active domain).
+  std::vector<Term> ActiveTerms(RelationId except) const;
+  std::vector<Term> ActiveTerms() const;
+  // Distinct constants occurring in atoms.
+  std::vector<Term> ActiveConstants() const;
+
+  // Restricts to atoms whose relation is in `preds`; preserves order.
+  Database Restrict(const std::vector<RelationId>& preds) const;
+
+  friend bool operator==(const Database& a, const Database& b);
+
+ private:
+  std::vector<Atom> atoms_;
+  std::unordered_set<Atom, AtomHash> set_;
+  std::unordered_map<RelationId, std::vector<uint32_t>> by_relation_;
+  // Key: (pred, pos) packed | term bits.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_position_;
+  bool position_index_enabled_ = true;
+
+  static uint64_t PositionKey(RelationId pred, uint32_t pos, Term term) {
+    return (static_cast<uint64_t>(pred) << 40) ^
+           (static_cast<uint64_t>(pos) << 32) ^ term.bits();
+  }
+};
+
+// The name of the built-in active-constant-domain relation (paper §2,
+// "Further Notions").
+inline constexpr char kAcdomName[] = "acdom";
+
+// Interns and returns the acdom relation id.
+RelationId AcdomRelation(SymbolTable* symbols);
+
+// Adds acdom(t) for every term occurring in a non-acdom atom of `db` and
+// for every constant of `theory` (theory constants materialize as → R(c)
+// facts in the chase root, so they belong to the active domain).
+void PopulateAcdom(const Theory& theory, SymbolTable* symbols, Database* db);
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_DATABASE_H_

@@ -1,0 +1,82 @@
+#include "core/graphviz.h"
+
+#include <set>
+#include <utility>
+
+namespace gerel {
+
+std::string PredicateGraphDot(const Theory& theory,
+                              const SymbolTable& symbols) {
+  std::string out = "digraph predicates {\n  rankdir=LR;\n";
+  std::set<std::pair<std::string, std::string>> solid, dashed;
+  for (const Rule& rule : theory.rules()) {
+    bool existential = !rule.EVars().empty();
+    for (const Literal& l : rule.body) {
+      for (const Atom& h : rule.head) {
+        auto edge = std::make_pair(symbols.RelationName(l.atom.pred),
+                                   symbols.RelationName(h.pred));
+        (existential ? dashed : solid).insert(edge);
+      }
+    }
+    // Fact rules: head only.
+    if (rule.body.empty()) {
+      for (const Atom& h : rule.head) {
+        out += "  \"" + symbols.RelationName(h.pred) + "\";\n";
+      }
+    }
+  }
+  for (const auto& [from, to] : solid) {
+    out += "  \"" + from + "\" -> \"" + to + "\";\n";
+  }
+  for (const auto& [from, to] : dashed) {
+    out += "  \"" + from + "\" -> \"" + to + "\" [style=dashed];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string PositionGraphDot(const Theory& theory,
+                             const SymbolTable& symbols) {
+  auto position_name = [&symbols](RelationId pred, size_t pos) {
+    return symbols.RelationName(pred) + "." + std::to_string(pos + 1);
+  };
+  auto positions_of = [&](Term var, const std::vector<Atom>& atoms) {
+    std::vector<std::string> out;
+    for (const Atom& a : atoms) {
+      std::vector<Term> all = a.AllTerms();
+      for (size_t p = 0; p < all.size(); ++p) {
+        if (all[p] == var) out.push_back(position_name(a.pred, p));
+      }
+    }
+    return out;
+  };
+  std::string out = "digraph positions {\n  rankdir=LR;\n";
+  std::set<std::pair<std::string, std::string>> regular, special;
+  for (const Rule& rule : theory.rules()) {
+    std::vector<Atom> body = rule.PositiveBody();
+    std::vector<Term> evars = rule.EVars();
+    for (Term x : rule.FVars()) {
+      for (const std::string& p : positions_of(x, body)) {
+        for (const std::string& q : positions_of(x, rule.head)) {
+          regular.emplace(p, q);
+        }
+        for (Term y : evars) {
+          for (const std::string& q : positions_of(y, rule.head)) {
+            special.emplace(p, q);
+          }
+        }
+      }
+    }
+  }
+  for (const auto& [p, q] : regular) {
+    out += "  \"" + p + "\" -> \"" + q + "\";\n";
+  }
+  for (const auto& [p, q] : special) {
+    out += "  \"" + p + "\" -> \"" + q +
+           "\" [color=red, style=bold, label=\"*\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gerel

@@ -1,0 +1,27 @@
+// Graphviz (DOT) renderings of theory structure: the predicate
+// dependency graph and the weak-acyclicity position graph. (Chase trees
+// render via ChaseTreeDot in chase/chase_tree.h.) Useful for debugging
+// translations and for documentation figures.
+#ifndef GEREL_CORE_GRAPHVIZ_H_
+#define GEREL_CORE_GRAPHVIZ_H_
+
+#include <string>
+
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+// The predicate dependency graph: an edge R → S when some rule has R in
+// its body and S in its head; dashed when the rule is existential.
+std::string PredicateGraphDot(const Theory& theory,
+                              const SymbolTable& symbols);
+
+// The position dependency graph used by weak acyclicity: regular edges
+// solid, special (existential) edges bold red.
+std::string PositionGraphDot(const Theory& theory,
+                             const SymbolTable& symbols);
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_GRAPHVIZ_H_

@@ -1,0 +1,47 @@
+// Homomorphism enumeration: mapping atom conjunctions into databases
+// (chase triggers, Datalog rule evaluation) or into small atom sets
+// (the saturation calculus of §6, which matches rule bodies into rule
+// heads).
+#ifndef GEREL_CORE_HOMOMORPHISM_H_
+#define GEREL_CORE_HOMOMORPHISM_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/database.h"
+#include "core/substitution.h"
+
+namespace gerel {
+
+// Visitor for enumerated homomorphisms; return false to stop enumeration.
+using HomomorphismVisitor = std::function<bool(const Substitution&)>;
+
+// Enumerates homomorphisms h extending `initial` with h(pattern) ⊆ db.
+// Pattern atoms may contain variables, constants, and nulls; constants and
+// nulls must match database terms exactly. Returns false iff the visitor
+// stopped the enumeration early.
+bool ForEachHomomorphism(const std::vector<Atom>& pattern, const Database& db,
+                         const Substitution& initial,
+                         const HomomorphismVisitor& visitor);
+
+// Convenience: does any homomorphism exist?
+bool HasHomomorphism(const std::vector<Atom>& pattern, const Database& db,
+                     const Substitution& initial = Substitution());
+
+// Enumerates homomorphisms h extending `initial` with h(pattern) ⊆ target,
+// where `target` is a plain atom set (its variables act as constants:
+// pattern variables may map onto them, but they are never remapped).
+bool ForEachEmbedding(const std::vector<Atom>& pattern,
+                      const std::vector<Atom>& target,
+                      const Substitution& initial,
+                      const HomomorphismVisitor& visitor);
+
+// Whether there is a homomorphism from the atoms of `a` into the atoms of
+// `b` (used for homomorphic-equivalence checks of chase results).
+bool DatabaseMapsInto(const Database& a, const Database& b);
+bool HomomorphicallyEquivalent(const Database& a, const Database& b);
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_HOMOMORPHISM_H_

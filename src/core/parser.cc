@@ -1,0 +1,338 @@
+#include "core/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace gerel {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kPeriod,
+  kArrow,
+  kBang,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' || c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '(') {
+        out.push_back({TokenKind::kLParen, "(", line_});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokenKind::kRParen, ")", line_});
+        ++pos_;
+      } else if (c == '[') {
+        out.push_back({TokenKind::kLBracket, "[", line_});
+        ++pos_;
+      } else if (c == ']') {
+        out.push_back({TokenKind::kRBracket, "]", line_});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({TokenKind::kComma, ",", line_});
+        ++pos_;
+      } else if (c == '.') {
+        out.push_back({TokenKind::kPeriod, ".", line_});
+        ++pos_;
+      } else if (c == '!') {
+        out.push_back({TokenKind::kBang, "!", line_});
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '>') {
+        out.push_back({TokenKind::kArrow, "->", line_});
+        pos_ += 2;
+      } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '\'' ||
+                text_[pos_] == '#')) {
+          ++pos_;
+        }
+        out.push_back(
+            {TokenKind::kIdent, std::string(text_.substr(start, pos_ - start)),
+             line_});
+      } else {
+        return Status::Error("line " + std::to_string(line_) +
+                             ": unexpected character '" + std::string(1, c) +
+                             "'");
+      }
+    }
+    out.push_back({TokenKind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable* symbols)
+      : tokens_(std::move(tokens)), symbols_(symbols) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (Peek().kind != TokenKind::kEnd) {
+      Result<void*> st = ParseStatement(&program);
+      if (!st.ok()) return st.status();
+    }
+    return program;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    Result<Rule> r = ParseRuleTokens();
+    if (!r.ok()) return r;
+    if (Peek().kind == TokenKind::kPeriod) Advance();
+    if (Peek().kind != TokenKind::kEnd) return Err("trailing input");
+    return r;
+  }
+
+  Result<Atom> ParseSingleAtom() {
+    Result<Atom> a = ParseAtomTokens();
+    if (!a.ok()) return a;
+    if (Peek().kind == TokenKind::kPeriod) Advance();
+    if (Peek().kind != TokenKind::kEnd) return Err("trailing input");
+    return a;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  template <typename T = void*>
+  Status ErrStatus(const std::string& message) const {
+    return Status::Error("line " + std::to_string(Peek().line) + ": " +
+                         message);
+  }
+  Status Err(const std::string& message) const { return ErrStatus(message); }
+
+  // A statement is either a rule (contains "->") or a single ground fact.
+  Result<void*> ParseStatement(Program* program) {
+    // Lookahead for an arrow before the closing period.
+    bool is_rule = false;
+    for (size_t i = pos_; i < tokens_.size(); ++i) {
+      if (tokens_[i].kind == TokenKind::kArrow) {
+        is_rule = true;
+        break;
+      }
+      if (tokens_[i].kind == TokenKind::kPeriod) {
+        // Periods also appear after "exists X,Y" — but that is always
+        // after an arrow, so the first period before any arrow ends a
+        // fact.
+        break;
+      }
+      if (tokens_[i].kind == TokenKind::kEnd) break;
+    }
+    if (is_rule) {
+      Result<Rule> r = ParseRuleTokens();
+      if (!r.ok()) return r.status();
+      if (Peek().kind != TokenKind::kPeriod) return Err("expected '.'");
+      Advance();
+      program->theory.AddRule(std::move(r).value());
+      return nullptr;
+    }
+    Result<Atom> a = ParseAtomTokens();
+    if (!a.ok()) return a.status();
+    if (Peek().kind != TokenKind::kPeriod) return Err("expected '.'");
+    Advance();
+    if (!a.value().IsDatabaseAtom()) return Err("fact contains variables");
+    program->database.Insert(a.value());
+    return nullptr;
+  }
+
+  Result<Rule> ParseRuleTokens() {
+    Rule rule;
+    if (Peek().kind != TokenKind::kArrow) {
+      // Parse body literals.
+      while (true) {
+        bool negated = false;
+        if (Peek().kind == TokenKind::kBang ||
+            (Peek().kind == TokenKind::kIdent && Peek().text == "not")) {
+          negated = true;
+          Advance();
+        }
+        Result<Atom> a = ParseAtomTokens();
+        if (!a.ok()) return a.status();
+        rule.body.emplace_back(std::move(a).value(), negated);
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().kind != TokenKind::kArrow) return Err("expected '->'");
+    Advance();
+    // Optional "exists X, Y."
+    if (Peek().kind == TokenKind::kIdent && Peek().text == "exists") {
+      Advance();
+      while (true) {
+        if (Peek().kind != TokenKind::kIdent) return Err("expected variable");
+        const std::string& name = Advance().text;
+        if (!std::isupper(static_cast<unsigned char>(name[0]))) {
+          return Err("existential variable must start upper-case: " + name);
+        }
+        // Interning suffices; EVars() recomputes the set from occurrences.
+        symbols_->Variable(name);
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek().kind != TokenKind::kPeriod) return Err("expected '.'");
+      Advance();
+    }
+    while (true) {
+      Result<Atom> a = ParseAtomTokens();
+      if (!a.ok()) return a.status();
+      rule.head.push_back(std::move(a).value());
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return rule;
+  }
+
+  Result<Atom> ParseAtomTokens() {
+    if (Peek().kind != TokenKind::kIdent) return Err("expected relation name");
+    std::string name = Advance().text;
+    Atom atom;
+    if (Peek().kind == TokenKind::kLBracket) {
+      Advance();
+      Result<std::vector<Term>> ts = ParseTermList(TokenKind::kRBracket);
+      if (!ts.ok()) return ts.status();
+      atom.annotation = std::move(ts).value();
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      Result<std::vector<Term>> ts = ParseTermList(TokenKind::kRParen);
+      if (!ts.ok()) return ts.status();
+      atom.args = std::move(ts).value();
+    }
+    // Arity consistency is a parse error, not a crash.
+    if (symbols_->HasRelation(name)) {
+      RelationId existing = symbols_->Relation(name);
+      int recorded = symbols_->RelationArity(existing);
+      if (recorded >= 0 && recorded != static_cast<int>(atom.arity())) {
+        return Err("relation '" + name + "' used with arity " +
+                   std::to_string(atom.arity()) + " but declared with " +
+                   std::to_string(recorded));
+      }
+    }
+    atom.pred = symbols_->Relation(name, static_cast<int>(atom.arity()));
+    return atom;
+  }
+
+  Result<std::vector<Term>> ParseTermList(TokenKind closer) {
+    std::vector<Term> out;
+    if (Peek().kind == closer) {
+      Advance();
+      return out;
+    }
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) return Status(Err("expected term"));
+      const std::string& name = Advance().text;
+      if (name[0] == '_') {
+        out.push_back(symbols_->NamedNull(name));
+      } else if (std::isupper(static_cast<unsigned char>(name[0]))) {
+        out.push_back(symbols_->Variable(name));
+      } else {
+        out.push_back(symbols_->Constant(name));
+      }
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Peek().kind != closer) return Status(Err("expected closing bracket"));
+    Advance();
+    return out;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SymbolTable* symbols_;
+};
+
+Result<Parser> MakeParser(std::string_view text, SymbolTable* symbols) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(tokens).value(), symbols);
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text, SymbolTable* symbols) {
+  Result<Parser> p = MakeParser(text, symbols);
+  if (!p.ok()) return p.status();
+  return p.value().ParseProgram();
+}
+
+Result<Theory> ParseTheory(std::string_view text, SymbolTable* symbols) {
+  Result<Program> prog = ParseProgram(text, symbols);
+  if (!prog.ok()) return prog.status();
+  if (!prog.value().database.empty()) {
+    return Status::Error("expected rules only, found facts");
+  }
+  return std::move(prog).value().theory;
+}
+
+Result<Database> ParseDatabase(std::string_view text, SymbolTable* symbols) {
+  Result<Program> prog = ParseProgram(text, symbols);
+  if (!prog.ok()) return prog.status();
+  if (!prog.value().theory.empty()) {
+    return Status::Error("expected facts only, found rules");
+  }
+  return std::move(prog).value().database;
+}
+
+Result<Rule> ParseRule(std::string_view text, SymbolTable* symbols) {
+  Result<Parser> p = MakeParser(text, symbols);
+  if (!p.ok()) return p.status();
+  return p.value().ParseSingleRule();
+}
+
+Result<Atom> ParseAtom(std::string_view text, SymbolTable* symbols) {
+  Result<Parser> p = MakeParser(text, symbols);
+  if (!p.ok()) return p.status();
+  return p.value().ParseSingleAtom();
+}
+
+}  // namespace gerel

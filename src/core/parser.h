@@ -1,0 +1,56 @@
+// Text format for rules, theories, and databases.
+//
+// Grammar (Prolog-flavoured):
+//
+//   program   := { statement "." }
+//   statement := rule | atom            // a bare ground atom is a fact
+//   rule      := body? "->" head
+//   body      := literal { "," literal }
+//   literal   := ["not" | "!"] atom
+//   head      := ["exists" var { "," var } "."] atom { "," atom }
+//   atom      := relname [ "[" terms "]" ] [ "(" terms ")" ]
+//   term      := Variable | constant | _null | 123
+//
+// Identifiers starting with an upper-case letter are variables, ones
+// starting with "_" are labeled nulls (databases only), everything else
+// (including numbers) is a constant. Comments run from "%" or "#" to end
+// of line.
+#ifndef GEREL_CORE_PARSER_H_
+#define GEREL_CORE_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/database.h"
+#include "core/rule.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+// A parsed program: rules plus ground facts.
+struct Program {
+  Theory theory;
+  Database database;
+};
+
+// Parses a full program (rules and facts may be interleaved).
+Result<Program> ParseProgram(std::string_view text, SymbolTable* symbols);
+
+// Parses rules only; facts ("→ R(c)" normal-form rules are still rules).
+Result<Theory> ParseTheory(std::string_view text, SymbolTable* symbols);
+
+// Parses ground facts only.
+Result<Database> ParseDatabase(std::string_view text, SymbolTable* symbols);
+
+// Parses a single rule (no trailing period required).
+Result<Rule> ParseRule(std::string_view text, SymbolTable* symbols);
+
+// Parses a single atom (no trailing period required).
+Result<Atom> ParseAtom(std::string_view text, SymbolTable* symbols);
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_PARSER_H_

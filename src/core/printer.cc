@@ -1,0 +1,84 @@
+#include "core/printer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gerel {
+
+std::string ToString(Term t, const SymbolTable& symbols) {
+  return symbols.TermName(t);
+}
+
+std::string ToString(const Atom& atom, const SymbolTable& symbols) {
+  std::string out = symbols.RelationName(atom.pred);
+  if (!atom.annotation.empty()) {
+    out += "[";
+    for (size_t i = 0; i < atom.annotation.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += symbols.TermName(atom.annotation[i]);
+    }
+    out += "]";
+  }
+  if (!atom.args.empty()) {
+    out += "(";
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += symbols.TermName(atom.args[i]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string ToString(const Literal& lit, const SymbolTable& symbols) {
+  std::string out = lit.negated ? "not " : "";
+  return out + ToString(lit.atom, symbols);
+}
+
+std::string ToString(const Rule& rule, const SymbolTable& symbols) {
+  std::string out;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToString(rule.body[i], symbols);
+  }
+  if (!rule.body.empty()) out += " ";
+  out += "->";
+  std::vector<Term> evars = rule.EVars();
+  if (!evars.empty()) {
+    out += " exists ";
+    for (size_t i = 0; i < evars.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += symbols.TermName(evars[i]);
+    }
+    out += ".";
+  }
+  for (size_t i = 0; i < rule.head.size(); ++i) {
+    out += (i == 0 ? " " : ", ");
+    out += ToString(rule.head[i], symbols);
+  }
+  return out;
+}
+
+std::string ToString(const Theory& theory, const SymbolTable& symbols) {
+  std::string out;
+  for (const Rule& r : theory.rules()) {
+    out += ToString(r, symbols);
+    out += ".\n";
+  }
+  return out;
+}
+
+std::string ToString(const Database& db, const SymbolTable& symbols) {
+  std::vector<std::string> lines;
+  lines.reserve(db.size());
+  for (const Atom& a : db.atoms()) lines.push_back(ToString(a, symbols) + ".");
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gerel

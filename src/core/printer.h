@@ -1,0 +1,26 @@
+// Rendering of terms, atoms, rules, theories, and databases in the
+// parser's text format (round-trippable).
+#ifndef GEREL_CORE_PRINTER_H_
+#define GEREL_CORE_PRINTER_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "core/rule.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+std::string ToString(Term t, const SymbolTable& symbols);
+std::string ToString(const Atom& atom, const SymbolTable& symbols);
+std::string ToString(const Literal& lit, const SymbolTable& symbols);
+std::string ToString(const Rule& rule, const SymbolTable& symbols);
+// One rule per line, terminated by periods.
+std::string ToString(const Theory& theory, const SymbolTable& symbols);
+// One fact per line, sorted lexicographically for reproducible output.
+std::string ToString(const Database& db, const SymbolTable& symbols);
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_PRINTER_H_

@@ -1,0 +1,150 @@
+#include "core/rule.h"
+
+#include <algorithm>
+
+namespace gerel {
+
+namespace {
+
+void AppendDistinct(const std::vector<Term>& in, std::vector<Term>* out) {
+  for (Term t : in) {
+    if (std::find(out->begin(), out->end(), t) == out->end())
+      out->push_back(t);
+  }
+}
+
+}  // namespace
+
+Rule Rule::Positive(const std::vector<Atom>& body_atoms,
+                    std::vector<Atom> head_atoms) {
+  Rule r;
+  r.body.reserve(body_atoms.size());
+  for (const Atom& a : body_atoms) r.body.emplace_back(a);
+  r.head = std::move(head_atoms);
+  return r;
+}
+
+std::vector<Term> Rule::UVars() const {
+  std::vector<Term> out;
+  for (const Literal& l : body) AppendDistinct(l.atom.AllVars(), &out);
+  return out;
+}
+
+std::vector<Term> Rule::EVars() const {
+  std::vector<Term> body_vars = UVars();
+  std::vector<Term> out;
+  for (const Atom& a : head) {
+    for (Term v : a.AllVars()) {
+      if (std::find(body_vars.begin(), body_vars.end(), v) ==
+              body_vars.end() &&
+          std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Term> Rule::FVars() const {
+  std::vector<Term> body_vars = UVars();
+  std::vector<Term> out;
+  for (const Atom& a : head) {
+    for (Term v : a.AllVars()) {
+      if (std::find(body_vars.begin(), body_vars.end(), v) !=
+              body_vars.end() &&
+          std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Term> Rule::Vars() const {
+  std::vector<Term> out = UVars();
+  for (const Atom& a : head) AppendDistinct(a.AllVars(), &out);
+  return out;
+}
+
+bool Rule::IsFact() const {
+  return body.empty() && head.size() == 1 && head[0].IsGroundOverConstants();
+}
+
+bool Rule::HasNegation() const {
+  return std::any_of(body.begin(), body.end(),
+                     [](const Literal& l) { return l.negated; });
+}
+
+std::vector<Atom> Rule::PositiveBody() const {
+  std::vector<Atom> out;
+  for (const Literal& l : body) {
+    if (!l.negated) out.push_back(l.atom);
+  }
+  return out;
+}
+
+std::vector<Term> Rule::Constants() const {
+  std::vector<Term> out;
+  auto scan = [&out](const Atom& a) {
+    for (Term t : a.AllTerms()) {
+      if (t.IsConstant() &&
+          std::find(out.begin(), out.end(), t) == out.end()) {
+        out.push_back(t);
+      }
+    }
+  };
+  for (const Literal& l : body) scan(l.atom);
+  for (const Atom& a : head) scan(a);
+  return out;
+}
+
+Status Rule::Validate(const SymbolTable& symbols) const {
+  if (head.empty()) return Status::Error("rule has empty head");
+  std::vector<Term> positive_vars;
+  for (const Literal& l : body) {
+    if (!l.negated) AppendDistinct(l.atom.AllVars(), &positive_vars);
+  }
+  auto in_positive = [&positive_vars](Term v) {
+    return std::find(positive_vars.begin(), positive_vars.end(), v) !=
+           positive_vars.end();
+  };
+  for (const Literal& l : body) {
+    if (!l.negated) continue;
+    for (Term v : l.atom.AllVars()) {
+      if (!in_positive(v)) {
+        return Status::Error("unsafe rule: variable " +
+                             symbols.VariableName(v) +
+                             " occurs only in a negative literal");
+      }
+    }
+  }
+  // Frontier variables are body variables by definition; what must be
+  // checked is that negated literals never bind head variables, which the
+  // loop above covers, and that no labeled null occurs in a rule.
+  auto no_nulls = [](const Atom& a) {
+    for (Term t : a.AllTerms()) {
+      if (t.IsNull()) return false;
+    }
+    return true;
+  };
+  for (const Literal& l : body) {
+    if (!no_nulls(l.atom)) return Status::Error("rule contains labeled null");
+  }
+  for (const Atom& a : head) {
+    if (!no_nulls(a)) return Status::Error("rule contains labeled null");
+  }
+  return Status::Ok();
+}
+
+size_t RuleHash::operator()(const Rule& r) const {
+  size_t h = 0x51ED270B;
+  AtomHash ah;
+  for (const Literal& l : r.body) {
+    h ^= ah(l.atom) + (l.negated ? 0x1234567 : 0) + (h << 6) + (h >> 2);
+  }
+  h ^= 0xFEDCBA;
+  for (const Atom& a : r.head) h ^= ah(a) + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace gerel

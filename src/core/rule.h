@@ -1,0 +1,78 @@
+// Existential rules (paper §2, form (1)) and rules with stratified
+// negation (§8, form (2)).
+//
+//   B1 ∧ ... ∧ Bn → ∃y1,...,yk. H1 ∧ ... ∧ Hm
+//
+// The body may be empty (n ≥ 0); the head is non-empty (m ≥ 1). Body
+// literals may be negated for stratified theories. Universal variables
+// uvars(σ) are the body variables; existential variables evars(σ) are the
+// head variables not occurring in the (positive) body; the frontier
+// fvars(σ) is vars(head) \ evars(σ).
+#ifndef GEREL_CORE_RULE_H_
+#define GEREL_CORE_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/term.h"
+
+namespace gerel {
+
+struct Rule {
+  std::vector<Literal> body;
+  std::vector<Atom> head;
+
+  Rule() = default;
+  Rule(std::vector<Literal> b, std::vector<Atom> h)
+      : body(std::move(b)), head(std::move(h)) {}
+  // Convenience for positive bodies.
+  static Rule Positive(const std::vector<Atom>& body_atoms,
+                       std::vector<Atom> head_atoms);
+
+  // --- Variable sets (paper §2) ------------------------------------------
+  // All sets use argument *and* annotation variables except where noted;
+  // guard/frontier checks in classify.h use argument variables only.
+
+  // uvars(σ): distinct variables of the body, in first-occurrence order.
+  std::vector<Term> UVars() const;
+  // evars(σ): head variables with no occurrence in the body.
+  std::vector<Term> EVars() const;
+  // fvars(σ): head variables that also occur in the body (the frontier).
+  std::vector<Term> FVars() const;
+  // All distinct variables of the rule.
+  std::vector<Term> Vars() const;
+
+  // --- Structure ---------------------------------------------------------
+
+  bool IsDatalog() const { return EVars().empty(); }
+  // True iff the body is empty and the head is a single atom over
+  // constants (the normal form "→ R(c)" of Def 4(iii)).
+  bool IsFact() const;
+  bool HasNegation() const;
+  // Positive body atoms, in order.
+  std::vector<Atom> PositiveBody() const;
+
+  // All constants occurring in the rule.
+  std::vector<Term> Constants() const;
+
+  // Safety (paper §2 and Def 22): every head variable that is not
+  // existential occurs in the positive body, and every variable of a
+  // negative literal occurs in some positive literal.
+  Status Validate(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Rule& a, const Rule& b) {
+    return a.body == b.body && a.head == b.head;
+  }
+  friend bool operator!=(const Rule& a, const Rule& b) { return !(a == b); }
+};
+
+struct RuleHash {
+  size_t operator()(const Rule& r) const;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_RULE_H_

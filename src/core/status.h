@@ -1,0 +1,79 @@
+// Lightweight error propagation for gerel.
+//
+// The library does not use exceptions (see DESIGN.md). Fallible operations
+// return Status (for side-effecting calls) or Result<T> (for producing
+// calls). Both carry a human-readable message on failure.
+#ifndef GEREL_CORE_STATUS_H_
+#define GEREL_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace gerel {
+
+// Outcome of a fallible operation with no produced value.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  // Message describing the failure; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+// Outcome of a fallible operation producing a T.
+//
+// Usage:
+//   Result<Theory> r = ParseTheory(...);
+//   if (!r.ok()) { ... r.status().message() ... }
+//   Theory t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps call
+  // sites readable (`return theory;` / `return Status::Error(...)`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    GEREL_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GEREL_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    GEREL_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    GEREL_CHECK(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_STATUS_H_

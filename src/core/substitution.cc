@@ -1,0 +1,63 @@
+#include "core/substitution.h"
+
+#include "core/check.h"
+
+namespace gerel {
+
+void Substitution::Bind(Term var, Term value) {
+  GEREL_CHECK(var.IsVariable());
+  map_[var] = value;
+}
+
+bool Substitution::IsBound(Term var) const { return map_.count(var) > 0; }
+
+Term Substitution::Apply(Term t) const {
+  if (!t.IsVariable()) return t;
+  auto it = map_.find(t);
+  return it == map_.end() ? t : it->second;
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  Atom out;
+  out.pred = atom.pred;
+  out.args.reserve(atom.args.size());
+  for (Term t : atom.args) out.args.push_back(Apply(t));
+  out.annotation.reserve(atom.annotation.size());
+  for (Term t : atom.annotation) out.annotation.push_back(Apply(t));
+  return out;
+}
+
+std::vector<Atom> Substitution::Apply(const std::vector<Atom>& atoms) const {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) out.push_back(Apply(a));
+  return out;
+}
+
+Literal Substitution::Apply(const Literal& lit) const {
+  return Literal(Apply(lit.atom), lit.negated);
+}
+
+Rule Substitution::Apply(const Rule& rule) const {
+  Rule out;
+  out.body.reserve(rule.body.size());
+  for (const Literal& l : rule.body) out.body.push_back(Apply(l));
+  out.head = Apply(rule.head);
+  return out;
+}
+
+std::vector<Term> Substitution::Domain() const {
+  std::vector<Term> out;
+  out.reserve(map_.size());
+  for (const auto& [k, v] : map_) out.push_back(k);
+  return out;
+}
+
+std::vector<Term> Substitution::Range() const {
+  std::vector<Term> out;
+  out.reserve(map_.size());
+  for (const auto& [k, v] : map_) out.push_back(v);
+  return out;
+}
+
+}  // namespace gerel

@@ -1,0 +1,51 @@
+// Substitutions: partial maps from terms to terms, fixing constants.
+// Used as homomorphisms (paper §2), selections (Def 7), and variable
+// renamings (Fig 3, third rule).
+#ifndef GEREL_CORE_SUBSTITUTION_H_
+#define GEREL_CORE_SUBSTITUTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/rule.h"
+#include "core/term.h"
+
+namespace gerel {
+
+// A partial map ∆v → (∆c ∪ ∆n ∪ ∆v). Constants and nulls are implicitly
+// fixed (h(c) = c); only variables may be remapped.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  // Binds `var` (a variable) to `value`. Overwrites existing bindings.
+  void Bind(Term var, Term value);
+  bool IsBound(Term var) const;
+  // The image of `t`: the binding if t is a bound variable, t otherwise.
+  Term Apply(Term t) const;
+
+  Atom Apply(const Atom& atom) const;
+  std::vector<Atom> Apply(const std::vector<Atom>& atoms) const;
+  Literal Apply(const Literal& lit) const;
+  Rule Apply(const Rule& rule) const;
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  const std::unordered_map<Term, Term, TermHash>& map() const { return map_; }
+
+  // Domain and range, in unspecified order (paper: dom(f), ran(f)).
+  std::vector<Term> Domain() const;
+  std::vector<Term> Range() const;
+
+  friend bool operator==(const Substitution& a, const Substitution& b) {
+    return a.map_ == b.map_;
+  }
+
+ private:
+  std::unordered_map<Term, Term, TermHash> map_;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_SUBSTITUTION_H_

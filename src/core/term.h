@@ -1,0 +1,70 @@
+// Terms of the existential-rule data model (paper §2).
+//
+// A term is a constant (from ∆c), a labeled null (from ∆n), or a variable
+// (from ∆v). Terms are 32-bit value types: two tag bits plus a 30-bit id
+// resolved against a SymbolTable (constants, variables) or a null counter
+// (labeled nulls).
+#ifndef GEREL_CORE_TERM_H_
+#define GEREL_CORE_TERM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/check.h"
+
+namespace gerel {
+
+enum class TermKind : uint32_t {
+  kConstant = 0,
+  kVariable = 1,
+  kNull = 2,
+};
+
+// A constant, variable, or labeled null. Cheap to copy and hash.
+class Term {
+ public:
+  // Default-constructed terms are constant #0; prefer the factories.
+  Term() : bits_(0) {}
+
+  static Term Constant(uint32_t id) { return Term(TermKind::kConstant, id); }
+  static Term Variable(uint32_t id) { return Term(TermKind::kVariable, id); }
+  static Term Null(uint32_t id) { return Term(TermKind::kNull, id); }
+
+  TermKind kind() const { return static_cast<TermKind>(bits_ >> kIdBits); }
+  uint32_t id() const { return bits_ & kIdMask; }
+
+  bool IsConstant() const { return kind() == TermKind::kConstant; }
+  bool IsVariable() const { return kind() == TermKind::kVariable; }
+  bool IsNull() const { return kind() == TermKind::kNull; }
+  // Constants and nulls may appear in databases; variables may not.
+  bool IsGround() const { return !IsVariable(); }
+
+  friend bool operator==(Term a, Term b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(Term a, Term b) { return a.bits_ != b.bits_; }
+  friend bool operator<(Term a, Term b) { return a.bits_ < b.bits_; }
+
+  // Raw encoding, used for hashing and dense keys.
+  uint32_t bits() const { return bits_; }
+
+ private:
+  static constexpr uint32_t kIdBits = 30;
+  static constexpr uint32_t kIdMask = (1u << kIdBits) - 1;
+
+  Term(TermKind kind, uint32_t id)
+      : bits_((static_cast<uint32_t>(kind) << kIdBits) | id) {
+    GEREL_CHECK(id <= kIdMask);
+  }
+
+  uint32_t bits_;
+};
+
+struct TermHash {
+  size_t operator()(Term t) const {
+    // Multiplicative hash; term bit patterns are small and dense.
+    return static_cast<size_t>(t.bits()) * 0x9E3779B97F4A7C15ull >> 16;
+  }
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_TERM_H_

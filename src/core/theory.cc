@@ -1,0 +1,68 @@
+#include "core/theory.h"
+
+#include <algorithm>
+
+namespace gerel {
+
+std::vector<RelationId> Theory::Relations() const {
+  std::vector<RelationId> out;
+  auto add = [&out](RelationId id) {
+    if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+  };
+  for (const Rule& r : rules_) {
+    for (const Literal& l : r.body) add(l.atom.pred);
+    for (const Atom& a : r.head) add(a.pred);
+  }
+  return out;
+}
+
+size_t Theory::MaxArity() const {
+  size_t m = 0;
+  for (const Rule& r : rules_) {
+    for (const Literal& l : r.body) m = std::max(m, l.atom.args.size());
+    for (const Atom& a : r.head) m = std::max(m, a.args.size());
+  }
+  return m;
+}
+
+size_t Theory::MaxFullArity() const {
+  size_t m = 0;
+  for (const Rule& r : rules_) {
+    for (const Literal& l : r.body) m = std::max(m, l.atom.arity());
+    for (const Atom& a : r.head) m = std::max(m, a.arity());
+  }
+  return m;
+}
+
+std::vector<Term> Theory::Constants() const {
+  std::vector<Term> out;
+  for (const Rule& r : rules_) {
+    for (Term c : r.Constants()) {
+      if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+size_t Theory::MaxVarsPerRule() const {
+  size_t m = 0;
+  for (const Rule& r : rules_) m = std::max(m, r.Vars().size());
+  return m;
+}
+
+bool Theory::HasNegation() const {
+  return std::any_of(rules_.begin(), rules_.end(),
+                     [](const Rule& r) { return r.HasNegation(); });
+}
+
+Status Theory::Validate(const SymbolTable& symbols) const {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    Status s = rules_[i].Validate(symbols);
+    if (!s.ok()) {
+      return Status::Error("rule " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gerel

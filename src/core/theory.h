@@ -1,0 +1,55 @@
+// Theories (finite sets of rules) and queries (Σ, Q) (paper §2).
+#ifndef GEREL_CORE_THEORY_H_
+#define GEREL_CORE_THEORY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+#include "core/symbol_table.h"
+
+namespace gerel {
+
+// A finite set of existential rules, ordered for reproducibility.
+class Theory {
+ public:
+  Theory() = default;
+  explicit Theory(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& mutable_rules() { return rules_; }
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  // Distinct relations occurring in the theory (body and head), in
+  // first-occurrence order.
+  std::vector<RelationId> Relations() const;
+  // Maximal arity over all relations appearing in the theory (the `k` and
+  // `m` of Prop 2 / Def 7); 0 for the empty theory. Counts argument
+  // positions only (annotations are name decorations).
+  size_t MaxArity() const;
+  // Maximal argument arity including annotation positions.
+  size_t MaxFullArity() const;
+  // Distinct constants occurring in rules.
+  std::vector<Term> Constants() const;
+  // Number of distinct variables in the largest rule (the `v` of §6).
+  size_t MaxVarsPerRule() const;
+
+  bool HasNegation() const;
+
+  Status Validate(const SymbolTable& symbols) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+// A query (Σ, Q): a theory plus an output relation (paper §2).
+struct Query {
+  Theory theory;
+  RelationId output = 0;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_THEORY_H_

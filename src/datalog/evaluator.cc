@@ -1,0 +1,169 @@
+#include "datalog/evaluator.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/homomorphism.h"
+#include "core/substitution.h"
+#include "datalog/stratifier.h"
+
+namespace gerel {
+
+namespace {
+
+// Evaluation of one rule given a delta window [delta_begin, delta_end) of
+// the database; negative literals are checked against the full database
+// (sound because their relations are fully computed in lower strata).
+class RuleEvaluator {
+ public:
+  explicit RuleEvaluator(const Rule& rule) : rule_(rule) {
+    for (const Literal& l : rule.body) {
+      if (l.negated) {
+        negatives_.push_back(l.atom);
+      } else {
+        positives_.push_back(l.atom);
+      }
+    }
+  }
+
+  // Fires the rule for every homomorphism with at least one positive atom
+  // in the delta window; inserts heads into *db. Returns number of new
+  // atoms.
+  size_t Evaluate(Database* db, size_t delta_begin, size_t delta_end,
+                  bool restrict_to_delta) {
+    size_t added = 0;
+    auto fire = [&](const Substitution& h) {
+      for (const Atom& neg : negatives_) {
+        Atom ground = h.Apply(neg);
+        GEREL_CHECK(ground.IsDatabaseAtom());  // Safety guarantees this.
+        if (db->Contains(ground)) return true;  // Blocked; keep enumerating.
+      }
+      for (const Atom& head : rule_.head) {
+        Atom derived = h.Apply(head);
+        GEREL_CHECK(derived.IsDatabaseAtom());
+        if (db->Insert(derived)) ++added;
+      }
+      return true;
+    };
+    if (positives_.empty()) {
+      fire(Substitution());
+      return added;
+    }
+    if (!restrict_to_delta) {
+      ForEachHomomorphism(positives_, *db, Substitution(), fire);
+      return added;
+    }
+    for (size_t j = 0; j < positives_.size(); ++j) {
+      std::vector<Atom> rest;
+      for (size_t i = 0; i < positives_.size(); ++i) {
+        if (i != j) rest.push_back(positives_[i]);
+      }
+      for (size_t ai = delta_begin; ai < delta_end; ++ai) {
+        const Atom& delta_atom = db->atom(ai);
+        if (delta_atom.pred != positives_[j].pred) continue;
+        Substitution seed;
+        if (!Unify(positives_[j], delta_atom, &seed)) continue;
+        ForEachHomomorphism(rest, *db, seed, fire);
+      }
+    }
+    return added;
+  }
+
+ private:
+  static bool Unify(const Atom& pattern, const Atom& target,
+                    Substitution* seed) {
+    if (pattern.args.size() != target.args.size() ||
+        pattern.annotation.size() != target.annotation.size()) {
+      return false;
+    }
+    auto unify = [&](const std::vector<Term>& ps,
+                     const std::vector<Term>& ts) {
+      for (size_t i = 0; i < ps.size(); ++i) {
+        Term p = seed->Apply(ps[i]);
+        if (p.IsVariable()) {
+          seed->Bind(p, ts[i]);
+        } else if (p != ts[i]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    return unify(pattern.args, target.args) &&
+           unify(pattern.annotation, target.annotation);
+  }
+
+  const Rule& rule_;
+  std::vector<Atom> positives_;
+  std::vector<Atom> negatives_;
+};
+
+}  // namespace
+
+Result<DatalogResult> EvaluateDatalog(const Theory& theory,
+                                      const Database& input,
+                                      SymbolTable* symbols,
+                                      const DatalogOptions& options) {
+  for (const Rule& rule : theory.rules()) {
+    if (!rule.EVars().empty()) {
+      return Status::Error("EvaluateDatalog requires Datalog rules "
+                           "(no existential variables)");
+    }
+    Status s = rule.Validate(*symbols);
+    if (!s.ok()) return s;
+  }
+  Result<Stratification> strat = Stratify(theory);
+  if (!strat.ok()) return strat.status();
+
+  DatalogResult result;
+  result.database = input;
+  if (options.populate_acdom) {
+    PopulateAcdom(theory, symbols, &result.database);
+  }
+  size_t initial = result.database.size();
+
+  for (const std::vector<uint32_t>& stratum : strat.value().strata) {
+    std::vector<RuleEvaluator> evaluators;
+    evaluators.reserve(stratum.size());
+    for (uint32_t ri : stratum) {
+      evaluators.emplace_back(theory.rules()[ri]);
+    }
+    size_t delta_begin = 0;
+    bool first_round = true;
+    while (true) {
+      size_t delta_end = result.database.size();
+      size_t added = 0;
+      for (RuleEvaluator& ev : evaluators) {
+        bool restrict = options.seminaive && !first_round;
+        // In the first round of a stratum the whole database is "new"
+        // from this stratum's perspective.
+        added += ev.Evaluate(&result.database,
+                             restrict ? delta_begin : 0,
+                             delta_end, restrict);
+      }
+      ++result.rounds;
+      first_round = false;
+      if (added == 0) break;
+      delta_begin = delta_end;
+      if (options.max_rounds != 0 && result.rounds >= options.max_rounds) {
+        return Status::Error("max_rounds exceeded");
+      }
+    }
+  }
+  result.derived_atoms = result.database.size() - initial;
+  return result;
+}
+
+Result<std::set<std::vector<Term>>> DatalogAnswers(
+    const Theory& theory, const Database& input, RelationId output,
+    SymbolTable* symbols, const DatalogOptions& options) {
+  Result<DatalogResult> r = EvaluateDatalog(theory, input, symbols, options);
+  if (!r.ok()) return r.status();
+  std::set<std::vector<Term>> answers;
+  for (uint32_t ai : r.value().database.AtomsOf(output)) {
+    const Atom& a = r.value().database.atom(ai);
+    if (a.IsGroundOverConstants()) answers.insert(a.args);
+  }
+  return answers;
+}
+
+}  // namespace gerel

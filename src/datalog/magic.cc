@@ -1,0 +1,234 @@
+#include "datalog/magic.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/check.h"
+#include "datalog/evaluator.h"
+
+namespace gerel {
+
+namespace {
+
+// An adornment: one char per argument position, 'b' (bound) or 'f'.
+using Adornment = std::string;
+
+struct AdornedPred {
+  RelationId pred;
+  Adornment adornment;
+  friend bool operator==(const AdornedPred& a, const AdornedPred& b) {
+    return a.pred == b.pred && a.adornment == b.adornment;
+  }
+};
+
+struct AdornedPredHash {
+  size_t operator()(const AdornedPred& p) const {
+    return std::hash<std::string>()(p.adornment) ^
+           (static_cast<size_t>(p.pred) * 0x9E3779B9);
+  }
+};
+
+class MagicRewriter {
+ public:
+  MagicRewriter(const Theory& program, SymbolTable* symbols)
+      : program_(program), symbols_(symbols) {
+    for (const Rule& r : program.rules()) {
+      GEREL_CHECK(r.head.size() == 1);
+      idb_.insert(r.head[0].pred);
+      rules_by_head_[r.head[0].pred].push_back(&r);
+    }
+  }
+
+  Result<MagicResult> Run(const Atom& query) {
+    // Adornment of the query: constants bound, variables free.
+    Adornment qa;
+    for (Term t : query.args) qa += t.IsVariable() ? 'f' : 'b';
+    if (idb_.count(query.pred) == 0) {
+      return Status::Error("query relation has no rules (EDB query needs "
+                           "no magic rewriting)");
+    }
+    AdornedPred root{query.pred, qa};
+    Enqueue(root);
+    while (!worklist_.empty()) {
+      AdornedPred p = worklist_.front();
+      worklist_.pop_front();
+      ProcessAdornedPred(p);
+    }
+    // Seed: magic fact for the query's bound arguments.
+    std::vector<Term> seed_args;
+    for (size_t i = 0; i < query.args.size(); ++i) {
+      if (qa[i] == 'b') seed_args.push_back(query.args[i]);
+    }
+    result_.program.AddRule(Rule({}, {Atom(MagicPred(root), seed_args)}));
+    result_.query_relation = AdornedRelation(root);
+    result_.adorned_predicates = seen_.size();
+    return std::move(result_);
+  }
+
+ private:
+  void Enqueue(const AdornedPred& p) {
+    if (seen_.insert(p).second) worklist_.push_back(p);
+  }
+
+  RelationId AdornedRelation(const AdornedPred& p) {
+    std::string name =
+        symbols_->RelationName(p.pred) + "#" + p.adornment;
+    return symbols_->Relation(name, static_cast<int>(p.adornment.size()));
+  }
+
+  RelationId MagicPred(const AdornedPred& p) {
+    int bound = 0;
+    for (char c : p.adornment) bound += c == 'b';
+    std::string name =
+        "magic#" + symbols_->RelationName(p.pred) + "#" + p.adornment;
+    return symbols_->Relation(name, bound);
+  }
+
+  // Bound-argument projection of an atom under an adornment.
+  static std::vector<Term> BoundArgs(const Atom& atom,
+                                     const Adornment& adornment) {
+    std::vector<Term> out;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (adornment[i] == 'b') out.push_back(atom.args[i]);
+    }
+    return out;
+  }
+
+  void ProcessAdornedPred(const AdornedPred& p) {
+    // Copy rule: base facts of p (predicates can be EDB and IDB at once)
+    // flow into the adorned relation under the magic guard:
+    //   p#a(~x) ← magic#p#a(bound ~x) ∧ p(~x).
+    {
+      Atom original;
+      original.pred = p.pred;
+      for (size_t i = 0; i < p.adornment.size(); ++i) {
+        original.args.push_back(
+            symbols_->Variable("Mg" + std::to_string(i)));
+      }
+      Atom adorned = original;
+      adorned.pred = AdornedRelation(p);
+      result_.program.AddRule(Rule::Positive(
+          {Atom(MagicPred(p), BoundArgs(original, p.adornment)), original},
+          {adorned}));
+    }
+    auto it = rules_by_head_.find(p.pred);
+    if (it == rules_by_head_.end()) return;
+    for (const Rule* rule : it->second) {
+      RewriteRule(*rule, p);
+    }
+  }
+
+  void RewriteRule(const Rule& rule, const AdornedPred& p) {
+    const Atom& head = rule.head[0];
+    // Variables bound by the head adornment.
+    std::unordered_set<uint32_t> bound;
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      if (p.adornment[i] == 'b' && head.args[i].IsVariable()) {
+        bound.insert(head.args[i].bits());
+      }
+    }
+    // The adorned rule body: magic guard, then the body atoms in order
+    // (left-to-right SIPS); IDB atoms become adorned and spawn magic
+    // rules.
+    std::vector<Atom> magic_guard = {
+        Atom(MagicPred(p), BoundArgs(head, p.adornment))};
+    std::vector<Atom> new_body = magic_guard;
+    std::vector<Atom> prefix = magic_guard;  // For magic-rule bodies.
+    for (const Literal& lit : rule.body) {
+      const Atom& b = lit.atom;
+      if (idb_.count(b.pred) > 0) {
+        Adornment ba;
+        for (Term t : b.args) {
+          bool is_bound = !t.IsVariable() || bound.count(t.bits()) > 0;
+          ba += is_bound ? 'b' : 'f';
+        }
+        AdornedPred bp{b.pred, ba};
+        Enqueue(bp);
+        // Magic rule: magic#b^ba(bound args) ← prefix.
+        result_.program.AddRule(
+            Rule::Positive(prefix, {Atom(MagicPred(bp), BoundArgs(b, ba))}));
+        Atom adorned = b;
+        adorned.pred = AdornedRelation(bp);
+        new_body.push_back(adorned);
+        prefix.push_back(adorned);
+      } else {
+        new_body.push_back(b);
+        prefix.push_back(b);
+      }
+      // Every variable of the processed atom is now bound.
+      for (Term t : b.AllVars()) bound.insert(t.bits());
+    }
+    Atom new_head = head;
+    new_head.pred = AdornedRelation(p);
+    result_.program.AddRule(Rule::Positive(new_body, {new_head}));
+  }
+
+  const Theory& program_;
+  SymbolTable* symbols_;
+  std::unordered_set<RelationId> idb_;
+  std::unordered_map<RelationId, std::vector<const Rule*>> rules_by_head_;
+  std::unordered_set<AdornedPred, AdornedPredHash> seen_;
+  std::deque<AdornedPred> worklist_;
+  MagicResult result_;
+};
+
+}  // namespace
+
+Result<MagicResult> MagicSets(const Theory& program, const Atom& query,
+                              SymbolTable* symbols) {
+  for (const Rule& r : program.rules()) {
+    if (!r.EVars().empty()) {
+      return Status::Error("magic sets requires Datalog rules");
+    }
+    if (r.HasNegation()) {
+      return Status::Error("magic sets here supports positive programs");
+    }
+    if (r.head.size() != 1) {
+      return Status::Error("magic sets requires singleton heads");
+    }
+    if (!r.head[0].annotation.empty()) {
+      return Status::Error("magic sets does not support annotated atoms");
+    }
+  }
+  MagicRewriter rewriter(program, symbols);
+  return rewriter.Run(query);
+}
+
+Result<std::set<std::vector<Term>>> MagicAnswers(const Theory& program,
+                                                 const Database& db,
+                                                 const Atom& query,
+                                                 SymbolTable* symbols) {
+  Result<MagicResult> magic = MagicSets(program, query, symbols);
+  if (!magic.ok()) return magic.status();
+  Result<DatalogResult> eval =
+      EvaluateDatalog(magic.value().program, db, symbols);
+  if (!eval.ok()) return eval.status();
+  std::set<std::vector<Term>> answers;
+  for (uint32_t i : eval.value().database.AtomsOf(
+           magic.value().query_relation)) {
+    const Atom& a = eval.value().database.atom(i);
+    // Keep only matches consistent with the query's constants.
+    bool consistent = true;
+    for (size_t j = 0; j < query.args.size(); ++j) {
+      if (!query.args[j].IsVariable() && query.args[j] != a.args[j]) {
+        consistent = false;
+        break;
+      }
+    }
+    // Repeated query variables must match equal values.
+    for (size_t j = 0; consistent && j < query.args.size(); ++j) {
+      for (size_t k = j + 1; k < query.args.size(); ++k) {
+        if (query.args[j] == query.args[k] && a.args[j] != a.args[k]) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    if (consistent && a.IsGroundOverConstants()) answers.insert(a.args);
+  }
+  return answers;
+}
+
+}  // namespace gerel

@@ -1,0 +1,53 @@
+// Magic-sets transformation for positive Datalog programs.
+//
+// The paper's translations compile guarded existential rules into (large)
+// Datalog programs whose bottom-up evaluation derives everything; the
+// paper stresses that its translations are "goal-directed" compared to
+// prior work. Magic sets is the standard companion optimization on the
+// Datalog side: given a query atom with some bound arguments, the
+// transformed program restricts bottom-up evaluation to facts relevant
+// to those bindings.
+//
+// Implementation: classic adornment with a left-to-right sideways
+// information passing strategy. IDB predicates are those occurring in
+// rule heads; adorned relations are named "p#bf...", magic relations
+// "magic#p#bf...".
+#ifndef GEREL_DATALOG_MAGIC_H_
+#define GEREL_DATALOG_MAGIC_H_
+
+#include <set>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/database.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+struct MagicResult {
+  // The rewritten program: adorned rules, magic rules, and the magic
+  // seed fact for the query bindings.
+  Theory program;
+  // The adorned relation holding the query's answers.
+  RelationId query_relation = 0;
+  size_t adorned_predicates = 0;
+};
+
+// Rewrites the positive Datalog `program` for the given query atom
+// (constants are bound, variables free). Fails on negation, existential
+// variables, or multi-atom heads (normalize first).
+Result<MagicResult> MagicSets(const Theory& program, const Atom& query,
+                              SymbolTable* symbols);
+
+// Convenience: rewrite, evaluate, and return the query-atom matches
+// (full argument tuples over constants).
+Result<std::set<std::vector<Term>>> MagicAnswers(const Theory& program,
+                                                 const Database& db,
+                                                 const Atom& query,
+                                                 SymbolTable* symbols);
+
+}  // namespace gerel
+
+#endif  // GEREL_DATALOG_MAGIC_H_

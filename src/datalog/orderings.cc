@@ -1,0 +1,144 @@
+#include "datalog/orderings.h"
+
+#include <string>
+
+#include "core/check.h"
+
+namespace gerel {
+
+void AppendLinearOrderFacts(const std::vector<Term>& domain,
+                            SymbolTable* symbols, Database* db,
+                            const OrderNames& names) {
+  GEREL_CHECK(!domain.empty());
+  RelationId succ = symbols->Relation(names.succ, 2);
+  RelationId min = symbols->Relation(names.min, 1);
+  RelationId max = symbols->Relation(names.max, 1);
+  db->Insert(Atom(min, {domain.front()}));
+  db->Insert(Atom(max, {domain.back()}));
+  for (size_t i = 0; i + 1 < domain.size(); ++i) {
+    db->Insert(Atom(succ, {domain[i], domain[i + 1]}));
+  }
+}
+
+Theory LexTupleOrderProgram(int k, SymbolTable* symbols,
+                            const OrderNames& names) {
+  GEREL_CHECK(k >= 1);
+  Theory out;
+  RelationId succ = symbols->Relation(names.succ, 2);
+  RelationId min = symbols->Relation(names.min, 1);
+  RelationId max = symbols->Relation(names.max, 1);
+  RelationId acdom = AcdomRelation(symbols);
+
+  auto degree_rel = [&](const std::string& base, int degree, int arity) {
+    return symbols->Relation(base + std::to_string(degree), arity);
+  };
+  auto var = [&](const std::string& base, int i) {
+    return symbols->Variable(base + std::to_string(i));
+  };
+
+  // Degree 1: the input order itself.
+  {
+    RelationId first1 = degree_rel(names.first, 1, 1);
+    RelationId next1 = degree_rel(names.next, 1, 2);
+    RelationId last1 = degree_rel(names.last, 1, 1);
+    Term x = var("Xo", 0);
+    Term y = var("Yo", 0);
+    out.AddRule(Rule::Positive({Atom(min, {x})}, {Atom(first1, {x})}));
+    out.AddRule(
+        Rule::Positive({Atom(succ, {x, y})}, {Atom(next1, {x, y})}));
+    out.AddRule(Rule::Positive({Atom(max, {x})}, {Atom(last1, {x})}));
+  }
+
+  for (int j = 2; j <= k; ++j) {
+    RelationId firstj = degree_rel(names.first, j, j);
+    RelationId nextj = degree_rel(names.next, j, 2 * j);
+    RelationId lastj = degree_rel(names.last, j, j);
+    RelationId firstp = degree_rel(names.first, j - 1, j - 1);
+    RelationId nextp = degree_rel(names.next, j - 1, 2 * (j - 1));
+    RelationId lastp = degree_rel(names.last, j - 1, j - 1);
+
+    std::vector<Term> xs, ys;
+    for (int i = 0; i < j; ++i) {
+      xs.push_back(var("Xo", i));
+      ys.push_back(var("Yo", i));
+    }
+    std::vector<Term> x_prefix(xs.begin(), xs.end() - 1);
+    std::vector<Term> y_prefix(ys.begin(), ys.end() - 1);
+
+    // first_j(~x, m) ← first_{j-1}(~x), min(m).
+    {
+      std::vector<Term> head = x_prefix;
+      head.push_back(xs.back());
+      out.AddRule(Rule::Positive(
+          {Atom(firstp, x_prefix), Atom(min, {xs.back()})},
+          {Atom(firstj, head)}));
+    }
+    // last_j(~x, m) ← last_{j-1}(~x), max(m).
+    {
+      std::vector<Term> head = x_prefix;
+      head.push_back(xs.back());
+      out.AddRule(Rule::Positive(
+          {Atom(lastp, x_prefix), Atom(max, {xs.back()})},
+          {Atom(lastj, head)}));
+    }
+    // Same prefix, successor in the last coordinate:
+    // next_j(~x, a, ~x, b) ← succ(a, b), acdom(x1), ..., acdom(x_{j-1}).
+    {
+      std::vector<Term> head = x_prefix;
+      head.push_back(xs.back());
+      head.insert(head.end(), x_prefix.begin(), x_prefix.end());
+      head.push_back(ys.back());
+      std::vector<Atom> body = {Atom(succ, {xs.back(), ys.back()})};
+      for (Term t : x_prefix) body.push_back(Atom(acdom, {t}));
+      out.AddRule(Rule::Positive(body, {Atom(nextj, head)}));
+    }
+    // Carry: next_j(~x, max, ~y, min) ← next_{j-1}(~x, ~y), max(M), min(N).
+    {
+      Term m = var("Mo", j);
+      Term n = var("No", j);
+      std::vector<Term> head = x_prefix;
+      head.push_back(m);
+      head.insert(head.end(), y_prefix.begin(), y_prefix.end());
+      head.push_back(n);
+      std::vector<Term> nextp_args = x_prefix;
+      nextp_args.insert(nextp_args.end(), y_prefix.begin(), y_prefix.end());
+      out.AddRule(Rule::Positive(
+          {Atom(nextp, nextp_args), Atom(max, {m}), Atom(min, {n})},
+          {Atom(nextj, head)}));
+    }
+  }
+  return out;
+}
+
+void AppendLexTupleOrderFacts(const std::vector<Term>& domain, int k,
+                              SymbolTable* symbols, Database* db,
+                              const OrderNames& names) {
+  GEREL_CHECK(k >= 1 && !domain.empty());
+  RelationId firstk =
+      symbols->Relation(names.first + std::to_string(k), k);
+  RelationId nextk =
+      symbols->Relation(names.next + std::to_string(k), 2 * k);
+  RelationId lastk = symbols->Relation(names.last + std::to_string(k), k);
+
+  size_t n = domain.size();
+  size_t total = 1;
+  for (int i = 0; i < k; ++i) total *= n;
+  auto tuple_at = [&](size_t index) {
+    std::vector<Term> t(k);
+    for (int i = k - 1; i >= 0; --i) {
+      t[i] = domain[index % n];
+      index /= n;
+    }
+    return t;
+  };
+  db->Insert(Atom(firstk, tuple_at(0)));
+  db->Insert(Atom(lastk, tuple_at(total - 1)));
+  for (size_t i = 0; i + 1 < total; ++i) {
+    std::vector<Term> pair = tuple_at(i);
+    std::vector<Term> next = tuple_at(i + 1);
+    pair.insert(pair.end(), next.begin(), next.end());
+    db->Insert(Atom(nextk, pair));
+  }
+}
+
+}  // namespace gerel

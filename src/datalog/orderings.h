@@ -1,0 +1,51 @@
+// Ordered databases and lexicographic tuple orders (paper §8).
+//
+// Theorem 4 assumes string databases of degree k equipped with Firstk,
+// Next2k, Lastk over k-tuples; Σcode builds these from a linear order
+// (Succ/Min/Max) on the constants via plain Datalog [16]. This module
+// provides both the direct builders (to construct ordered test databases)
+// and the Datalog program emitter (the paper's construction).
+#ifndef GEREL_DATALOG_ORDERINGS_H_
+#define GEREL_DATALOG_ORDERINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+// Relation names used by the order programs.
+struct OrderNames {
+  std::string succ = "succ";  // binary successor on constants
+  std::string min = "min";    // unary minimum
+  std::string max = "max";    // unary maximum
+  // k-tuple order relations; the degree is appended, e.g. "first2".
+  std::string first = "first";
+  std::string next = "next";
+  std::string last = "last";
+};
+
+// Inserts succ/min/max facts for `domain` in the given order.
+void AppendLinearOrderFacts(const std::vector<Term>& domain,
+                            SymbolTable* symbols, Database* db,
+                            const OrderNames& names = OrderNames());
+
+// Emits the plain-Datalog program defining first<k> (k-ary), next<k>
+// (2k-ary), and last<k> (k-ary) as the lexicographic order on k-tuples of
+// constants, from succ/min/max. Intermediate degrees 1..k-1 are defined
+// too (they are part of the recursion).
+Theory LexTupleOrderProgram(int k, SymbolTable* symbols,
+                            const OrderNames& names = OrderNames());
+
+// Direct (non-Datalog) construction of the same relations, used as the
+// test oracle and to build ordered string databases quickly.
+void AppendLexTupleOrderFacts(const std::vector<Term>& domain, int k,
+                              SymbolTable* symbols, Database* db,
+                              const OrderNames& names = OrderNames());
+
+}  // namespace gerel
+
+#endif  // GEREL_DATALOG_ORDERINGS_H_

@@ -1,0 +1,58 @@
+#include "datalog/stratifier.h"
+
+#include <algorithm>
+
+namespace gerel {
+
+Result<Stratification> Stratify(const Theory& theory) {
+  // Fixpoint over relation stratum numbers. Relations never in a head are
+  // EDB and stay at stratum 0.
+  std::unordered_map<RelationId, uint32_t> stratum;
+  std::vector<RelationId> relations = theory.Relations();
+  for (RelationId r : relations) stratum[r] = 0;
+  size_t max_stratum = relations.size() + 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : theory.rules()) {
+      for (const Atom& head : rule.head) {
+        uint32_t need = 0;
+        for (const Literal& l : rule.body) {
+          uint32_t b = stratum[l.atom.pred] + (l.negated ? 1 : 0);
+          need = std::max(need, b);
+        }
+        if (stratum[head.pred] < need) {
+          stratum[head.pred] = need;
+          if (stratum[head.pred] > max_stratum) {
+            return Status::Error(
+                "program is not stratifiable: negative cycle through " +
+                std::to_string(head.pred));
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  uint32_t num_strata = 0;
+  for (const auto& [r, s] : stratum) num_strata = std::max(num_strata, s + 1);
+  Stratification out;
+  out.relation_stratum = stratum;
+  out.strata.resize(num_strata);
+  for (uint32_t i = 0; i < theory.rules().size(); ++i) {
+    // A rule goes into the stratum of its (unique-per-Prop-1, but we
+    // support multi-atom heads too) highest head relation.
+    uint32_t s = 0;
+    for (const Atom& h : theory.rules()[i].head) {
+      s = std::max(s, stratum[h.pred]);
+    }
+    out.strata[s].push_back(i);
+  }
+  // Drop empty trailing strata (possible when EDB-only relations inflate
+  // the count).
+  while (!out.strata.empty() && out.strata.back().empty()) {
+    out.strata.pop_back();
+  }
+  return out;
+}
+
+}  // namespace gerel

@@ -1,0 +1,128 @@
+#include "stratified/stratified_chase.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/check.h"
+#include "core/classify.h"
+#include "datalog/stratifier.h"
+
+namespace gerel {
+
+namespace {
+
+// Complement relation for A, interned as "not#A".
+RelationId ComplementRelation(RelationId pred, SymbolTable* symbols,
+                              int arity) {
+  return symbols->Relation("not#" + symbols->RelationName(pred), arity);
+}
+
+// Enumerates all tuples over `domain` of the given width and inserts
+// not#A(~t) for those not in the A-extension of `db`.
+void MaterializeComplement(RelationId pred, RelationId complement,
+                           uint32_t arity, const std::vector<Term>& domain,
+                           const Database& db, Database* out) {
+  if (arity == 0) {
+    if (!db.Contains(Atom(pred, {}))) out->Insert(Atom(complement, {}));
+    return;
+  }
+  if (domain.empty()) return;
+  std::vector<size_t> pick(arity, 0);
+  while (true) {
+    std::vector<Term> tuple(arity);
+    for (uint32_t i = 0; i < arity; ++i) tuple[i] = domain[pick[i]];
+    if (!db.Contains(Atom(pred, tuple))) {
+      out->Insert(Atom(complement, tuple));
+    }
+    size_t i = 0;
+    for (; i < arity; ++i) {
+      if (++pick[i] < domain.size()) break;
+      pick[i] = 0;
+    }
+    if (i == arity) break;
+  }
+}
+
+}  // namespace
+
+Result<StratifiedChaseResult> StratifiedChase(const Theory& theory,
+                                              const Database& input,
+                                              SymbolTable* symbols,
+                                              const ChaseOptions& options) {
+  for (const Rule& rule : theory.rules()) {
+    Status s = rule.Validate(*symbols);
+    if (!s.ok()) return s;
+  }
+  Result<Stratification> strat = Stratify(theory);
+  if (!strat.ok()) return strat.status();
+
+  StratifiedChaseResult result;
+  result.strata = strat.value().NumStrata();
+  Database stage = input;
+  if (options.populate_acdom) {
+    PopulateAcdom(theory, symbols, &stage);
+  }
+  ChaseOptions stage_options = options;
+  stage_options.populate_acdom = false;  // Fixed from the input stage.
+  result.saturated = true;
+
+  std::vector<RelationId> original = theory.Relations();
+  RelationId acdom = AcdomRelation(symbols);
+
+  for (const std::vector<uint32_t>& stratum : strat.value().strata) {
+    // p(Σi): replace negative literals by complement atoms; collect the
+    // negated relations with their arities.
+    Theory positive;
+    std::unordered_map<RelationId, uint32_t> negated;
+    for (uint32_t ri : stratum) {
+      Rule rule = theory.rules()[ri];
+      for (Literal& l : rule.body) {
+        if (!l.negated) continue;
+        uint32_t arity = static_cast<uint32_t>(l.atom.arity());
+        negated.emplace(l.atom.pred, arity);
+        l.atom.pred = ComplementRelation(l.atom.pred, symbols, arity);
+        l.negated = false;
+      }
+      positive.AddRule(std::move(rule));
+    }
+    // S′: add the complement facts over the current active terms.
+    Database stage_input = stage;
+    std::vector<Term> domain = stage.ActiveTerms(acdom);
+    for (const auto& [pred, arity] : negated) {
+      MaterializeComplement(pred,
+                            ComplementRelation(pred, symbols, arity), arity,
+                            domain, stage, &stage_input);
+    }
+    ChaseResult chase = Chase(positive, stage_input, symbols, stage_options);
+    result.saturated = result.saturated && chase.saturated;
+    result.steps += chase.steps;
+    // Restrict to the original symbols (drop complements).
+    Database next;
+    for (const Atom& a : chase.database.atoms()) {
+      const std::string& name = symbols->RelationName(a.pred);
+      if (name.rfind("not#", 0) == 0) continue;
+      next.Insert(a);
+    }
+    stage = std::move(next);
+  }
+  result.database = std::move(stage);
+  return result;
+}
+
+bool IsStratifiedWeaklyGuarded(const Theory& theory) {
+  // Drop negative literals, then check weak guardedness (paper §8).
+  Theory positive_part;
+  for (const Rule& rule : theory.rules()) {
+    Rule r;
+    for (const Literal& l : rule.body) {
+      if (!l.negated) r.body.push_back(l);
+    }
+    r.head = rule.head;
+    positive_part.AddRule(std::move(r));
+  }
+  return Classify(positive_part).weakly_guarded;
+}
+
+}  // namespace gerel

@@ -1,0 +1,46 @@
+// Stratified existential theories (paper §8, Defs 22–23).
+//
+// The semantics is the iterative chase along a stratification: each
+// stratum Σi is made positive by replacing ¬A(~t) with a complement
+// relation Ā(~t); the complement is materialized over the active terms of
+// the previous stage (safety guarantees negative atoms are only ever
+// checked on such tuples), the positive stratum is chased, and the result
+// is restricted to the original symbols.
+//
+// The stratum chases may be infinite (weakly guarded theories!); the
+// options bound them exactly like chase.h. Σsucc (order_program.h) is the
+// canonical client: its ground consequences over input constants are
+// complete at null depth |dom| + 1 (any repetition-free ordering of n
+// constants has length ≤ n), which the caller encodes via
+// ChaseOptions::max_null_depth.
+#ifndef GEREL_STRATIFIED_STRATIFIED_CHASE_H_
+#define GEREL_STRATIFIED_STRATIFIED_CHASE_H_
+
+#include "chase/chase.h"
+#include "core/database.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+struct StratifiedChaseResult {
+  Database database;
+  // True iff every stratum chase reached a fixpoint within its limits.
+  bool saturated = false;
+  size_t strata = 0;
+  size_t steps = 0;
+};
+
+// Runs the Def 23 iterative chase of `theory` over `input`.
+Result<StratifiedChaseResult> StratifiedChase(
+    const Theory& theory, const Database& input, SymbolTable* symbols,
+    const ChaseOptions& options = ChaseOptions());
+
+// Whether `theory` is weakly guarded in the stratified sense (paper §8:
+// weak guardedness of the theory with negative atoms dropped).
+bool IsStratifiedWeaklyGuarded(const Theory& theory);
+
+}  // namespace gerel
+
+#endif  // GEREL_STRATIFIED_STRATIFIED_CHASE_H_

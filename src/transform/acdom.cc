@@ -1,0 +1,72 @@
+#include "transform/acdom.h"
+
+#include <string>
+
+#include "core/check.h"
+#include "core/database.h"
+
+namespace gerel {
+
+AcdomAxiomatization AxiomatizeAcdom(const Theory& theory,
+                                    SymbolTable* symbols) {
+  AcdomAxiomatization out;
+  RelationId acdom = AcdomRelation(symbols);
+  // Argument arities as used in Σ (annotation-free here: Def 15 applies
+  // to nearly guarded theories, after any a⁻ step).
+  std::unordered_map<RelationId, int> arity;
+  auto note = [&arity](const Atom& a) {
+    GEREL_CHECK(a.annotation.empty());
+    arity.emplace(a.pred, static_cast<int>(a.args.size()));
+  };
+  for (const Rule& rule : theory.rules()) {
+    for (const Literal& l : rule.body) note(l.atom);
+    for (const Atom& h : rule.head) note(h);
+  }
+  // Star every relation of Σ (including acdom itself).
+  for (RelationId r : theory.Relations()) {
+    RelationId starred =
+        symbols->Relation(symbols->RelationName(r) + "*", arity.at(r));
+    out.starred.emplace(r, starred);
+  }
+  if (out.starred.count(acdom) == 0) {
+    out.starred.emplace(acdom, symbols->Relation(
+                                   std::string(kAcdomName) + "*", 1));
+  }
+  RelationId acdom_star = out.starred.at(acdom);
+
+  auto star_atom = [&out](Atom a) {
+    a.pred = out.starred.at(a.pred);
+    return a;
+  };
+  for (const Rule& rule : theory.rules()) {
+    Rule r;
+    for (const Literal& l : rule.body) {
+      r.body.emplace_back(star_atom(l.atom), l.negated);
+    }
+    for (const Atom& h : rule.head) r.head.push_back(star_atom(h));
+    out.theory.AddRule(std::move(r));
+  }
+  // (a) copy rules and (b) domain rules for every non-acdom relation of Σ.
+  for (RelationId r : theory.Relations()) {
+    if (r == acdom) continue;
+    int n = arity.at(r);
+    std::vector<Term> xs;
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(symbols->Variable("Xs" + std::to_string(i)));
+    }
+    Atom original(r, xs);
+    out.theory.AddRule(
+        Rule::Positive({original}, {Atom(out.starred.at(r), xs)}));
+    for (int i = 0; i < n; ++i) {
+      out.theory.AddRule(
+          Rule::Positive({original}, {Atom(acdom_star, {xs[i]})}));
+    }
+  }
+  // (c) fact rules for theory constants.
+  for (Term c : theory.Constants()) {
+    out.theory.AddRule(Rule({}, {Atom(acdom_star, {c})}));
+  }
+  return out;
+}
+
+}  // namespace gerel

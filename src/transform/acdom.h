@@ -1,0 +1,37 @@
+// Axiomatization of the built-in acdom relation (paper Def 15, Prop 5).
+//
+// Given a nearly guarded theory Σ using the built-in acdom, Σ* replaces
+// every relation R by a fresh R*, adds copy rules R(~x) → R*(~x), domain
+// rules R(x1..xn) → acdom*(xi), and fact rules → acdom*(c) for theory
+// constants. The result needs no built-in and has the same answers under
+// the starred output relation.
+#ifndef GEREL_TRANSFORM_ACDOM_H_
+#define GEREL_TRANSFORM_ACDOM_H_
+
+#include <unordered_map>
+
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+struct AcdomAxiomatization {
+  Theory theory;
+  // Original relation → starred relation.
+  std::unordered_map<RelationId, RelationId> starred;
+
+  RelationId Starred(RelationId original) const {
+    return starred.at(original);
+  }
+};
+
+// Builds Σ* (Def 15). `input_relations` lists the relations R of Σ whose
+// extensions come from the database (rules (a) and (b) range over them);
+// pass Theory::Relations() output minus internal relations, or leave
+// empty to use every non-acdom relation of Σ.
+AcdomAxiomatization AxiomatizeAcdom(const Theory& theory,
+                                    SymbolTable* symbols);
+
+}  // namespace gerel
+
+#endif  // GEREL_TRANSFORM_ACDOM_H_

@@ -1,0 +1,113 @@
+#include "transform/annotation.h"
+
+#include <unordered_map>
+
+#include "core/check.h"
+#include "core/normalize.h"
+
+namespace gerel {
+
+Result<Theory> AnnotateNonAffected(const Theory& proper_theory) {
+  if (!IsProper(proper_theory)) {
+    return Status::Error("annotation requires a proper theory (Def 16)");
+  }
+  PositionSet affected = AffectedPositions(proper_theory);
+  // Affected prefix length per relation.
+  std::unordered_map<RelationId, uint32_t> prefix;
+  auto note = [&](const Atom& a) {
+    GEREL_CHECK(a.annotation.empty());  // Annotate at most once.
+    if (prefix.count(a.pred) > 0) return;
+    uint32_t p = 0;
+    while (p < a.args.size() && affected.Contains(a.pred, p)) ++p;
+    prefix.emplace(a.pred, p);
+  };
+  for (const Rule& r : proper_theory.rules()) {
+    for (const Literal& l : r.body) note(l.atom);
+    for (const Atom& a : r.head) note(a);
+  }
+  auto annotate = [&prefix](const Atom& a) {
+    uint32_t p = prefix.at(a.pred);
+    Atom out;
+    out.pred = a.pred;
+    out.args.assign(a.args.begin(), a.args.begin() + p);
+    out.annotation.assign(a.args.begin() + p, a.args.end());
+    return out;
+  };
+  Theory out;
+  for (const Rule& r : proper_theory.rules()) {
+    Rule nr;
+    for (const Literal& l : r.body) {
+      nr.body.emplace_back(annotate(l.atom), l.negated);
+    }
+    for (const Atom& a : r.head) nr.head.push_back(annotate(a));
+    out.AddRule(std::move(nr));
+  }
+  return out;
+}
+
+Theory Deannotate(const Theory& theory) {
+  Theory out;
+  auto merge = [](const Atom& a) {
+    Atom m;
+    m.pred = a.pred;
+    m.args = a.args;
+    m.args.insert(m.args.end(), a.annotation.begin(), a.annotation.end());
+    return m;
+  };
+  for (const Rule& r : theory.rules()) {
+    Rule nr;
+    for (const Literal& l : r.body) {
+      nr.body.emplace_back(merge(l.atom), l.negated);
+    }
+    for (const Atom& a : r.head) nr.head.push_back(merge(a));
+    out.AddRule(std::move(nr));
+  }
+  return out;
+}
+
+Result<WfgRewriteResult> RewriteWfgToWeaklyGuarded(
+    const Theory& theory, SymbolTable* symbols,
+    const ExpansionOptions& options) {
+  if (!IsNormal(theory)) {
+    return Status::Error("rew requires a normal theory (Prop 1)");
+  }
+  if (!Classify(theory).weakly_frontier_guarded) {
+    return Status::Error("theory is not weakly frontier-guarded");
+  }
+  WfgRewriteResult out;
+  // Step 0: reorder positions so affected ones form a prefix (Def 16).
+  out.reordering = MakeProper(theory);
+  // Step (a): move non-affected terms into annotations (Def 17).
+  Result<Theory> annotated = AnnotateNonAffected(out.reordering.theory);
+  if (!annotated.ok()) return annotated.status();
+  // a(Σ) is frontier-guarded but its existential rules need not be
+  // guarded any more (their guards may have lost argument variables);
+  // re-establish Def 4(ii).
+  NormalizeOptions nopts;
+  nopts.extract_constants = false;  // Already normal w.r.t. constants.
+  nopts.split_heads = false;        // Heads are singletons already.
+  Theory renormalized = Normalize(annotated.value(), symbols, nopts);
+  // Step (b): the §5.1 rewriting on the annotated theory.
+  Result<RewriteResult> rewritten =
+      RewriteFgToNearlyGuarded(renormalized, symbols, options);
+  if (!rewritten.ok()) return rewritten.status();
+  out.complete = rewritten.value().complete;
+  out.expansion_stats = std::move(rewritten.value().expansion_stats);
+  // Step (c): reconstruct original atoms from annotations (Def 18), then
+  // fold the Def 16 reordering back so the result runs on the original
+  // database layout.
+  Theory merged = Deannotate(rewritten.value().theory);
+  for (const Rule& r : merged.rules()) {
+    Rule nr;
+    for (const Literal& l : r.body) {
+      nr.body.emplace_back(out.reordering.Invert(l.atom), l.negated);
+    }
+    for (const Atom& a : r.head) {
+      nr.head.push_back(out.reordering.Invert(a));
+    }
+    out.theory.AddRule(std::move(nr));
+  }
+  return out;
+}
+
+}  // namespace gerel

@@ -1,0 +1,50 @@
+// Annotation transforms and the weakly frontier-guarded → weakly guarded
+// translation (paper §5.2, Defs 16–18, Thm 2).
+//
+// a(Σ) moves the terms at non-affected positions of each atom into the
+// relation-name annotation, turning a proper weakly frontier-guarded
+// theory into a frontier-guarded one; a⁻(Σ) moves annotations back into
+// argument positions. rew(Σ) = a⁻(rew(a(Σ))) is weakly guarded and
+// preserves answers.
+#ifndef GEREL_TRANSFORM_ANNOTATION_H_
+#define GEREL_TRANSFORM_ANNOTATION_H_
+
+#include "core/classify.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+#include "transform/fg_to_ng.h"
+
+namespace gerel {
+
+// a(Σ) (Def 17): for each atom R(t1..tn) with last affected position i,
+// produce R[t_{i+1}..t_n](t1..ti). Requires a proper theory (Def 16).
+Result<Theory> AnnotateNonAffected(const Theory& proper_theory);
+
+// a⁻(Σ) (Def 18): replace every annotated atom R[~v](~t) by R(~t, ~v).
+// Applies to every atom, including fresh relations introduced by the
+// expansion.
+Theory Deannotate(const Theory& theory);
+
+struct WfgRewriteResult {
+  Theory theory;
+  bool complete = true;
+  // The reordering applied to make the input proper; apply it to the
+  // database before querying and invert on answers (its permutation is
+  // identity for relations whose affected positions already form a
+  // prefix).
+  ProperReordering reordering;
+  ExpansionResult expansion_stats;
+};
+
+// rew(Σ) for a normal weakly frontier-guarded theory (Def 18, Thm 2):
+// make proper → annotate → re-normalize the annotated theory (guard its
+// existential rules) → expand/rewrite → deannotate. The result is weakly
+// guarded and, over reordered databases, has the same answers as Σ.
+Result<WfgRewriteResult> RewriteWfgToWeaklyGuarded(
+    const Theory& theory, SymbolTable* symbols,
+    const ExpansionOptions& options = ExpansionOptions());
+
+}  // namespace gerel
+
+#endif  // GEREL_TRANSFORM_ANNOTATION_H_

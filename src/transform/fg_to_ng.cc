@@ -1,0 +1,264 @@
+#include "transform/fg_to_ng.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/check.h"
+#include "core/classify.h"
+#include "core/database.h"
+#include "core/normalize.h"
+#include "transform/canonical.h"
+#include "transform/rewriting.h"
+
+namespace gerel {
+
+namespace {
+
+// The paper's termination measure for the expansion: the number of
+// variables that do not occur in a frontier guard (§5.1, remark after
+// Def 12). Each rewriting strictly decreases it for the non-guarded rule
+// it produces; the closure recurses only on rules whose measure strictly
+// decreased, which is what bounds ex(Σ).
+size_t UnguardedVarMeasure(const Rule& rule) {
+  std::vector<Term> all_vars = rule.Vars();
+  // Frontier variables relevant for guarding: head argument variables
+  // occurring in the body.
+  std::vector<Term> body_vars = rule.UVars();
+  std::vector<Term> frontier;
+  for (const Atom& a : rule.head) {
+    for (Term v : a.ArgVars()) {
+      if (std::find(body_vars.begin(), body_vars.end(), v) !=
+              body_vars.end() &&
+          std::find(frontier.begin(), frontier.end(), v) == frontier.end()) {
+        frontier.push_back(v);
+      }
+    }
+  }
+  size_t best = all_vars.size();
+  for (const Literal& l : rule.body) {
+    if (l.negated) continue;
+    std::vector<Term> avars = l.atom.ArgVars();
+    bool covers = std::all_of(frontier.begin(), frontier.end(),
+                              [&avars](Term v) {
+                                return std::find(avars.begin(), avars.end(),
+                                                 v) != avars.end();
+                              });
+    if (!covers) continue;
+    std::vector<Term> full = l.atom.AllVars();
+    size_t outside = 0;
+    for (Term v : all_vars) {
+      if (std::find(full.begin(), full.end(), v) == full.end()) ++outside;
+    }
+    best = std::min(best, outside);
+  }
+  return best;
+}
+
+// Closure engine for ex(Σ) (Def 12).
+class Expander {
+ public:
+  Expander(const Theory& theory, const SignatureInfo& sig,
+           SymbolTable* symbols, const ExpansionOptions& options)
+      : sig_(sig), symbols_(symbols), options_(options) {
+    // Placeholder relations (one per arity) used only to key rewritings
+    // before the real fresh head exists.
+    for (const Rule& r : theory.rules()) AddRule(r);
+  }
+
+  ExpansionResult Run() {
+    while (!worklist_.empty() && result_.complete) {
+      size_t idx = worklist_.front();
+      worklist_.pop_front();
+      ProcessRule(idx);
+    }
+    result_.theory = Theory(rules_);
+    return std::move(result_);
+  }
+
+ private:
+  void ProcessRule(size_t idx) {
+    // Copy: rules_ may reallocate while we add new rules.
+    const Rule rule = rules_[idx];
+    current_budget_ = UnguardedVarMeasure(rule);
+    bool complete = ForEachSelection(
+        rule, sig_.max_arity, options_.idempotent_selections_only,
+        options_.max_selections_per_rule, [&](const SelectionParts& sel) {
+          ++result_.selections_tried;
+          HandleSelection(rule, sel, /*rc=*/true);
+          HandleSelection(rule, sel, /*rc=*/false);
+          return result_.complete;
+        });
+    if (!complete) result_.complete = false;
+  }
+
+  void HandleSelection(const Rule& rule, const SelectionParts& sel, bool rc) {
+    if (rc ? !RcApplicable(rule, sel) : !RncApplicable(rule, sel)) return;
+    const std::vector<Term>& keep = rc ? sel.keep_rc : sel.keep_rnc;
+    // Key the rewriting by its guard-independent skeleton so the fresh
+    // head is shared across guard variants and reused on recurrence.
+    Atom placeholder =
+        MakeFreshHead(PlaceholderPred(keep, rule), keep, sel, rule);
+    std::vector<Atom> body_atoms;
+    for (const Literal& l : rule.body) body_atoms.push_back(l.atom);
+    std::vector<Atom> cov, noncov;
+    for (size_t i : sel.covered) cov.push_back(sel.mu.Apply(body_atoms[i]));
+    for (size_t i : sel.non_covered)
+      noncov.push_back(sel.mu.Apply(body_atoms[i]));
+    Atom mapped_head = sel.mu.Apply(rule.head[0]);
+
+    // Key H by its *defining* side only (the pulled-out atoms and the
+    // exported keep/annotation tuple): H means "those atoms hold with
+    // these exports", independent of which rule uses it, so identical
+    // definitions share one relation across selections, rules, and modes.
+    const std::vector<Atom>& defining = rc ? cov : noncov;
+    RelationRenames renames;
+    renames[placeholder.pred] = "?H";
+    std::string key = CanonicalRulesString(
+        {Rule::Positive(defining, {placeholder})}, *symbols_, &renames);
+    auto [it, inserted] = head_cache_.emplace(key, 0);
+    if (inserted) {
+      it->second = symbols_->FreshRelation(
+          "h", static_cast<int>(placeholder.arity()));
+      ++result_.fresh_relations;
+    }
+    Atom fresh_head = placeholder;
+    fresh_head.pred = it->second;
+    RewriteSet set =
+        rc ? RcRewritings(rule, sel, sig_, fresh_head, symbols_,
+                          options_.exhaustive_guards)
+           : RncRewritings(rule, sel, sig_, fresh_head, symbols_,
+                           options_.exhaustive_guards);
+    // Primes (the H-defining rules) are identical for every use of this
+    // H; adding them is a no-op on cache hits thanks to canonical dedup.
+    // The use-side rules are always added.
+    for (const Rule& r : set.primes) AddRule(r);
+    for (const Rule& r : set.seconds) AddRule(r);
+    result_.rewritings_added += set.primes.size() + set.seconds.size();
+  }
+
+  RelationId PlaceholderPred(const std::vector<Term>& keep,
+                             const Rule& rule) {
+    size_t arity = keep.size() + rule.head[0].annotation.size();
+    auto [it, inserted] = placeholders_.emplace(arity, 0);
+    if (inserted) {
+      it->second =
+          symbols_->Relation("hkey#" + std::to_string(arity),
+                             static_cast<int>(arity));
+    }
+    return it->second;
+  }
+
+  void AddRule(const Rule& rule) {
+    if (rules_.size() >= options_.max_rules) {
+      result_.complete = false;
+      return;
+    }
+    std::string key = CanonicalRuleString(rule, *symbols_);
+    if (!seen_.insert(key).second) return;
+    rules_.push_back(rule);
+    if (rule.EVars().empty() && !IsGuardedRule(rule) &&
+        UnguardedVarMeasure(rule) < current_budget_) {
+      worklist_.push_back(rules_.size() - 1);
+    }
+  }
+
+  SignatureInfo sig_;
+  SymbolTable* symbols_;
+  ExpansionOptions options_;
+  std::vector<Rule> rules_;
+  std::unordered_set<std::string> seen_;
+  std::unordered_map<std::string, RelationId> head_cache_;
+  std::unordered_map<size_t, RelationId> placeholders_;
+  std::deque<size_t> worklist_;
+  ExpansionResult result_;
+  // Measure of the rule currently being processed; newly generated
+  // non-guarded rules recurse only when strictly below it. Input rules
+  // are enqueued unconditionally (budget = SIZE_MAX during construction).
+  size_t current_budget_ = static_cast<size_t>(-1);
+};
+
+}  // namespace
+
+Result<ExpansionResult> Expand(const Theory& theory, SymbolTable* symbols,
+                               const ExpansionOptions& options) {
+  if (!IsNormal(theory)) {
+    return Status::Error("expansion requires a normal theory (Def 12)");
+  }
+  if (!Classify(theory).frontier_guarded) {
+    return Status::Error("expansion requires a frontier-guarded theory");
+  }
+  Expander expander(theory, SignatureInfo::FromTheory(theory), symbols,
+                    options);
+  return expander.Run();
+}
+
+Result<RewriteResult> RewriteFgToNearlyGuarded(
+    const Theory& theory, SymbolTable* symbols,
+    const ExpansionOptions& options) {
+  Result<ExpansionResult> ex = Expand(theory, symbols, options);
+  if (!ex.ok()) return ex.status();
+  RewriteResult out;
+  out.complete = ex.value().complete;
+  RelationId acdom = AcdomRelation(symbols);
+  for (const Rule& rule : ex.value().theory.rules()) {
+    if (IsGuardedRule(rule)) {
+      out.theory.AddRule(rule);
+      continue;
+    }
+    Rule guarded = rule;
+    for (Term x : rule.UVars()) {
+      guarded.body.emplace_back(Atom(acdom, {x}), /*negated=*/false);
+    }
+    out.theory.AddRule(std::move(guarded));
+  }
+  out.expansion_stats = std::move(ex).value();
+  out.expansion_stats.theory = Theory();  // Avoid duplicating the rules.
+  return out;
+}
+
+Result<RewriteResult> RewriteNfgToNearlyGuarded(
+    const Theory& theory, SymbolTable* symbols,
+    const ExpansionOptions& options) {
+  PositionSet affected = AffectedPositions(theory);
+  Theory fg_part, datalog_part;
+  for (const Rule& rule : theory.rules()) {
+    if (IsFrontierGuardedRule(rule)) {
+      fg_part.AddRule(rule);
+    } else if (UnsafeVars(rule, affected).empty() && rule.EVars().empty()) {
+      datalog_part.AddRule(rule);
+    } else {
+      return Status::Error(
+          "theory is not nearly frontier-guarded (Def 3 fails)");
+    }
+  }
+  if (!IsNormal(fg_part)) {
+    return Status::Error("rewriting requires a normal theory");
+  }
+  // Guard atoms for the expansion may use any relation of the full theory
+  // (the chase of Σ stores atoms over all of them).
+  Expander expander(fg_part, SignatureInfo::FromTheory(theory), symbols,
+                    options);
+  ExpansionResult ex = expander.Run();
+  RewriteResult out;
+  out.complete = ex.complete;
+  RelationId acdom = AcdomRelation(symbols);
+  for (const Rule& rule : ex.theory.rules()) {
+    if (IsGuardedRule(rule)) {
+      out.theory.AddRule(rule);
+      continue;
+    }
+    Rule guarded = rule;
+    for (Term x : rule.UVars()) {
+      guarded.body.emplace_back(Atom(acdom, {x}), /*negated=*/false);
+    }
+    out.theory.AddRule(std::move(guarded));
+  }
+  for (const Rule& rule : datalog_part.rules()) out.theory.AddRule(rule);
+  out.expansion_stats = std::move(ex);
+  out.expansion_stats.theory = Theory();
+  return out;
+}
+
+}  // namespace gerel

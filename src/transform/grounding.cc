@@ -1,0 +1,62 @@
+#include "transform/grounding.h"
+
+#include <algorithm>
+
+#include "core/classify.h"
+#include "core/substitution.h"
+
+namespace gerel {
+
+Result<GroundingResult> PartialGrounding(const Theory& theory,
+                                         const Database& db,
+                                         const GroundingOptions& options) {
+  PositionSet affected = AffectedPositions(theory);
+  // Ground terms available for instantiation: the database's terms plus
+  // the theory constants (they join the chase root).
+  std::vector<Term> domain = db.ActiveTerms();
+  for (Term c : theory.Constants()) {
+    if (std::find(domain.begin(), domain.end(), c) == domain.end()) {
+      domain.push_back(c);
+    }
+  }
+  GroundingResult out;
+  for (const Rule& rule : theory.rules()) {
+    std::vector<Term> unsafe = UnsafeVars(rule, affected);
+    std::vector<Term> safe;
+    for (Term v : rule.UVars()) {
+      if (std::find(unsafe.begin(), unsafe.end(), v) == unsafe.end()) {
+        safe.push_back(v);
+      }
+    }
+    if (domain.empty()) {
+      // No ground terms exist at all: only variable-free rules can ever
+      // contribute ground consequences.
+      if (rule.Vars().empty()) out.theory.AddRule(rule);
+      continue;
+    }
+    if (safe.empty()) {
+      out.theory.AddRule(rule);
+      continue;
+    }
+    // Mixed-radix enumeration of all assignments safe → domain.
+    std::vector<size_t> pick(safe.size(), 0);
+    while (true) {
+      if (out.theory.size() >= options.max_rules) {
+        out.complete = false;
+        return out;
+      }
+      Substitution s;
+      for (size_t i = 0; i < safe.size(); ++i) s.Bind(safe[i], domain[pick[i]]);
+      out.theory.AddRule(s.Apply(rule));
+      size_t i = 0;
+      for (; i < pick.size(); ++i) {
+        if (++pick[i] < domain.size()) break;
+        pick[i] = 0;
+      }
+      if (i == pick.size()) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gerel

@@ -1,0 +1,37 @@
+// Partial grounding pg(Σ, D) (paper §7, step 2 and Thm 2 proof).
+//
+// Instantiates the *safe* variables of each rule (those with at least one
+// occurrence at a non-affected position) with constants of the database,
+// in every possible way. For a weakly guarded theory the result is
+// guarded: the remaining universal variables are unsafe and therefore
+// covered by the weak guard.
+#ifndef GEREL_TRANSFORM_GROUNDING_H_
+#define GEREL_TRANSFORM_GROUNDING_H_
+
+#include "core/database.h"
+#include "core/status.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+struct GroundingOptions {
+  // Cap on the number of produced rules (the grounding is exponential in
+  // the number of safe variables per rule).
+  size_t max_rules = 500000;
+};
+
+struct GroundingResult {
+  Theory theory;
+  bool complete = true;
+};
+
+// pg(Σ, D): substitutes safe variables by the ground terms of D (and the
+// constants of Σ) in all possible ways.
+Result<GroundingResult> PartialGrounding(const Theory& theory,
+                                         const Database& db,
+                                         const GroundingOptions& options =
+                                             GroundingOptions());
+
+}  // namespace gerel
+
+#endif  // GEREL_TRANSFORM_GROUNDING_H_

@@ -1,0 +1,109 @@
+#include "transform/pipeline.h"
+
+#include "core/check.h"
+#include "core/classify.h"
+#include "core/normalize.h"
+#include "datalog/evaluator.h"
+#include "transform/annotation.h"
+
+namespace gerel {
+
+namespace {
+
+std::set<std::vector<Term>> CollectAnswers(const Database& db,
+                                           RelationId output) {
+  std::set<std::vector<Term>> answers;
+  for (uint32_t i : db.AtomsOf(output)) {
+    const Atom& a = db.atom(i);
+    if (a.IsGroundOverConstants()) answers.insert(a.args);
+  }
+  return answers;
+}
+
+}  // namespace
+
+Rule GuardConjunctiveQuery(const Rule& cq, SymbolTable* symbols) {
+  GEREL_CHECK(cq.head.size() == 1);
+  GEREL_CHECK(cq.EVars().empty());
+  Rule out = cq;
+  RelationId acdom = AcdomRelation(symbols);
+  for (Term x : cq.head[0].ArgVars()) {
+    out.body.emplace_back(Atom(acdom, {x}), /*negated=*/false);
+  }
+  return out;
+}
+
+Result<KbQueryResult> AnswerKbQuery(const Theory& theory, const Rule& cq,
+                                    const Database& db, SymbolTable* symbols,
+                                    const KbQueryOptions& options) {
+  KbQueryResult result;
+  RelationId output = cq.head[0].pred;
+  Theory combined = theory;
+  combined.AddRule(GuardConjunctiveQuery(cq, symbols));
+  Theory normal = Normalize(combined, symbols);
+  if (!Classify(normal).weakly_frontier_guarded) {
+    return Status::Error("knowledge base is not weakly frontier-guarded");
+  }
+  // Step 1: rew(Σ) (Thm 2), unless the theory is already weakly guarded.
+  Theory weakly_guarded;
+  if (Classify(normal).weakly_guarded) {
+    weakly_guarded = normal;
+  } else {
+    Result<WfgRewriteResult> rew =
+        RewriteWfgToWeaklyGuarded(normal, symbols, options.expansion);
+    if (!rew.ok()) return rew.status();
+    result.complete = result.complete && rew.value().complete;
+    weakly_guarded = std::move(rew.value().theory);
+  }
+  result.rewritten_rules = weakly_guarded.size();
+  // Step 2: partial grounding; the result is guarded.
+  Result<GroundingResult> grounded =
+      PartialGrounding(weakly_guarded, db, options.grounding);
+  if (!grounded.ok()) return grounded.status();
+  result.complete = result.complete && grounded.value().complete;
+  result.grounded_rules = grounded.value().theory.size();
+  // Step 3: dat(Σ1) (Thm 3).
+  Result<SaturationResult> sat =
+      Saturate(grounded.value().theory, symbols, options.saturation);
+  if (!sat.ok()) return sat.status();
+  result.complete = result.complete && sat.value().complete;
+  result.datalog_rules = sat.value().datalog.size();
+  // Steps 4–5: bottom-up evaluation (implicit grounding).
+  Result<DatalogResult> eval =
+      EvaluateDatalog(sat.value().datalog, db, symbols);
+  if (!eval.ok()) return eval.status();
+  result.answers = CollectAnswers(eval.value().database, output);
+  return result;
+}
+
+Result<KbQueryResult> AnswerKbQueryNearlyFrontierGuarded(
+    const Theory& theory, const Rule& cq, const Database& db,
+    SymbolTable* symbols, const KbQueryOptions& options) {
+  KbQueryResult result;
+  RelationId output = cq.head[0].pred;
+  Theory combined = theory;
+  combined.AddRule(GuardConjunctiveQuery(cq, symbols));
+  Theory normal = Normalize(combined, symbols);
+  if (!Classify(normal).nearly_frontier_guarded) {
+    return Status::Error(
+        "knowledge base (with query) is not nearly frontier-guarded; use "
+        "AnswerKbQuery for the weakly frontier-guarded route");
+  }
+  Result<RewriteResult> rew =
+      RewriteNfgToNearlyGuarded(normal, symbols, options.expansion);
+  if (!rew.ok()) return rew.status();
+  result.complete = result.complete && rew.value().complete;
+  result.rewritten_rules = rew.value().theory.size();
+  Result<DatalogTranslation> dat = NearlyGuardedToDatalog(
+      rew.value().theory, symbols, options.saturation);
+  if (!dat.ok()) return dat.status();
+  result.complete = result.complete && dat.value().complete;
+  result.datalog_rules = dat.value().datalog.size();
+  Result<DatalogResult> eval =
+      EvaluateDatalog(dat.value().datalog, db, symbols);
+  if (!eval.ok()) return eval.status();
+  result.answers = CollectAnswers(eval.value().database, output);
+  return result;
+}
+
+}  // namespace gerel

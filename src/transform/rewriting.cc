@@ -1,0 +1,467 @@
+#include "transform/rewriting.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/classify.h"
+
+namespace gerel {
+
+namespace {
+
+void AppendDistinct(const std::vector<Term>& in, std::vector<Term>* out) {
+  for (Term t : in) {
+    if (std::find(out->begin(), out->end(), t) == out->end())
+      out->push_back(t);
+  }
+}
+
+bool Contains(const std::vector<Term>& v, Term t) {
+  return std::find(v.begin(), v.end(), t) != v.end();
+}
+
+// Distinct variables of a set of atoms (args and annotations).
+std::vector<Term> AtomsVars(const std::vector<Atom>& atoms) {
+  std::vector<Term> out;
+  for (const Atom& a : atoms) AppendDistinct(a.AllVars(), &out);
+  return out;
+}
+
+// Enumerates guard atoms over the relations of `sig` containing all of
+// `required`.
+//
+// Default (subsuming) mode: required variables are placed injectively and
+// every other position gets a fresh variable. A guard that instead joins
+// an existing body variable (or repeats a required one) has a strictly
+// stronger body and the same head, so it is subsumed by a fresh-variable
+// guard; dropping those variants loses no consequences. Exhaustive mode
+// (`pool` + `witness_any`) enumerates every Def 10/11 variant and is kept
+// for the ablation cross-check.
+void ForEachGuardAtom(const SignatureInfo& sig,
+                      const std::vector<Term>& required,
+                      const std::vector<Term>& pool,
+                      const std::vector<Term>& witness_any, bool exhaustive,
+                      bool null_capable_only, SymbolTable* symbols,
+                      const std::function<void(const Atom&)>& emit) {
+  if (!exhaustive) {
+    for (RelationId pred : sig.relations) {
+      if (null_capable_only && sig.null_capable.count(pred) == 0) continue;
+      const SignatureInfo::Split& split = sig.splits.at(pred);
+      uint32_t arity = split.total();
+      if (required.size() > arity) continue;
+      // Injective placements of `required` into the positions.
+      std::vector<int> slot(arity, -1);
+      std::function<void(size_t)> place = [&](size_t next_var) {
+        if (next_var == required.size()) {
+          Atom atom;
+          atom.pred = pred;
+          for (uint32_t i = 0; i < arity; ++i) {
+            Term t = slot[i] >= 0 ? required[slot[i]]
+                                  : symbols->FreshVariable("G");
+            if (i < split.args) {
+              atom.args.push_back(t);
+            } else {
+              atom.annotation.push_back(t);
+            }
+          }
+          emit(atom);
+          return;
+        }
+        for (uint32_t i = 0; i < arity; ++i) {
+          if (slot[i] >= 0) continue;
+          slot[i] = static_cast<int>(next_var);
+          place(next_var + 1);
+          slot[i] = -1;
+        }
+      };
+      place(0);
+    }
+    return;
+  }
+  for (RelationId pred : sig.relations) {
+    if (null_capable_only && sig.null_capable.count(pred) == 0) continue;
+    const SignatureInfo::Split& split = sig.splits.at(pred);
+    uint32_t arity = split.total();
+    if (required.size() > arity) continue;
+    // DFS over positions; -1 stands for a fresh variable.
+    std::vector<int> choice(arity, -1);  // Index into pool, or -1 = fresh.
+    std::function<void(uint32_t)> rec = [&](uint32_t pos) {
+      if (pos == arity) {
+        // Check coverage and witness.
+        auto chosen_has = [&](Term t) {
+          for (uint32_t i = 0; i < arity; ++i) {
+            if (choice[i] >= 0 && pool[choice[i]] == t) return true;
+          }
+          return false;
+        };
+        for (Term t : required) {
+          if (!chosen_has(t)) return;
+        }
+        if (!witness_any.empty()) {
+          bool hit = false;
+          for (Term t : witness_any) {
+            if (chosen_has(t)) {
+              hit = true;
+              break;
+            }
+          }
+          if (!hit) return;
+        }
+        Atom atom;
+        atom.pred = pred;
+        for (uint32_t i = 0; i < arity; ++i) {
+          Term t = choice[i] >= 0 ? pool[choice[i]]
+                                  : symbols->FreshVariable("G");
+          if (i < split.args) {
+            atom.args.push_back(t);
+          } else {
+            atom.annotation.push_back(t);
+          }
+        }
+        emit(atom);
+        return;
+      }
+      for (int c = -1; c < static_cast<int>(pool.size()); ++c) {
+        choice[pos] = c;
+        rec(pos + 1);
+      }
+    };
+    rec(0);
+  }
+}
+
+// All head variables (args and annotation) of the rule.
+std::vector<Term> HeadVars(const Rule& rule) {
+  std::vector<Term> out;
+  for (const Atom& a : rule.head) AppendDistinct(a.AllVars(), &out);
+  return out;
+}
+
+}  // namespace
+
+SignatureInfo SignatureInfo::FromTheory(const Theory& theory) {
+  SignatureInfo out;
+  auto note = [&out](const Atom& a) {
+    auto [it, inserted] = out.splits.emplace(
+        a.pred, Split{static_cast<uint32_t>(a.args.size()),
+                      static_cast<uint32_t>(a.annotation.size())});
+    if (inserted) {
+      out.relations.push_back(a.pred);
+    } else {
+      GEREL_CHECK(it->second.args == a.args.size() &&
+                  it->second.annotation == a.annotation.size());
+    }
+    out.max_arity = std::max(out.max_arity, static_cast<uint32_t>(a.arity()));
+  };
+  for (const Rule& r : theory.rules()) {
+    for (const Literal& l : r.body) note(l.atom);
+    for (const Atom& a : r.head) note(a);
+  }
+  PositionSet affected = AffectedPositions(theory);
+  for (const auto& [pred, split] : out.splits) {
+    for (uint32_t i = 0; i < split.total(); ++i) {
+      if (affected.Contains(pred, i)) {
+        out.null_capable.insert(pred);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool ForEachSelection(
+    const Rule& rule, uint32_t max_range, bool idempotent_only,
+    size_t max_selections,
+    const std::function<bool(const SelectionParts&)>& visit) {
+  std::vector<Term> vars = rule.UVars();
+  size_t v = vars.size();
+  size_t visited = 0;
+  bool keep_going = true;
+  bool capped = false;
+
+  std::vector<Atom> body_atoms;
+  for (const Literal& l : rule.body) body_atoms.push_back(l.atom);
+  std::vector<Term> head_vars = HeadVars(rule);
+
+  auto emit = [&](const Substitution& mu,
+                  const std::vector<Term>& dom) -> bool {
+    if (visited >= max_selections) {
+      capped = true;
+      return false;
+    }
+    ++visited;
+    SelectionParts parts;
+    parts.mu = mu;
+    for (size_t i = 0; i < body_atoms.size(); ++i) {
+      std::vector<Term> avars = body_atoms[i].AllVars();
+      bool covered = std::all_of(avars.begin(), avars.end(), [&dom](Term t) {
+        return Contains(dom, t);
+      });
+      (covered ? parts.covered : parts.non_covered).push_back(i);
+    }
+    // Structural filter: every selected variable must occur in a covered
+    // atom. The Thm 1 proof picks µ as representatives for the variables
+    // mapping into one chase-tree bag — exactly the variables of the
+    // atoms placed in that bag — and all four paper examples (3–6)
+    // satisfy this. Selections violating it only rename non-covered
+    // variables, which adds subsumed rewritings.
+    for (Term x : dom) {
+      bool in_cov = false;
+      for (size_t i : parts.covered) {
+        if (Contains(body_atoms[i].AllVars(), x)) {
+          in_cov = true;
+          break;
+        }
+      }
+      if (!in_cov) return true;  // Skip; keep enumerating.
+    }
+    // keep(σ, µ) (Def 9): µ(x) for x ∈ dom(µ) occurring in body \ cov
+    // (both modes) or in head(σ) (rc only; see SelectionParts).
+    std::vector<Term> keep_rc, keep_rnc;
+    for (Term x : dom) {
+      bool in_noncov = false;
+      for (size_t i : parts.non_covered) {
+        if (Contains(body_atoms[i].AllVars(), x)) {
+          in_noncov = true;
+          break;
+        }
+      }
+      Term mx = mu.Apply(x);
+      if (in_noncov && !Contains(keep_rnc, mx)) keep_rnc.push_back(mx);
+      if ((in_noncov || Contains(head_vars, x)) && !Contains(keep_rc, mx)) {
+        keep_rc.push_back(mx);
+      }
+    }
+    std::sort(keep_rc.begin(), keep_rc.end());  // Fixed enumeration ~X.
+    std::sort(keep_rnc.begin(), keep_rnc.end());
+    parts.keep_rc = std::move(keep_rc);
+    parts.keep_rnc = std::move(keep_rnc);
+    return visit(parts);
+  };
+
+  if (idempotent_only) {
+    // Choose a range set R (|R| ≤ max_range, each maps to itself), then
+    // map every other variable to an element of R or leave it unmapped.
+    std::vector<size_t> range_idx;
+    std::function<void(size_t)> choose_range = [&](size_t start) {
+      if (!keep_going) return;
+      // Assign the non-range variables.
+      {
+        std::vector<int> assign(v, -2);  // -2 = unmapped, else index into
+                                         // range_idx; range vars fixed.
+        std::function<void(size_t)> assign_rest = [&](size_t i) {
+          if (!keep_going) return;
+          if (i == v) {
+            Substitution mu;
+            std::vector<Term> dom;
+            for (size_t j = 0; j < v; ++j) {
+              bool in_range = std::find(range_idx.begin(), range_idx.end(),
+                                        j) != range_idx.end();
+              if (in_range) {
+                mu.Bind(vars[j], vars[j]);
+                dom.push_back(vars[j]);
+              } else if (assign[j] >= 0) {
+                mu.Bind(vars[j], vars[range_idx[assign[j]]]);
+                dom.push_back(vars[j]);
+              }
+            }
+            keep_going = emit(mu, dom);
+            return;
+          }
+          if (std::find(range_idx.begin(), range_idx.end(), i) !=
+              range_idx.end()) {
+            assign_rest(i + 1);
+            return;
+          }
+          for (int c = -2; c < static_cast<int>(range_idx.size()); ++c) {
+            if (c == -1) continue;
+            assign[i] = c;
+            assign_rest(i + 1);
+            if (!keep_going) return;
+          }
+        };
+        assign_rest(0);
+      }
+      if (!keep_going) return;
+      if (range_idx.size() >= max_range) return;
+      for (size_t j = start; j < v; ++j) {
+        range_idx.push_back(j);
+        choose_range(j + 1);
+        range_idx.pop_back();
+        if (!keep_going) return;
+      }
+    };
+    choose_range(0);
+    return keep_going && !capped;
+  }
+
+  // Full enumeration: each variable maps to any variable or stays
+  // unmapped, with |range| ≤ max_range.
+  std::vector<int> assign(v, -1);  // -1 = unmapped, else target var index.
+  std::function<void(size_t, size_t)> rec = [&](size_t i, size_t ran_size) {
+    if (!keep_going) return;
+    if (i == v) {
+      Substitution mu;
+      std::vector<Term> dom;
+      for (size_t j = 0; j < v; ++j) {
+        if (assign[j] >= 0) {
+          mu.Bind(vars[j], vars[assign[j]]);
+          dom.push_back(vars[j]);
+        }
+      }
+      keep_going = emit(mu, dom);
+      return;
+    }
+    for (int c = -1; c < static_cast<int>(v); ++c) {
+      size_t new_ran = ran_size;
+      if (c >= 0) {
+        bool already = false;
+        for (size_t j = 0; j < i; ++j) {
+          if (assign[j] == c) {
+            already = true;
+            break;
+          }
+        }
+        if (!already) ++new_ran;
+        if (new_ran > max_range) continue;
+      }
+      assign[i] = c;
+      rec(i + 1, new_ran);
+      assign[i] = -1;
+      if (!keep_going) return;
+    }
+  };
+  rec(0, 0);
+  return keep_going && !capped;
+}
+
+Atom MakeFreshHead(RelationId pred, const std::vector<Term>& keep,
+                   const SelectionParts& sel, const Rule& rule) {
+  // H is a plain (unannotated) relation over the keep tuple. The paper
+  // gives H "the annotation of head(σ)", but carrying the full head
+  // annotation verbatim can reference variables that are unavailable on
+  // the defining side (e.g. a head-annotation variable bound only by the
+  // non-covered atoms in an rc-rewriting); instead, head-annotation
+  // variables flow through keep exactly like head-argument variables, and
+  // the use-side rule re-binds the remaining ones from its own atoms.
+  GEREL_CHECK(rule.head.size() == 1);
+  (void)sel;
+  Atom h;
+  h.pred = pred;
+  h.args = keep;
+  return h;
+}
+
+bool RcApplicable(const Rule& rule, const SelectionParts& sel) {
+  // Condition 10(b): µ(cov) has a variable z ∉ keep.
+  std::vector<Atom> body_atoms;
+  for (const Literal& l : rule.body) body_atoms.push_back(l.atom);
+  for (size_t i : sel.covered) {
+    for (Term t : sel.mu.Apply(body_atoms[i]).AllVars()) {
+      if (!Contains(sel.keep_rc, t)) return true;
+    }
+  }
+  return false;
+}
+
+bool RncApplicable(const Rule& rule, const SelectionParts& sel) {
+  // Condition 11(b): µ(body \ cov) has a variable z ∉ keep, and every
+  // head variable must be in dom(µ) so σ″ is safe.
+  std::vector<Term> dom = sel.mu.Domain();
+  for (Term x : HeadVars(rule)) {
+    if (!Contains(dom, x)) return false;
+  }
+  std::vector<Atom> body_atoms;
+  for (const Literal& l : rule.body) body_atoms.push_back(l.atom);
+  for (size_t i : sel.non_covered) {
+    for (Term t : sel.mu.Apply(body_atoms[i]).AllVars()) {
+      if (!Contains(sel.keep_rnc, t)) return true;
+    }
+  }
+  return false;
+}
+
+RewriteSet RcRewritings(const Rule& rule, const SelectionParts& sel,
+                        const SignatureInfo& sig, const Atom& fresh_head,
+                        SymbolTable* symbols, bool exhaustive_guards) {
+  RewriteSet out;
+  if (!RcApplicable(rule, sel)) return out;
+  std::vector<Atom> body_atoms;
+  for (const Literal& l : rule.body) body_atoms.push_back(l.atom);
+  std::vector<Atom> cov_mapped, noncov_mapped;
+  for (size_t i : sel.covered) cov_mapped.push_back(sel.mu.Apply(body_atoms[i]));
+  for (size_t i : sel.non_covered)
+    noncov_mapped.push_back(sel.mu.Apply(body_atoms[i]));
+
+  // σ′ = R(~x) ∧ µ(cov) → H; the guard must contain every variable of σ′.
+  std::vector<Term> required = AtomsVars(cov_mapped);
+  AppendDistinct(fresh_head.AllVars(), &required);
+  ForEachGuardAtom(sig, required, required, {}, exhaustive_guards,
+                   /*null_capable_only=*/true, symbols,
+                   [&](const Atom& guard) {
+                     std::vector<Atom> body = {guard};
+                     body.insert(body.end(), cov_mapped.begin(),
+                                 cov_mapped.end());
+                     out.primes.push_back(Rule::Positive(body, {fresh_head}));
+                   });
+  if (out.primes.empty()) return RewriteSet();
+
+  // σ″ = H ∧ µ(body \ cov) → µ(head).
+  std::vector<Atom> body2 = {fresh_head};
+  body2.insert(body2.end(), noncov_mapped.begin(), noncov_mapped.end());
+  out.seconds.push_back(
+      Rule::Positive(body2, {sel.mu.Apply(rule.head[0])}));
+  return out;
+}
+
+RewriteSet RncRewritings(const Rule& rule, const SelectionParts& sel,
+                         const SignatureInfo& sig, const Atom& fresh_head,
+                         SymbolTable* symbols, bool exhaustive_guards) {
+  RewriteSet out;
+  if (!RncApplicable(rule, sel)) return out;
+  std::vector<Atom> body_atoms;
+  for (const Literal& l : rule.body) body_atoms.push_back(l.atom);
+  std::vector<Atom> cov_mapped, noncov_mapped;
+  for (size_t i : sel.covered) cov_mapped.push_back(sel.mu.Apply(body_atoms[i]));
+  for (size_t i : sel.non_covered)
+    noncov_mapped.push_back(sel.mu.Apply(body_atoms[i]));
+
+  // σ′ = R(~x) ∧ µ(body \ cov) → H with ~x ⊇ keep (frontier-guarding) and
+  // a projected variable z of µ(body \ cov) in ~x (condition (b)).
+  std::vector<Term> required = sel.keep_rnc;
+  AppendDistinct(fresh_head.AllVars(), &required);
+  std::vector<Term> pool = required;
+  AppendDistinct(AtomsVars(noncov_mapped), &pool);
+  std::vector<Term> witness;
+  for (Term t : AtomsVars(noncov_mapped)) {
+    if (!Contains(sel.keep_rnc, t)) witness.push_back(t);
+  }
+  ForEachGuardAtom(sig, required, pool, witness, exhaustive_guards,
+                   /*null_capable_only=*/false, symbols,
+                   [&](const Atom& guard) {
+                     std::vector<Atom> body = {guard};
+                     body.insert(body.end(), noncov_mapped.begin(),
+                                 noncov_mapped.end());
+                     out.primes.push_back(Rule::Positive(body, {fresh_head}));
+                   });
+  if (out.primes.empty()) return RewriteSet();
+
+  // σ″ = P(~z) ∧ H ∧ µ(cov) → µ(head) with ~z covering every variable.
+  Atom mapped_head = sel.mu.Apply(rule.head[0]);
+  std::vector<Term> required2 = fresh_head.AllVars();
+  AppendDistinct(AtomsVars(cov_mapped), &required2);
+  AppendDistinct(mapped_head.AllVars(), &required2);
+  ForEachGuardAtom(sig, required2, required2, {}, exhaustive_guards,
+                   /*null_capable_only=*/true, symbols,
+                   [&](const Atom& guard) {
+                     std::vector<Atom> body = {guard, fresh_head};
+                     body.insert(body.end(), cov_mapped.begin(),
+                                 cov_mapped.end());
+                     out.seconds.push_back(
+                         Rule::Positive(body, {mapped_head}));
+                   });
+  if (out.seconds.empty()) return RewriteSet();
+  return out;
+}
+
+}  // namespace gerel

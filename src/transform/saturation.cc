@@ -1,0 +1,315 @@
+#include "transform/saturation.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "core/check.h"
+#include "core/classify.h"
+#include "core/homomorphism.h"
+#include "core/substitution.h"
+#include "core/printer.h"
+#include "transform/canonical.h"
+#include <cstdlib>
+#include <cstdio>
+
+namespace gerel {
+
+namespace {
+
+void AppendDistinct(const std::vector<Term>& in, std::vector<Term>* out) {
+  for (Term t : in) {
+    if (std::find(out->begin(), out->end(), t) == out->end())
+      out->push_back(t);
+  }
+}
+
+bool Contains(const std::vector<Term>& v, Term t) {
+  return std::find(v.begin(), v.end(), t) != v.end();
+}
+
+// Sorts and deduplicates body literals and head atoms (conjunctions are
+// sets; keeping them canonical keeps the closure small).
+Rule TidyRule(Rule r) {
+  std::sort(r.body.begin(), r.body.end(),
+            [](const Literal& a, const Literal& b) {
+              if (a.negated != b.negated) return a.negated < b.negated;
+              return a.atom < b.atom;
+            });
+  r.body.erase(std::unique(r.body.begin(), r.body.end()), r.body.end());
+  std::sort(r.head.begin(), r.head.end());
+  r.head.erase(std::unique(r.head.begin(), r.head.end()), r.head.end());
+  return r;
+}
+
+class Saturator {
+ public:
+  Saturator(const Theory& theory, SymbolTable* symbols,
+            const SaturationOptions& options)
+      : symbols_(symbols), options_(options) {
+    for (const Rule& r : theory.rules()) Add(TidyRule(r));
+  }
+
+  SaturationResult Run() {
+    while (!worklist_.empty() && result_.complete) {
+      size_t i = worklist_.front();
+      worklist_.pop_front();
+      Process(i);
+    }
+    for (const Rule& r : rules_) {
+      result_.closure.AddRule(r);
+      if (r.EVars().empty()) result_.datalog.AddRule(r);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void Process(size_t idx) {
+    // Copy: Add() may reallocate rules_ while the inference rules run.
+    const Rule current = rules_[idx];
+    if (options_.enable_projection) Project(current);
+    if (options_.enable_renaming) Rename(current);
+    if (!options_.enable_composition) return;
+    // Compositions. Only *existential* left premises are composed: a
+    // composition whose left premise is Datalog is an ordinary resolution
+    // step that bottom-up evaluation of dat(Σ) performs anyway, whereas
+    // inference through labeled nulls must be compiled into the
+    // existential heads here (the paper's own σ6–σ12 derivation in
+    // Example 7 uses exclusively existential left premises).
+    size_t n = rules_.size();
+    bool idx_existential = !rules_[idx].EVars().empty();
+    for (size_t j = 0; j < n && result_.complete; ++j) {
+      const Rule left = rules_[idx];
+      const Rule right = rules_[j];
+      if (idx_existential && right.EVars().empty()) Compose(left, right);
+      if (idx != j && !right.EVars().empty() && left.EVars().empty()) {
+        Compose(right, left);
+      }
+    }
+  }
+
+  // (projection): α → β ∧ A ⟹ α → A for universal A.
+  void Project(const Rule& rule) {
+    if (rule.head.size() <= 1) return;
+    std::vector<Term> evars = rule.EVars();
+    for (const Atom& a : rule.head) {
+      bool universal = true;
+      for (Term v : a.AllVars()) {
+        if (Contains(evars, v)) {
+          universal = false;
+          break;
+        }
+      }
+      if (universal) {
+        ++result_.inferences;
+        Add(TidyRule(Rule(rule.body, {a})));
+      }
+    }
+  }
+
+  // (renaming): g(α) → g(β) for total g : vars(α) → vars(α). Idempotent
+  // merges (restricted-growth partitions) are enumerated; every other g
+  // is a variable renaming of one of them, which canonical dedup absorbs.
+  void Rename(const Rule& rule) {
+    std::vector<Term> vars = rule.UVars();
+    if (vars.size() <= 1) return;
+    std::vector<int> rep(vars.size(), -1);
+    std::function<void(size_t)> rec = [&](size_t i) {
+      if (!result_.complete) return;
+      if (i == vars.size()) {
+        Substitution g;
+        bool nontrivial = false;
+        for (size_t j = 0; j < vars.size(); ++j) {
+          if (rep[j] != static_cast<int>(j)) nontrivial = true;
+          g.Bind(vars[j], vars[rep[j]]);
+        }
+        if (nontrivial) {
+          ++result_.inferences;
+          Add(TidyRule(g.Apply(rule)));
+        }
+        return;
+      }
+      for (size_t r = 0; r <= i; ++r) {
+        if (r < i && rep[r] != static_cast<int>(r)) continue;  // Reps only.
+        rep[i] = static_cast<int>(r == i ? i : r);
+        rec(i + 1);
+      }
+    };
+    rec(0);
+  }
+
+  // (composition): left = α → β, right = Datalog γ → δ. For every split
+  // γ = γ1 ⊎ γ2 with γ2 ≠ ∅, every homomorphism h : γ2 → β whose
+  // extension maps vars(γ1) into vars(α): derive α ∧ h(γ1) → β ∧ h(δ).
+  void Compose(const Rule& left, const Rule& right_in) {
+    // Rename the right premise apart with reserved composition variables.
+    Rule right = right_in;
+    {
+      Substitution apart;
+      std::vector<Term> rvars = right.Vars();
+      for (size_t i = 0; i < rvars.size(); ++i) {
+        apart.Bind(rvars[i], CompositionVar(i));
+      }
+      right = apart.Apply(right);
+    }
+    std::vector<Atom> gamma = right.PositiveBody();
+    if (gamma.empty()) return;  // Fact rules compose trivially.
+    std::vector<Term> alpha_vars = left.UVars();
+    std::vector<Term> beta_evars = left.EVars();
+
+    size_t subsets = size_t{1} << gamma.size();
+    for (size_t mask = 1; mask < subsets; ++mask) {
+      std::vector<Atom> gamma2, gamma1;
+      for (size_t i = 0; i < gamma.size(); ++i) {
+        ((mask >> i) & 1 ? gamma2 : gamma1).push_back(gamma[i]);
+      }
+      ForEachEmbedding(
+          gamma2, left.head, Substitution(), [&](const Substitution& h0) {
+            // Bound γ1/δ variables must not map onto β's existential
+            // variables and must land in vars(α) when they occur in γ1.
+            std::vector<Term> gamma1_vars;
+            for (const Atom& a : gamma1) AppendDistinct(a.AllVars(),
+                                                        &gamma1_vars);
+            std::vector<Term> unbound;
+            bool ok = true;
+            for (Term v : gamma1_vars) {
+              Term img = h0.Apply(v);
+              if (img == v && !h0.IsBound(v)) {
+                unbound.push_back(v);
+              } else if (img.IsVariable() && !Contains(alpha_vars, img)) {
+                ok = false;  // Mapped onto an existential of β.
+                break;
+              }
+            }
+            if (!ok) return true;
+            // Enumerate assignments of the unbound γ1 variables into
+            // vars(α).
+            if (!unbound.empty() && alpha_vars.empty()) return true;
+            std::vector<size_t> pick(unbound.size(), 0);
+            while (true) {
+              Substitution h = h0;
+              for (size_t i = 0; i < unbound.size(); ++i) {
+                h.Bind(unbound[i], alpha_vars[pick[i]]);
+              }
+              EmitComposition(left, right, gamma1, h);
+              if (!result_.complete) return false;
+              // Advance the mixed-radix counter.
+              size_t i = 0;
+              for (; i < pick.size(); ++i) {
+                if (++pick[i] < alpha_vars.size()) break;
+                pick[i] = 0;
+              }
+              if (i == pick.size()) break;
+              if (pick.empty()) break;
+            }
+            return result_.complete;
+          });
+      if (!result_.complete) return;
+    }
+  }
+
+  void EmitComposition(const Rule& left, const Rule& right,
+                       const std::vector<Atom>& gamma1,
+                       const Substitution& h) {
+    Rule derived;
+    derived.body = left.body;
+    for (const Atom& a : gamma1) {
+      derived.body.emplace_back(h.Apply(a), /*negated=*/false);
+    }
+    derived.head = left.head;
+    bool head_grew = false;
+    for (const Atom& a : right.head) {
+      Atom img = h.Apply(a);
+      if (std::find(derived.head.begin(), derived.head.end(), img) ==
+          derived.head.end()) {
+        head_grew = true;
+      }
+      derived.head.push_back(std::move(img));
+    }
+    // Without a new head atom, the derived rule has the same head and a
+    // superset body: subsumed by the left premise.
+    if (!head_grew) return;
+    derived = TidyRule(std::move(derived));
+    if (derived.body.size() > options_.max_body_atoms ||
+        derived.head.size() > options_.max_head_atoms) {
+      result_.complete = false;
+      return;
+    }
+    if (getenv("GEREL_SAT_DEBUG") != nullptr) {
+      fprintf(stderr, "compose\n  left: %s\n  right: %s\n  => %s\n",
+              ToString(left, *symbols_).c_str(),
+              ToString(right, *symbols_).c_str(),
+              ToString(derived, *symbols_).c_str());
+    }
+    ++result_.inferences;
+    Add(derived);
+  }
+
+  Term CompositionVar(size_t i) {
+    while (composition_vars_.size() <= i) {
+      composition_vars_.push_back(symbols_->Variable(
+          "Cmp#" + std::to_string(composition_vars_.size())));
+    }
+    return composition_vars_[i];
+  }
+
+  void Add(const Rule& rule) {
+    if (rules_.size() >= options_.max_rules) {
+      result_.complete = false;
+      return;
+    }
+    std::string key = CanonicalRuleString(rule, *symbols_);
+    if (!seen_.insert(key).second) return;
+    rules_.push_back(rule);
+    worklist_.push_back(rules_.size() - 1);
+  }
+
+  SymbolTable* symbols_;
+  SaturationOptions options_;
+  std::vector<Rule> rules_;
+  std::unordered_set<std::string> seen_;
+  std::deque<size_t> worklist_;
+  std::vector<Term> composition_vars_;
+  SaturationResult result_;
+};
+
+}  // namespace
+
+Result<SaturationResult> Saturate(const Theory& guarded_theory,
+                                  SymbolTable* symbols,
+                                  const SaturationOptions& options) {
+  if (guarded_theory.HasNegation()) {
+    return Status::Error("saturation requires a negation-free theory");
+  }
+  if (!Classify(guarded_theory).guarded) {
+    return Status::Error("saturation requires a guarded theory (Def 19)");
+  }
+  Saturator saturator(guarded_theory, symbols, options);
+  return saturator.Run();
+}
+
+Result<DatalogTranslation> NearlyGuardedToDatalog(
+    const Theory& nearly_guarded, SymbolTable* symbols,
+    const SaturationOptions& options) {
+  PositionSet affected = AffectedPositions(nearly_guarded);
+  Theory guarded_part, datalog_part;
+  for (const Rule& rule : nearly_guarded.rules()) {
+    if (IsGuardedRule(rule)) {
+      guarded_part.AddRule(rule);
+    } else if (UnsafeVars(rule, affected).empty() && rule.EVars().empty()) {
+      datalog_part.AddRule(rule);
+    } else {
+      return Status::Error("theory is not nearly guarded (Def 3 fails)");
+    }
+  }
+  Result<SaturationResult> sat = Saturate(guarded_part, symbols, options);
+  if (!sat.ok()) return sat.status();
+  DatalogTranslation out;
+  out.complete = sat.value().complete;
+  out.datalog = std::move(sat.value().datalog);
+  for (const Rule& r : datalog_part.rules()) out.datalog.AddRule(r);
+  return out;
+}
+
+}  // namespace gerel

@@ -1,0 +1,72 @@
+// The saturation calculus Ξ(Σ) of paper §6 (Figure 3) and the guarded →
+// Datalog translation dat(Σ) (Def 19, Thm 3), plus the nearly guarded →
+// Datalog extension (Prop 6).
+//
+// Figure 3's inference rules:
+//   (projection)  α → β ∧ A  ⟹  α → A      if A has no existential vars
+//   (composition) from α → β and a Datalog rule γ1 ∧ γ2 → δ with a
+//                 homomorphism h from γ2 into β and vars(h(γ1)) ⊆ vars(α):
+//                 α ∧ h(γ1) → β ∧ h(δ)
+//   (renaming)    α → β  ⟹  g(α) → g(β)    for g : vars(α) → vars(α)
+//
+// dat(Σ) drops every closure rule whose head still contains existential
+// variables; the result is a Datalog program with the same ground atomic
+// consequences as Σ over every database.
+#ifndef GEREL_TRANSFORM_SATURATION_H_
+#define GEREL_TRANSFORM_SATURATION_H_
+
+#include <cstddef>
+
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+struct SaturationOptions {
+  // Hard cap on closure size; exceeding it marks the result incomplete
+  // (the paper's bound is 2^((v+c)^p · m) rules — double exponential in
+  // the worst case, §6).
+  size_t max_rules = 100000;
+  // Skip derived rules whose body/head grow beyond these bounds. The
+  // closure stays finite without them (atoms over a fixed variable set),
+  // but they keep the saturation practical; exceeding marks incomplete.
+  size_t max_body_atoms = 16;
+  size_t max_head_atoms = 16;
+  // Toggles for the individual Figure 3 rules (ablation/debugging; all
+  // three are required for completeness).
+  bool enable_projection = true;
+  bool enable_composition = true;
+  bool enable_renaming = true;
+};
+
+struct SaturationResult {
+  // Ξ(Σ): the closure under the Figure 3 rules (modulo renaming).
+  Theory closure;
+  // dat(Σ): the Datalog rules of the closure.
+  Theory datalog;
+  bool complete = true;
+  size_t inferences = 0;
+};
+
+// Saturates a guarded, negation-free theory. The closure of a guarded
+// theory is guarded (paper §6).
+Result<SaturationResult> Saturate(const Theory& guarded_theory,
+                                  SymbolTable* symbols,
+                                  const SaturationOptions& options =
+                                      SaturationOptions());
+
+struct DatalogTranslation {
+  Theory datalog;
+  bool complete = true;
+};
+
+// Prop 6: a nearly guarded theory Σ translates to dat(Σg) ∪ Σd, where Σg
+// are the guarded rules and Σd the safe Datalog remainder.
+Result<DatalogTranslation> NearlyGuardedToDatalog(
+    const Theory& nearly_guarded, SymbolTable* symbols,
+    const SaturationOptions& options = SaturationOptions());
+
+}  // namespace gerel
+
+#endif  // GEREL_TRANSFORM_SATURATION_H_

@@ -1,0 +1,119 @@
+// Unit tests for Database storage, indexing, and the acdom built-in.
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/parser.h"
+#include "core/theory.h"
+
+namespace gerel {
+namespace {
+
+TEST(DatabaseTest, InsertDeduplicates) {
+  SymbolTable syms;
+  RelationId r = syms.Relation("r", 2);
+  Term a = syms.Constant("a");
+  Term b = syms.Constant("b");
+  Database db;
+  EXPECT_TRUE(db.Insert(Atom(r, {a, b})));
+  EXPECT_FALSE(db.Insert(Atom(r, {a, b})));
+  EXPECT_TRUE(db.Insert(Atom(r, {b, a})));
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.Contains(Atom(r, {a, b})));
+  EXPECT_FALSE(db.Contains(Atom(r, {a, a})));
+}
+
+TEST(DatabaseTest, RelationIndex) {
+  SymbolTable syms;
+  Result<Database> db = ParseDatabase("r(a, b). r(b, c). s(a).", &syms);
+  ASSERT_TRUE(db.ok());
+  RelationId r = syms.Relation("r");
+  RelationId s = syms.Relation("s");
+  RelationId t = syms.Relation("t", 1);
+  EXPECT_EQ(db.value().AtomsOf(r).size(), 2u);
+  EXPECT_EQ(db.value().AtomsOf(s).size(), 1u);
+  EXPECT_TRUE(db.value().AtomsOf(t).empty());
+}
+
+TEST(DatabaseTest, PositionIndex) {
+  SymbolTable syms;
+  Result<Database> db = ParseDatabase("r(a, b). r(b, c). r(a, c).", &syms);
+  ASSERT_TRUE(db.ok());
+  RelationId r = syms.Relation("r");
+  Term a = syms.Constant("a");
+  Term c = syms.Constant("c");
+  EXPECT_EQ(db.value().AtomsAt(r, 0, a).size(), 2u);
+  EXPECT_EQ(db.value().AtomsAt(r, 1, c).size(), 2u);
+  EXPECT_TRUE(db.value().AtomsAt(r, 0, c).empty());
+}
+
+TEST(DatabaseTest, ActiveTermsAndConstants) {
+  SymbolTable syms;
+  Database db;
+  RelationId r = syms.Relation("r", 2);
+  Term a = syms.Constant("a");
+  Term n = syms.FreshNull();
+  db.Insert(Atom(r, {a, n}));
+  std::vector<Term> terms = db.ActiveTerms();
+  EXPECT_EQ(terms.size(), 2u);
+  std::vector<Term> constants = db.ActiveConstants();
+  ASSERT_EQ(constants.size(), 1u);
+  EXPECT_EQ(constants[0], a);
+}
+
+TEST(DatabaseTest, RestrictKeepsOnlyGivenRelations) {
+  SymbolTable syms;
+  Result<Database> db = ParseDatabase("r(a). s(a). t(a).", &syms);
+  ASSERT_TRUE(db.ok());
+  Database out =
+      db.value().Restrict({syms.Relation("r"), syms.Relation("t")});
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.Contains(Atom(syms.Relation("r"), {syms.Constant("a")})));
+  EXPECT_FALSE(out.Contains(Atom(syms.Relation("s"), {syms.Constant("a")})));
+}
+
+TEST(DatabaseTest, EqualityIsSetEquality) {
+  SymbolTable syms;
+  Result<Database> d1 = ParseDatabase("r(a). s(b).", &syms);
+  Result<Database> d2 = ParseDatabase("s(b). r(a).", &syms);
+  Result<Database> d3 = ParseDatabase("r(a).", &syms);
+  EXPECT_TRUE(d1.value() == d2.value());
+  EXPECT_FALSE(d1.value() == d3.value());
+}
+
+TEST(AcdomTest, PopulatesActiveDomainAndTheoryConstants) {
+  SymbolTable syms;
+  Result<Database> db = ParseDatabase("r(a, b).", &syms);
+  ASSERT_TRUE(db.ok());
+  Result<Theory> theory = ParseTheory("-> s(c).", &syms);
+  ASSERT_TRUE(theory.ok());
+  Database d = std::move(db).value();
+  PopulateAcdom(theory.value(), &syms, &d);
+  RelationId acdom = AcdomRelation(&syms);
+  EXPECT_TRUE(d.Contains(Atom(acdom, {syms.Constant("a")})));
+  EXPECT_TRUE(d.Contains(Atom(acdom, {syms.Constant("b")})));
+  EXPECT_TRUE(d.Contains(Atom(acdom, {syms.Constant("c")})));
+  EXPECT_EQ(d.AtomsOf(acdom).size(), 3u);
+}
+
+TEST(AcdomTest, AcdomAtomsDoNotFeedTheDomain) {
+  SymbolTable syms;
+  Database d;
+  RelationId acdom = AcdomRelation(&syms);
+  d.Insert(Atom(acdom, {syms.Constant("z")}));
+  PopulateAcdom(Theory(), &syms, &d);
+  // z occurs only in an acdom atom, so no further acdom facts appear.
+  EXPECT_EQ(d.AtomsOf(acdom).size(), 1u);
+}
+
+TEST(DatabaseTest, DisablingPositionIndex) {
+  Database db;
+  db.set_position_index_enabled(false);
+  SymbolTable syms;
+  RelationId r = syms.Relation("r", 1);
+  db.Insert(Atom(r, {syms.Constant("a")}));
+  EXPECT_EQ(db.AtomsOf(r).size(), 1u);
+  EXPECT_FALSE(db.position_index_enabled());
+}
+
+}  // namespace
+}  // namespace gerel

@@ -1,0 +1,52 @@
+// Tests for the DOT renderings.
+#include <gtest/gtest.h>
+
+#include "chase/chase_tree.h"
+#include "core/graphviz.h"
+#include "core/parser.h"
+
+namespace gerel {
+namespace {
+
+TEST(GraphvizTest, PredicateGraphHasEdges) {
+  SymbolTable syms;
+  Theory t = ParseTheory(R"(
+    a(X) -> exists Y. r(X, Y).
+    r(X, Y) -> s(Y).
+  )",
+                         &syms)
+                 .value();
+  std::string dot = PredicateGraphDot(t, syms);
+  EXPECT_NE(dot.find("\"a\" -> \"r\" [style=dashed]"), std::string::npos);
+  EXPECT_NE(dot.find("\"r\" -> \"s\";"), std::string::npos);
+  EXPECT_EQ(dot.find("\"s\" -> \"a\""), std::string::npos);
+}
+
+TEST(GraphvizTest, PositionGraphMarksSpecialEdges) {
+  SymbolTable syms;
+  Theory t = ParseTheory("a(X) -> exists Y. r(X, Y).", &syms).value();
+  std::string dot = PositionGraphDot(t, syms);
+  EXPECT_NE(dot.find("\"a.1\" -> \"r.1\";"), std::string::npos);
+  EXPECT_NE(dot.find("\"a.1\" -> \"r.2\" [color=red"), std::string::npos);
+}
+
+TEST(GraphvizTest, ChaseTreeRendersAllNodes) {
+  SymbolTable syms;
+  Theory t = ParseTheory("a(X) -> exists Y. r(X, Y).", &syms).value();
+  Database db = ParseDatabase("a(c).", &syms).value();
+  ChaseTree tree = BuildChaseTree(t, db, &syms).value();
+  std::string dot = ChaseTreeDot(tree, syms);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("a(c)"), std::string::npos);
+}
+
+TEST(GraphvizTest, FactOnlyTheory) {
+  SymbolTable syms;
+  Theory t = ParseTheory("-> r(c).", &syms).value();
+  std::string dot = PredicateGraphDot(t, syms);
+  EXPECT_NE(dot.find("\"r\";"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gerel

@@ -1,0 +1,153 @@
+// Unit tests for Prop 1 normalization (Def 4 normal form).
+#include <gtest/gtest.h>
+
+#include "core/classify.h"
+#include "core/normalize.h"
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace gerel {
+namespace {
+
+Theory Parse(const char* text, SymbolTable* syms) {
+  Result<Theory> t = ParseTheory(text, syms);
+  EXPECT_TRUE(t.ok()) << t.status().message();
+  return std::move(t).value();
+}
+
+TEST(NormalizeTest, AlreadyNormalTheoryIsUnchanged) {
+  SymbolTable syms;
+  Theory t = Parse(R"(
+    a(X) -> exists Y. r(X, Y).
+    r(X, Y) -> s(Y, Y).
+  )",
+                   &syms);
+  EXPECT_TRUE(IsNormal(t));
+  Theory n = Normalize(t, &syms);
+  EXPECT_EQ(n.size(), t.size());
+  EXPECT_TRUE(IsNormal(n));
+}
+
+TEST(NormalizeTest, SplitsMultiAtomHeads) {
+  SymbolTable syms;
+  Theory t = Parse("a(X) -> exists Y. r(X, Y), s(Y, Y).", &syms);
+  EXPECT_FALSE(IsNormal(t));
+  Theory n = Normalize(t, &syms);
+  EXPECT_TRUE(IsNormal(n));
+  // One collector rule plus two projections.
+  EXPECT_EQ(n.size(), 3u);
+  for (const Rule& r : n.rules()) EXPECT_EQ(r.head.size(), 1u);
+}
+
+TEST(NormalizeTest, SharedExistentialsStayCorrelated) {
+  SymbolTable syms;
+  Theory t = Parse("a(X) -> exists Y. r(X, Y), s(Y, Y).", &syms);
+  Theory n = Normalize(t, &syms);
+  // The collector head must contain both the frontier X and the
+  // existential Y so the two projections agree on Y.
+  const Rule& collector = n.rules()[0];
+  EXPECT_EQ(collector.head.size(), 1u);
+  EXPECT_EQ(collector.head[0].args.size(), 2u);
+}
+
+TEST(NormalizeTest, GuardsUnguardedExistentialRules) {
+  SymbolTable syms;
+  // Body has no single atom with X and Z, but the rule is
+  // frontier-guarded (frontier {X}) and has an existential head.
+  Theory t = Parse("e(X, Y), f(Y, Z) -> exists W. g(X, W).", &syms);
+  EXPECT_FALSE(IsNormal(t));
+  Theory n = Normalize(t, &syms);
+  EXPECT_TRUE(IsNormal(n));
+  for (const Rule& r : n.rules()) {
+    if (!r.EVars().empty()) {
+      EXPECT_TRUE(IsGuardedRule(r));
+    }
+  }
+}
+
+TEST(NormalizeTest, ExtractsConstants) {
+  SymbolTable syms;
+  Theory t = Parse("r(X, c) -> s(X).", &syms);
+  EXPECT_FALSE(IsNormal(t));
+  Theory n = Normalize(t, &syms);
+  EXPECT_TRUE(IsNormal(n));
+  // One fact rule → const#c(c) and one rewritten rule.
+  EXPECT_EQ(n.size(), 2u);
+  bool has_fact = false;
+  for (const Rule& r : n.rules()) {
+    if (r.IsFact()) has_fact = true;
+  }
+  EXPECT_TRUE(has_fact);
+}
+
+TEST(NormalizeTest, FactRulesAreKept) {
+  SymbolTable syms;
+  Theory t = Parse("-> r(c).", &syms);
+  EXPECT_TRUE(IsNormal(t));
+  Theory n = Normalize(t, &syms);
+  EXPECT_EQ(n.size(), 1u);
+  EXPECT_TRUE(n.rules()[0].IsFact());
+}
+
+TEST(NormalizeTest, PreservesWeakFrontierGuardedness) {
+  SymbolTable syms;
+  Theory t = Parse(R"(
+    r(X) -> exists Y, Z. e(X, Y), e(Y, Z).
+    e(X, Y), e(Y, Z) -> t(Y).
+  )",
+                   &syms);
+  Classification before = Classify(t);
+  EXPECT_TRUE(before.weakly_frontier_guarded);
+  Theory n = Normalize(t, &syms);
+  EXPECT_TRUE(IsNormal(n));
+  Classification after = Classify(n);
+  EXPECT_TRUE(after.weakly_frontier_guarded);
+}
+
+TEST(NormalizeTest, PreservesWeakGuardedness) {
+  SymbolTable syms;
+  Theory t = Parse(R"(
+    r(X) -> exists Y. e(X, Y), d(Y).
+    e(X, Y), d(Y) -> e(Y, X).
+  )",
+                   &syms);
+  Classification before = Classify(t);
+  ASSERT_TRUE(before.weakly_guarded);
+  Theory n = Normalize(t, &syms);
+  EXPECT_TRUE(IsNormal(n));
+  EXPECT_TRUE(Classify(n).weakly_guarded);
+}
+
+TEST(NormalizeTest, PreservesFrontierGuardednessOnConstantFreeInput) {
+  SymbolTable syms;
+  Theory t = Parse(R"(
+    hastopic(X, Z), hasauthor(X, U), hasauthor(Y, U), hastopic(Y, Z2),
+      scientific(Z2), citedin(Y, X) -> scientific(Z).
+  )",
+                   &syms);
+  ASSERT_TRUE(Classify(t).frontier_guarded);
+  Theory n = Normalize(t, &syms);
+  EXPECT_TRUE(IsNormal(n));
+  EXPECT_TRUE(Classify(n).frontier_guarded);
+}
+
+TEST(NormalizeTest, MultiHeadDatalogRuleSplit) {
+  SymbolTable syms;
+  Theory t = Parse("e(X, Y) -> a(X), b(Y).", &syms);
+  Theory n = Normalize(t, &syms);
+  EXPECT_TRUE(IsNormal(n));
+  EXPECT_EQ(n.size(), 3u);
+}
+
+TEST(NormalizeTest, OptionsDisableSteps) {
+  SymbolTable syms;
+  Theory t = Parse("e(X, Y) -> a(X), b(Y).", &syms);
+  NormalizeOptions opts;
+  opts.split_heads = false;
+  Theory n = Normalize(t, &syms, opts);
+  EXPECT_EQ(n.size(), 1u);
+  EXPECT_FALSE(IsNormal(n));
+}
+
+}  // namespace
+}  // namespace gerel

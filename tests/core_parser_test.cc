@@ -1,0 +1,170 @@
+// Unit tests for the text parser and printer.
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace gerel {
+namespace {
+
+TEST(ParserTest, ParsesSimpleAtom) {
+  SymbolTable syms;
+  Result<Atom> a = ParseAtom("r(a, X, _n)", &syms);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  EXPECT_EQ(a.value().args.size(), 3u);
+  EXPECT_TRUE(a.value().args[0].IsConstant());
+  EXPECT_TRUE(a.value().args[1].IsVariable());
+  EXPECT_TRUE(a.value().args[2].IsNull());
+}
+
+TEST(ParserTest, ParsesZeroAryAtom) {
+  SymbolTable syms;
+  Result<Atom> a = ParseAtom("q", &syms);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a.value().args.empty());
+}
+
+TEST(ParserTest, ParsesAnnotatedAtom) {
+  SymbolTable syms;
+  Result<Atom> a = ParseAtom("r[U, b](X)", &syms);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  EXPECT_EQ(a.value().annotation.size(), 2u);
+  EXPECT_EQ(a.value().args.size(), 1u);
+  EXPECT_EQ(a.value().arity(), 3u);
+}
+
+TEST(ParserTest, ParsesDatalogRule) {
+  SymbolTable syms;
+  Result<Rule> r = ParseRule("e(X, Y), t(Y, Z) -> t(X, Z)", &syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().body.size(), 2u);
+  EXPECT_EQ(r.value().head.size(), 1u);
+  EXPECT_TRUE(r.value().IsDatalog());
+}
+
+TEST(ParserTest, ParsesExistentialRule) {
+  SymbolTable syms;
+  Result<Rule> r =
+      ParseRule("publication(X) -> exists K1, K2. keywords(X, K1, K2)", &syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().EVars().size(), 2u);
+  EXPECT_EQ(r.value().FVars().size(), 1u);
+  EXPECT_FALSE(r.value().IsDatalog());
+}
+
+TEST(ParserTest, ParsesEmptyBodyRule) {
+  SymbolTable syms;
+  Result<Rule> r = ParseRule("-> r(c)", &syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(r.value().body.empty());
+  EXPECT_TRUE(r.value().IsFact());
+}
+
+TEST(ParserTest, ParsesNegatedLiterals) {
+  SymbolTable syms;
+  Result<Rule> r = ParseRule("acdom(X), not r(X) -> zero(X)", &syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(r.value().HasNegation());
+  EXPECT_FALSE(r.value().body[0].negated);
+  EXPECT_TRUE(r.value().body[1].negated);
+}
+
+TEST(ParserTest, BangIsNegation) {
+  SymbolTable syms;
+  Result<Rule> r = ParseRule("acdom(X), !r(X) -> zero(X)", &syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_TRUE(r.value().HasNegation());
+}
+
+TEST(ParserTest, ParsesProgramWithFactsAndRules) {
+  SymbolTable syms;
+  Result<Program> p = ParseProgram(R"(
+    % the running example, trimmed
+    publication(p1).
+    citedin(p1, p2).
+    publication(X) -> exists K1, K2. keywords(X, K1, K2).
+  )",
+                                   &syms);
+  ASSERT_TRUE(p.ok()) << p.status().message();
+  EXPECT_EQ(p.value().database.size(), 2u);
+  EXPECT_EQ(p.value().theory.size(), 1u);
+}
+
+TEST(ParserTest, RejectsFactWithVariables) {
+  SymbolTable syms;
+  Result<Program> p = ParseProgram("r(X).", &syms);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  SymbolTable syms;
+  EXPECT_FALSE(ParseRule("r(X ->", &syms).ok());
+  EXPECT_FALSE(ParseRule("-> ", &syms).ok());
+  EXPECT_FALSE(ParseProgram("r(a)", &syms).ok());  // Missing period.
+  EXPECT_FALSE(ParseProgram("r(a) @.", &syms).ok());
+}
+
+TEST(ParserTest, ParseTheoryRejectsFacts) {
+  SymbolTable syms;
+  EXPECT_FALSE(ParseTheory("r(a).", &syms).ok());
+  EXPECT_TRUE(ParseTheory("r(X) -> s(X).", &syms).ok());
+}
+
+TEST(ParserTest, ParseDatabaseRejectsRules) {
+  SymbolTable syms;
+  EXPECT_FALSE(ParseDatabase("r(X) -> s(X).", &syms).ok());
+  EXPECT_TRUE(ParseDatabase("r(a).", &syms).ok());
+}
+
+TEST(ParserTest, MultiAtomHeads) {
+  SymbolTable syms;
+  Result<Rule> r = ParseRule("a(X) -> exists Y. r(X, Y), s(Y, Y)", &syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().head.size(), 2u);
+  EXPECT_EQ(r.value().EVars().size(), 1u);
+}
+
+TEST(PrinterTest, RoundTripsRules) {
+  SymbolTable syms;
+  const char* kRules[] = {
+      "e(X, Y), t(Y, Z) -> t(X, Z)",
+      "publication(X) -> exists K1, K2. keywords(X, K1, K2)",
+      "acdom(X), not unary(X) -> zero(X)",
+      "-> fact(c)",
+      "ann[U](X), s(X, Y) -> out[U](Y)",
+  };
+  for (const char* text : kRules) {
+    Result<Rule> r = ParseRule(text, &syms);
+    ASSERT_TRUE(r.ok()) << text << ": " << r.status().message();
+    std::string printed = ToString(r.value(), syms);
+    Result<Rule> again = ParseRule(printed, &syms);
+    ASSERT_TRUE(again.ok()) << printed << ": " << again.status().message();
+    EXPECT_EQ(r.value(), again.value()) << printed;
+  }
+}
+
+TEST(PrinterTest, DatabaseOutputIsSorted) {
+  SymbolTable syms;
+  Result<Database> db = ParseDatabase("s(b). r(a).", &syms);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(ToString(db.value(), syms), "r(a).\ns(b).\n");
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  SymbolTable syms;
+  Result<Program> p = ParseProgram(
+      "# hash comment\n% percent comment\n  r(a).  % trailing\n", &syms);
+  ASSERT_TRUE(p.ok()) << p.status().message();
+  EXPECT_EQ(p.value().database.size(), 1u);
+}
+
+TEST(ParserTest, ArityMismatchIsACleanParseError) {
+  SymbolTable syms;
+  ASSERT_TRUE(ParseAtom("r(a, b)", &syms).ok());
+  Result<Atom> bad = ParseAtom("r(a)", &syms);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("arity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gerel

@@ -1,0 +1,121 @@
+// Unit tests for Rule variable sets, validation, and Theory accessors.
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/rule.h"
+#include "core/substitution.h"
+#include "core/theory.h"
+
+namespace gerel {
+namespace {
+
+Rule MustParseRule(const char* text, SymbolTable* syms) {
+  Result<Rule> r = ParseRule(text, syms);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+TEST(RuleTest, VariablePartition) {
+  SymbolTable syms;
+  Rule r = MustParseRule(
+      "publication(X) -> exists K1, K2. keywords(X, K1, K2)", &syms);
+  EXPECT_EQ(r.UVars(), std::vector<Term>{syms.Variable("X")});
+  std::vector<Term> evars = {syms.Variable("K1"), syms.Variable("K2")};
+  EXPECT_EQ(r.EVars(), evars);
+  EXPECT_EQ(r.FVars(), std::vector<Term>{syms.Variable("X")});
+}
+
+TEST(RuleTest, FrontierExcludesBodyOnlyVars) {
+  SymbolTable syms;
+  Rule r = MustParseRule("e(X, Y), f(Y, Z) -> g(X)", &syms);
+  EXPECT_EQ(r.UVars().size(), 3u);
+  EXPECT_TRUE(r.EVars().empty());
+  EXPECT_EQ(r.FVars(), std::vector<Term>{syms.Variable("X")});
+}
+
+TEST(RuleTest, ConstantsCollected) {
+  SymbolTable syms;
+  Rule r = MustParseRule("r(X, c) -> s(X, d)", &syms);
+  std::vector<Term> cs = r.Constants();
+  EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(RuleTest, IsFact) {
+  SymbolTable syms;
+  EXPECT_TRUE(MustParseRule("-> r(c)", &syms).IsFact());
+  EXPECT_FALSE(MustParseRule("a(X) -> r(X)", &syms).IsFact());
+  EXPECT_FALSE(MustParseRule("-> exists Y. r(Y)", &syms).IsFact());
+}
+
+TEST(RuleValidateTest, AcceptsSafeRules) {
+  SymbolTable syms;
+  Rule r = MustParseRule("e(X, Y), not bad(X) -> g(X)", &syms);
+  EXPECT_TRUE(r.Validate(syms).ok());
+}
+
+TEST(RuleValidateTest, RejectsNegativeOnlyVariables) {
+  SymbolTable syms;
+  Rule r = MustParseRule("e(X, Y), not bad(Z) -> g(X)", &syms);
+  Status s = r.Validate(syms);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("Z"), std::string::npos);
+}
+
+TEST(RuleValidateTest, RejectsEmptyHead) {
+  SymbolTable syms;
+  Rule r;
+  r.body.emplace_back(Atom(syms.Relation("r", 0), {}));
+  EXPECT_FALSE(r.Validate(syms).ok());
+}
+
+TEST(RuleValidateTest, RejectsNullsInRules) {
+  SymbolTable syms;
+  Rule r;
+  r.head.push_back(Atom(syms.Relation("r", 1), {syms.FreshNull()}));
+  EXPECT_FALSE(r.Validate(syms).ok());
+}
+
+TEST(TheoryTest, Accessors) {
+  SymbolTable syms;
+  Result<Theory> t = ParseTheory(R"(
+    publication(X) -> exists K1, K2. keywords(X, K1, K2).
+    keywords(X, K1, K2) -> hastopic(X, K1).
+  )",
+                                 &syms);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().size(), 2u);
+  EXPECT_EQ(t.value().MaxArity(), 3u);
+  EXPECT_EQ(t.value().MaxVarsPerRule(), 3u);
+  EXPECT_EQ(t.value().Relations().size(), 3u);
+  EXPECT_FALSE(t.value().HasNegation());
+  EXPECT_TRUE(t.value().Validate(syms).ok());
+}
+
+TEST(TheoryTest, ConstantsAcrossRules) {
+  SymbolTable syms;
+  Result<Theory> t = ParseTheory("-> r(c).\n-> s(c, d).", &syms);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().Constants().size(), 2u);
+}
+
+TEST(SubstitutionTest, ApplyToRule) {
+  SymbolTable syms;
+  Rule r = MustParseRule("e(X, Y) -> g(X)", &syms);
+  Substitution s;
+  s.Bind(syms.Variable("X"), syms.Constant("a"));
+  Rule mapped = s.Apply(r);
+  EXPECT_EQ(mapped.body[0].atom.args[0], syms.Constant("a"));
+  EXPECT_EQ(mapped.head[0].args[0], syms.Constant("a"));
+  EXPECT_EQ(mapped.body[0].atom.args[1], syms.Variable("Y"));
+}
+
+TEST(RuleHashTest, EqualRulesHashEqual) {
+  SymbolTable syms;
+  Rule a = MustParseRule("e(X, Y) -> g(X)", &syms);
+  Rule b = MustParseRule("e(X, Y) -> g(X)", &syms);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(RuleHash()(a), RuleHash()(b));
+}
+
+}  // namespace
+}  // namespace gerel

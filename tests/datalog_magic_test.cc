@@ -1,0 +1,155 @@
+// Tests for the magic-sets transformation.
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/printer.h"
+#include "datalog/evaluator.h"
+#include "datalog/magic.h"
+
+namespace gerel {
+namespace {
+
+struct Fixture {
+  SymbolTable syms;
+  Theory theory;
+  Database db;
+
+  Fixture(const char* rules, const char* facts) {
+    theory = ParseTheory(rules, &syms).value();
+    db = ParseDatabase(facts, &syms).value();
+  }
+};
+
+const char* kTransitiveClosure =
+    "e(X, Y) -> t(X, Y).\ne(X, Y), t(Y, Z) -> t(X, Z).";
+
+TEST(MagicTest, BoundSourceTransitiveClosure) {
+  Fixture f(kTransitiveClosure,
+            "e(a, b). e(b, c). e(x1, x2). e(x2, x3). e(x3, x4).");
+  Atom query = ParseAtom("t(a, Z)", &f.syms).value();
+  Result<std::set<std::vector<Term>>> magic =
+      MagicAnswers(f.theory, f.db, query, &f.syms);
+  ASSERT_TRUE(magic.ok()) << magic.status().message();
+  // Oracle: full evaluation, filtered.
+  Result<std::set<std::vector<Term>>> full =
+      DatalogAnswers(f.theory, f.db, f.syms.Relation("t"), &f.syms);
+  ASSERT_TRUE(full.ok());
+  std::set<std::vector<Term>> expected;
+  for (const auto& tuple : full.value()) {
+    if (tuple[0] == f.syms.Constant("a")) expected.insert(tuple);
+  }
+  EXPECT_EQ(magic.value(), expected);
+  EXPECT_EQ(magic.value().size(), 2u);  // t(a,b), t(a,c).
+}
+
+TEST(MagicTest, RelevanceAvoidsUnreachablePart) {
+  // The x-chain is irrelevant to the query on a; the magic program must
+  // not derive adorned t-facts for it.
+  Fixture f(kTransitiveClosure,
+            "e(a, b). e(x1, x2). e(x2, x3). e(x3, x4). e(x4, x5).");
+  Atom query = ParseAtom("t(a, Z)", &f.syms).value();
+  Result<MagicResult> magic = MagicSets(f.theory, query, &f.syms);
+  ASSERT_TRUE(magic.ok());
+  Result<DatalogResult> magic_eval =
+      EvaluateDatalog(magic.value().program, f.db, &f.syms);
+  ASSERT_TRUE(magic_eval.ok());
+  Result<DatalogResult> full_eval = EvaluateDatalog(f.theory, f.db, &f.syms);
+  ASSERT_TRUE(full_eval.ok());
+  size_t magic_t =
+      magic_eval.value().database.AtomsOf(magic.value().query_relation)
+          .size();
+  size_t full_t =
+      full_eval.value().database.AtomsOf(f.syms.Relation("t")).size();
+  EXPECT_EQ(magic_t, 1u);   // Only t(a, b).
+  EXPECT_EQ(full_t, 11u);   // The whole closure (1 + C(5,2)).
+}
+
+TEST(MagicTest, SameGenerationClassic) {
+  Fixture f(R"(
+    flat(X, Y) -> sg(X, Y).
+    up(X, U), sg(U, V), down(V, Y) -> sg(X, Y).
+  )",
+            R"(
+    up(a, m1). up(b, m2).
+    flat(m1, m2). flat(m2, m1).
+    down(m1, a2). down(m2, b2).
+  )");
+  Atom query = ParseAtom("sg(a, Y)", &f.syms).value();
+  Result<std::set<std::vector<Term>>> magic =
+      MagicAnswers(f.theory, f.db, query, &f.syms);
+  ASSERT_TRUE(magic.ok()) << magic.status().message();
+  // sg(a, b2): up(a, m1), flat(m1, m2), down(m2, b2).
+  std::set<std::vector<Term>> expected = {
+      {f.syms.Constant("a"), f.syms.Constant("b2")}};
+  EXPECT_EQ(magic.value(), expected);
+}
+
+TEST(MagicTest, AllFreeQueryMatchesFullEvaluation) {
+  Fixture f(kTransitiveClosure, "e(a, b). e(b, c).");
+  Atom query = ParseAtom("t(X, Y)", &f.syms).value();
+  Result<std::set<std::vector<Term>>> magic =
+      MagicAnswers(f.theory, f.db, query, &f.syms);
+  ASSERT_TRUE(magic.ok());
+  Result<std::set<std::vector<Term>>> full =
+      DatalogAnswers(f.theory, f.db, f.syms.Relation("t"), &f.syms);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(magic.value(), full.value());
+}
+
+TEST(MagicTest, GroundQueryMembership) {
+  Fixture f(kTransitiveClosure, "e(a, b). e(b, c). e(c, d).");
+  Atom yes = ParseAtom("t(a, d)", &f.syms).value();
+  Atom no = ParseAtom("t(d, a)", &f.syms).value();
+  auto r1 = MagicAnswers(f.theory, f.db, yes, &f.syms);
+  auto r2 = MagicAnswers(f.theory, f.db, no, &f.syms);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value().size(), 1u);
+  EXPECT_TRUE(r2.value().empty());
+}
+
+TEST(MagicTest, RepeatedQueryVariables) {
+  Fixture f(kTransitiveClosure, "e(a, b). e(b, a). e(c, d).");
+  Atom query = ParseAtom("t(X, X)", &f.syms).value();
+  auto r = MagicAnswers(f.theory, f.db, query, &f.syms);
+  ASSERT_TRUE(r.ok());
+  // a → b → a and b → a → b are cycles: t(a,a), t(b,b).
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(MagicTest, BoundSecondArgument) {
+  Fixture f(kTransitiveClosure, "e(a, b). e(b, c). e(d, c).");
+  Atom query = ParseAtom("t(X, c)", &f.syms).value();
+  auto magic = MagicAnswers(f.theory, f.db, query, &f.syms);
+  ASSERT_TRUE(magic.ok());
+  EXPECT_EQ(magic.value().size(), 3u);  // a, b, d reach c.
+}
+
+TEST(MagicTest, RejectsNegationAndExistentials) {
+  SymbolTable syms;
+  Theory negated =
+      ParseTheory("acdom(X), not e(X, X) -> loopfree(X).", &syms).value();
+  Atom q1 = ParseAtom("loopfree(X)", &syms).value();
+  EXPECT_FALSE(MagicSets(negated, q1, &syms).ok());
+  Theory existential =
+      ParseTheory("a(X) -> exists Y. e(X, Y).", &syms).value();
+  Atom q2 = ParseAtom("e(X, Y)", &syms).value();
+  EXPECT_FALSE(MagicSets(existential, q2, &syms).ok());
+}
+
+TEST(MagicTest, RejectsEdbQuery) {
+  Fixture f(kTransitiveClosure, "e(a, b).");
+  Atom query = ParseAtom("e(a, X)", &f.syms).value();
+  EXPECT_FALSE(MagicSets(f.theory, query, &f.syms).ok());
+}
+
+TEST(MagicTest, AdornedPredicateCountIsReported) {
+  Fixture f(kTransitiveClosure, "e(a, b).");
+  Atom query = ParseAtom("t(a, Z)", &f.syms).value();
+  Result<MagicResult> magic = MagicSets(f.theory, query, &f.syms);
+  ASSERT_TRUE(magic.ok());
+  // t^bf only (the recursion keeps the bound-free pattern).
+  EXPECT_EQ(magic.value().adorned_predicates, 1u);
+}
+
+}  // namespace
+}  // namespace gerel

@@ -1,0 +1,244 @@
+// Tests for the Datalog engine: stratification, semi-naive and naive
+// evaluation, stratified negation, and the lexicographic order programs.
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/printer.h"
+#include "datalog/evaluator.h"
+#include "datalog/orderings.h"
+#include "datalog/stratifier.h"
+
+namespace gerel {
+namespace {
+
+struct Fixture {
+  SymbolTable syms;
+  Theory theory;
+  Database db;
+
+  Fixture(const char* rules, const char* facts) {
+    theory = ParseTheory(rules, &syms).value();
+    db = ParseDatabase(facts, &syms).value();
+  }
+};
+
+TEST(StratifierTest, PositiveProgramIsOneStratum) {
+  Fixture f("e(X, Y) -> t(X, Y).\ne(X, Y), t(Y, Z) -> t(X, Z).", "");
+  Result<Stratification> s = Stratify(f.theory);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().NumStrata(), 1u);
+  EXPECT_TRUE(s.value().IsSemipositive());
+}
+
+TEST(StratifierTest, NegationForcesNewStratum) {
+  Fixture f(R"(
+    e(X, Y) -> t(X, Y).
+    e(X, Y), t(Y, Z) -> t(X, Z).
+    acdom(X), acdom(Y), not t(X, Y) -> unreach(X, Y).
+  )",
+            "");
+  Result<Stratification> s = Stratify(f.theory);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().NumStrata(), 2u);
+  EXPECT_EQ(s.value().strata[0].size(), 2u);
+  EXPECT_EQ(s.value().strata[1].size(), 1u);
+}
+
+TEST(StratifierTest, RejectsNegativeCycle) {
+  // The classic win-move program is not stratifiable.
+  Fixture f("move(X, Y), not win(Y) -> win(X).", "");
+  EXPECT_FALSE(Stratify(f.theory).ok());
+}
+
+TEST(StratifierTest, ThreeStrata) {
+  Fixture f(R"(
+    base(X) -> a(X).
+    acdom(X), not a(X) -> b(X).
+    acdom(X), not b(X) -> c(X).
+  )",
+            "");
+  Result<Stratification> s = Stratify(f.theory);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().NumStrata(), 3u);
+}
+
+TEST(EvaluatorTest, TransitiveClosure) {
+  Fixture f("e(X, Y) -> t(X, Y).\ne(X, Y), t(Y, Z) -> t(X, Z).",
+            "e(a, b). e(b, c). e(c, d). e(d, a).");
+  Result<DatalogResult> r = EvaluateDatalog(f.theory, f.db, &f.syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  // 4-cycle: every pair is connected.
+  EXPECT_EQ(r.value().database.AtomsOf(f.syms.Relation("t")).size(), 16u);
+}
+
+TEST(EvaluatorTest, NaiveAndSeminaiveAgree) {
+  Fixture f("e(X, Y) -> t(X, Y).\ne(X, Y), t(Y, Z) -> t(X, Z).",
+            "e(a, b). e(b, c). e(c, d). e(d, e1). e(e1, f).");
+  DatalogOptions naive;
+  naive.seminaive = false;
+  Result<DatalogResult> r1 = EvaluateDatalog(f.theory, f.db, &f.syms);
+  Result<DatalogResult> r2 = EvaluateDatalog(f.theory, f.db, &f.syms, naive);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1.value().database == r2.value().database);
+}
+
+TEST(EvaluatorTest, StratifiedNegationComplement) {
+  Fixture f(R"(
+    e(X, Y) -> t(X, Y).
+    e(X, Y), t(Y, Z) -> t(X, Z).
+    acdom(X), acdom(Y), not t(X, Y) -> unreach(X, Y).
+  )",
+            "e(a, b). e(b, a). e(c, c).");
+  Result<DatalogResult> r = EvaluateDatalog(f.theory, f.db, &f.syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  RelationId unreach = f.syms.Relation("unreach");
+  // t = {a,b}² ∪ {(c,c)}; unreachable pairs: a→c, b→c, c→a, c→b.
+  EXPECT_EQ(r.value().database.AtomsOf(unreach).size(), 4u);
+  EXPECT_TRUE(r.value().database.Contains(
+      Atom(unreach, {f.syms.Constant("a"), f.syms.Constant("c")})));
+}
+
+TEST(EvaluatorTest, SemipositiveInputNegation) {
+  // Characteristic-function encoding of §8: one/zero per input tuple.
+  Fixture f(R"(
+    r(X) -> one(X).
+    acdom(X), not r(X) -> zero(X).
+  )",
+            "r(a). s(b). s(c).");
+  Result<DatalogResult> r = EvaluateDatalog(f.theory, f.db, &f.syms);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().database.AtomsOf(f.syms.Relation("one")).size(), 1u);
+  EXPECT_EQ(r.value().database.AtomsOf(f.syms.Relation("zero")).size(), 2u);
+}
+
+TEST(EvaluatorTest, ZeroAryRelations) {
+  Fixture f("e(X, Y) -> nonempty.\nnonempty -> alsotrue.", "e(a, b).");
+  Result<DatalogResult> r = EvaluateDatalog(f.theory, f.db, &f.syms);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(
+      r.value().database.Contains(Atom(f.syms.Relation("alsotrue"), {})));
+}
+
+TEST(EvaluatorTest, EmptyBodyNegationRule) {
+  Fixture f("not flag -> deflt.", "");
+  Result<DatalogResult> r = EvaluateDatalog(f.theory, f.db, &f.syms);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().database.Contains(Atom(f.syms.Relation("deflt"), {})));
+}
+
+TEST(EvaluatorTest, EmptyBodyNegationBlockedWhenFactPresent) {
+  Fixture f("not flag -> deflt.", "flag.");
+  Result<DatalogResult> r = EvaluateDatalog(f.theory, f.db, &f.syms);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(
+      r.value().database.Contains(Atom(f.syms.Relation("deflt"), {})));
+}
+
+TEST(EvaluatorTest, RejectsExistentialRules) {
+  Fixture f("a(X) -> exists Y. r(X, Y).", "a(c).");
+  EXPECT_FALSE(EvaluateDatalog(f.theory, f.db, &f.syms).ok());
+}
+
+TEST(EvaluatorTest, RejectsUnsafeNegation) {
+  Fixture f("e(X, Y), not bad(Z) -> g(X).", "e(a, b).");
+  EXPECT_FALSE(EvaluateDatalog(f.theory, f.db, &f.syms).ok());
+}
+
+TEST(EvaluatorTest, DatalogAnswers) {
+  Fixture f("e(X, Y) -> t(X, Y).\ne(X, Y), t(Y, Z) -> t(X, Z).",
+            "e(a, b). e(b, c).");
+  Result<std::set<std::vector<Term>>> ans =
+      DatalogAnswers(f.theory, f.db, f.syms.Relation("t"), &f.syms);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().size(), 3u);
+}
+
+TEST(EvaluatorTest, FactRulesMaterialize) {
+  Fixture f("-> r(c).\nr(X) -> s(X).", "");
+  Result<DatalogResult> r = EvaluateDatalog(f.theory, f.db, &f.syms);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().database.Contains(
+      Atom(f.syms.Relation("s"), {f.syms.Constant("c")})));
+}
+
+TEST(OrderingsTest, LinearOrderFacts) {
+  SymbolTable syms;
+  Database db;
+  std::vector<Term> dom = {syms.Constant("a"), syms.Constant("b"),
+                           syms.Constant("c")};
+  AppendLinearOrderFacts(dom, &syms, &db);
+  EXPECT_EQ(db.AtomsOf(syms.Relation("succ")).size(), 2u);
+  EXPECT_TRUE(db.Contains(Atom(syms.Relation("min"), {dom[0]})));
+  EXPECT_TRUE(db.Contains(Atom(syms.Relation("max"), {dom[2]})));
+}
+
+TEST(OrderingsTest, LexProgramMatchesDirectFactsDegree2) {
+  SymbolTable syms;
+  Database db;
+  std::vector<Term> dom = {syms.Constant("a"), syms.Constant("b"),
+                           syms.Constant("c")};
+  AppendLinearOrderFacts(dom, &syms, &db);
+  // A dummy relation so acdom covers the domain.
+  RelationId d = syms.Relation("dom", 1);
+  for (Term t : dom) db.Insert(Atom(d, {t}));
+
+  Theory program = LexTupleOrderProgram(2, &syms);
+  Result<DatalogResult> r = EvaluateDatalog(program, db, &syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+
+  Database expected;
+  AppendLexTupleOrderFacts(dom, 2, &syms, &expected);
+  for (const Atom& a : expected.atoms()) {
+    EXPECT_TRUE(r.value().database.Contains(a)) << "missing expected fact";
+  }
+  // Exactly n^2 - 1 successor pairs.
+  EXPECT_EQ(r.value().database.AtomsOf(syms.Relation("next2")).size(), 8u);
+  EXPECT_EQ(r.value().database.AtomsOf(syms.Relation("first2")).size(), 1u);
+  EXPECT_EQ(r.value().database.AtomsOf(syms.Relation("last2")).size(), 1u);
+}
+
+TEST(OrderingsTest, LexProgramDegree3Counts) {
+  SymbolTable syms;
+  Database db;
+  std::vector<Term> dom = {syms.Constant("a"), syms.Constant("b")};
+  AppendLinearOrderFacts(dom, &syms, &db);
+  RelationId d = syms.Relation("dom", 1);
+  for (Term t : dom) db.Insert(Atom(d, {t}));
+  Theory program = LexTupleOrderProgram(3, &syms);
+  Result<DatalogResult> r = EvaluateDatalog(program, db, &syms);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().database.AtomsOf(syms.Relation("next3")).size(), 7u);
+}
+
+TEST(OrderingsTest, DirectLexFactsChainIsTotal) {
+  SymbolTable syms;
+  Database db;
+  std::vector<Term> dom = {syms.Constant("a"), syms.Constant("b"),
+                           syms.Constant("c")};
+  AppendLexTupleOrderFacts(dom, 2, &syms, &db);
+  RelationId next2 = syms.Relation("next2");
+  EXPECT_EQ(db.AtomsOf(next2).size(), 8u);
+  // Walk the chain from first2 to last2 and count 9 tuples.
+  RelationId first2 = syms.Relation("first2");
+  const Atom& first = db.atom(db.AtomsOf(first2)[0]);
+  std::vector<Term> cur = first.args;
+  size_t count = 1;
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (uint32_t i : db.AtomsOf(next2)) {
+      const Atom& a = db.atom(i);
+      if (std::vector<Term>(a.args.begin(), a.args.begin() + 2) == cur) {
+        cur = std::vector<Term>(a.args.begin() + 2, a.args.end());
+        ++count;
+        advanced = true;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(count, 9u);
+  EXPECT_TRUE(db.Contains(Atom(syms.Relation("last2"), cur)));
+}
+
+}  // namespace
+}  // namespace gerel

@@ -1,0 +1,72 @@
+// Robustness: the parser must return an error Result (never crash or
+// hang) on arbitrary byte soup, and must round-trip whatever it accepts.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace gerel {
+namespace {
+
+class ParserFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+std::string RandomSoup(std::mt19937* rng, size_t length) {
+  static const char kChars[] =
+      "abcXYZ_019(),.->exists not %#![] \n\t->";
+  std::string out;
+  for (size_t i = 0; i < length; ++i) {
+    out += kChars[(*rng)() % (sizeof(kChars) - 1)];
+  }
+  return out;
+}
+
+TEST_P(ParserFuzzTest, NeverCrashesOnRandomInput) {
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    SymbolTable syms;
+    std::string soup = RandomSoup(&rng, 1 + rng() % 120);
+    Result<Program> p = ParseProgram(soup, &syms);
+    if (p.ok()) {
+      // Whatever parsed must print and re-parse to the same structures.
+      SymbolTable syms2 = syms;
+      std::string printed = ToString(p.value().theory, syms) +
+                            ToString(p.value().database, syms);
+      Result<Program> again = ParseProgram(printed, &syms2);
+      ASSERT_TRUE(again.ok()) << "round-trip broke on: " << printed;
+      EXPECT_EQ(p.value().theory.size(), again.value().theory.size());
+      EXPECT_EQ(p.value().database.size(), again.value().database.size());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, StructuredMutationsOfValidProgram) {
+  // Mutate a valid program by deleting/duplicating random chunks; the
+  // parser must accept or cleanly reject.
+  const std::string base = R"(
+    publication(X) -> exists K1, K2. keywords(X, K1, K2).
+    keywords(X, K1, K2) -> hastopic(X, K1).
+    publication(p1). hasauthor(p1, a1).
+  )";
+  std::mt19937 rng(GetParam() + 1000);
+  for (int i = 0; i < 100; ++i) {
+    std::string mutated = base;
+    size_t cut = rng() % mutated.size();
+    size_t len = rng() % 20;
+    if (rng() % 2 == 0) {
+      mutated.erase(cut, len);
+    } else {
+      mutated.insert(cut, mutated.substr(cut, len));
+    }
+    SymbolTable syms;
+    Result<Program> p = ParseProgram(mutated, &syms);
+    (void)p;  // Either outcome is fine; it just must not crash.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0u, 8u));
+
+}  // namespace
+}  // namespace gerel

@@ -1,0 +1,182 @@
+// Additional coverage: the full Example 7 derivation chain (σ6–σ12),
+// saturation-rule ablation toggles, safe annotations, and canonicalizer
+// stress cases.
+#include <gtest/gtest.h>
+
+#include "core/classify.h"
+#include "core/normalize.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "transform/annotation.h"
+#include "transform/canonical.h"
+#include "transform/saturation.h"
+
+namespace gerel {
+namespace {
+
+Theory MustParseTheory(const char* text, SymbolTable* syms) {
+  Result<Theory> t = ParseTheory(text, syms);
+  EXPECT_TRUE(t.ok()) << t.status().message();
+  return std::move(t).value();
+}
+
+const char* kExample7 = R"(
+  a(X) -> exists Y. r(X, Y).
+  r(X, Y) -> s(Y, Y).
+  s(X, Y) -> exists Z. t(X, Y, Z).
+  t(X, X, Y) -> b(X).
+  c0(X), r(X, Y), b(Y) -> d(X).
+)";
+
+bool ClosureContains(const SaturationResult& sat, const char* rule_text,
+                     SymbolTable* syms) {
+  Result<Rule> want = ParseRule(rule_text, syms);
+  EXPECT_TRUE(want.ok()) << want.status().message();
+  std::string key = CanonicalRuleString(want.value(), *syms);
+  for (const Rule& r : sat.closure.rules()) {
+    if (CanonicalRuleString(r, *syms) == key) return true;
+  }
+  return false;
+}
+
+// The paper's σ6–σ12 derivation chain, atom for atom.
+TEST(Example7ChainTest, EveryIntermediateRuleIsDerived) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory(kExample7, &syms);
+  Result<SaturationResult> sat = Saturate(theory, &syms);
+  ASSERT_TRUE(sat.ok()) << sat.status().message();
+  ASSERT_TRUE(sat.value().complete);
+  const char* kChain[] = {
+      // σ6 (renaming of σ3 with x ↦ y):
+      "s(Y, Y) -> exists Z. t(Y, Y, Z)",
+      // σ7 (σ6 ∘ σ4):
+      "s(Y, Y) -> exists Z. t(Y, Y, Z), b(Y)",
+      // σ8 (projection):
+      "s(Y, Y) -> b(Y)",
+      // σ9 (σ1 ∘ σ2):
+      "a(X) -> exists Y. r(X, Y), s(Y, Y)",
+      // σ10 (σ9 ∘ σ8):
+      "a(X) -> exists Y. r(X, Y), s(Y, Y), b(Y)",
+      // σ11 (σ10 ∘ σ5, γ1 = C(x)):
+      "a(X), c0(X) -> exists Y. r(X, Y), s(Y, Y), b(Y), d(X)",
+      // σ12 (projection):
+      "a(X), c0(X) -> d(X)",
+  };
+  for (const char* rule : kChain) {
+    EXPECT_TRUE(ClosureContains(sat.value(), rule, &syms))
+        << "missing: " << rule;
+  }
+}
+
+TEST(SaturationToggleTest, WithoutCompositionSigma12IsMissing) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory(kExample7, &syms);
+  SaturationOptions opts;
+  opts.enable_composition = false;
+  Result<SaturationResult> sat = Saturate(theory, &syms, opts);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(ClosureContains(sat.value(), "a(X), c0(X) -> d(X)", &syms));
+}
+
+TEST(SaturationToggleTest, WithoutRenamingSigma12IsMissing) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory(kExample7, &syms);
+  SaturationOptions opts;
+  opts.enable_renaming = false;
+  Result<SaturationResult> sat = Saturate(theory, &syms, opts);
+  ASSERT_TRUE(sat.ok());
+  // σ6 needs the renaming rule; without it the chain cannot complete.
+  EXPECT_FALSE(ClosureContains(sat.value(), "a(X), c0(X) -> d(X)", &syms));
+}
+
+TEST(SaturationToggleTest, WithoutProjectionDatShrinks) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory(kExample7, &syms);
+  SaturationOptions opts;
+  opts.enable_projection = false;
+  Result<SaturationResult> sat = Saturate(theory, &syms, opts);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(ClosureContains(sat.value(), "s(Y, Y) -> b(Y)", &syms));
+}
+
+TEST(SafeAnnotationTest, AnnotationTransformProducesSafeAnnotations) {
+  SymbolTable syms;
+  Theory t = MustParseTheory(R"(
+    r(X) -> exists Y. e(X, Y).
+    e(X, Y), e(W, Z) -> both(X, W).
+  )",
+                             &syms);
+  ProperReordering pr = MakeProper(t);
+  Result<Theory> annotated = AnnotateNonAffected(pr.theory);
+  ASSERT_TRUE(annotated.ok());
+  EXPECT_TRUE(IsSafelyAnnotated(annotated.value()));
+}
+
+TEST(SafeAnnotationTest, DetectsArgumentLeak) {
+  SymbolTable syms;
+  // Annotation variable U also occurs as an argument: violates (i).
+  Result<Rule> r = ParseRule("e[U](X), f(U) -> g(X)", &syms);
+  ASSERT_TRUE(r.ok());
+  Theory t;
+  t.AddRule(r.value());
+  EXPECT_FALSE(IsSafelyAnnotated(t));
+}
+
+TEST(SafeAnnotationTest, DetectsUnboundHeadAnnotation) {
+  SymbolTable syms;
+  // W occurs in the head annotation but in no body annotation.
+  Result<Rule> r = ParseRule("e[U](X), f(W) -> g[W](X)", &syms);
+  ASSERT_TRUE(r.ok());
+  Theory t;
+  t.AddRule(r.value());
+  EXPECT_FALSE(IsSafelyAnnotated(t));
+}
+
+TEST(SafeAnnotationTest, UnannotatedTheoriesAreVacuouslySafe) {
+  SymbolTable syms;
+  Theory t = MustParseTheory("e(X, Y) -> t(X, Y).", &syms);
+  EXPECT_TRUE(IsSafelyAnnotated(t));
+}
+
+TEST(CanonicalStressTest, HeadUsageBreaksBodySymmetry) {
+  // Regression for the WL canonicalizer: two body atoms identical up to
+  // the variable, distinguished only by the head.
+  SymbolTable syms;
+  Result<Rule> a = ParseRule("p1(R0), p1(R3) -> p1(R0)", &syms);
+  Result<Rule> b = ParseRule("p1(Zq1), p1(Zq0) -> p1(Zq0)", &syms);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(CanonicalRuleString(a.value(), syms),
+            CanonicalRuleString(b.value(), syms));
+}
+
+TEST(CanonicalStressTest, AutomorphicVariablesStillCanonicalize) {
+  SymbolTable syms;
+  Result<Rule> a = ParseRule("p(X, Y), p(Y, X) -> q", &syms);
+  Result<Rule> b = ParseRule("p(V, U), p(U, V) -> q", &syms);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(CanonicalRuleString(a.value(), syms),
+            CanonicalRuleString(b.value(), syms));
+}
+
+TEST(CanonicalStressTest, ChainVsStarDiffer) {
+  SymbolTable syms;
+  Result<Rule> chain = ParseRule("p(X, Y), p(Y, Z) -> q", &syms);
+  Result<Rule> star = ParseRule("p(X, Y), p(X, Z) -> q", &syms);
+  ASSERT_TRUE(chain.ok() && star.ok());
+  EXPECT_NE(CanonicalRuleString(chain.value(), syms),
+            CanonicalRuleString(star.value(), syms));
+}
+
+TEST(CanonicalStressTest, LongCycleRotationsAgree) {
+  SymbolTable syms;
+  Result<Rule> a =
+      ParseRule("r(X0, X1), r(X1, X2), r(X2, X0) -> p(X0)", &syms);
+  Result<Rule> b =
+      ParseRule("r(Y2, Y0), r(Y0, Y1), r(Y1, Y2) -> p(Y2)", &syms);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(CanonicalRuleString(a.value(), syms),
+            CanonicalRuleString(b.value(), syms));
+}
+
+}  // namespace
+}  // namespace gerel

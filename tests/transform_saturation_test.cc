@@ -1,0 +1,207 @@
+// Tests for the §6 saturation calculus: Ξ(Σ), dat(Σ) (Thm 3, Example 7)
+// and the nearly guarded → Datalog translation (Prop 6).
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "core/classify.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "datalog/evaluator.h"
+#include "transform/canonical.h"
+#include "transform/saturation.h"
+
+namespace gerel {
+namespace {
+
+Theory MustParseTheory(const char* text, SymbolTable* syms) {
+  Result<Theory> t = ParseTheory(text, syms);
+  EXPECT_TRUE(t.ok()) << t.status().message();
+  return std::move(t).value();
+}
+
+// Example 7 of the paper: σ1–σ5.
+const char* kExample7 = R"(
+  a(X) -> exists Y. r(X, Y).
+  r(X, Y) -> s(Y, Y).
+  s(X, Y) -> exists Z. t(X, Y, Z).
+  t(X, X, Y) -> b(X).
+  c0(X), r(X, Y), b(Y) -> d(X).
+)";
+
+TEST(SaturationTest, Example7DerivesSigma12) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory(kExample7, &syms);
+  Result<SaturationResult> sat = Saturate(theory, &syms);
+  ASSERT_TRUE(sat.ok()) << sat.status().message();
+  EXPECT_TRUE(sat.value().complete);
+  // σ12 = a(x) ∧ c0(x) → d(x) must be in dat(Σ).
+  Result<Rule> sigma12 = ParseRule("a(X), c0(X) -> d(X)", &syms);
+  ASSERT_TRUE(sigma12.ok());
+  std::string want = CanonicalRuleString(sigma12.value(), syms);
+  bool found = false;
+  for (const Rule& r : sat.value().datalog.rules()) {
+    if (CanonicalRuleString(r, syms) == want) found = true;
+  }
+  EXPECT_TRUE(found) << "dat(Σ) lacks σ12; " << sat.value().datalog.size()
+                     << " datalog rules";
+}
+
+TEST(SaturationTest, Example7DatalogAnswersTheQuery) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory(kExample7, &syms);
+  Result<SaturationResult> sat = Saturate(theory, &syms);
+  ASSERT_TRUE(sat.ok());
+  Database db = ParseDatabase("a(c). c0(c).", &syms).value();
+  Result<DatalogResult> eval =
+      EvaluateDatalog(sat.value().datalog, db, &syms);
+  ASSERT_TRUE(eval.ok()) << eval.status().message();
+  EXPECT_TRUE(eval.value().database.Contains(
+      Atom(syms.Relation("d"), {syms.Constant("c")})));
+}
+
+TEST(SaturationTest, ClosureOfGuardedTheoryIsGuarded) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory(kExample7, &syms);
+  Result<SaturationResult> sat = Saturate(theory, &syms);
+  ASSERT_TRUE(sat.ok());
+  for (const Rule& r : sat.value().closure.rules()) {
+    EXPECT_TRUE(IsGuardedRule(r)) << ToString(r, syms);
+  }
+}
+
+TEST(SaturationTest, SimpleNullChain) {
+  SymbolTable syms;
+  // r(X) → ∃Y e(X,Y); e(X,Y) → p(X): dat must contain r(X) → p(X).
+  Theory theory = MustParseTheory(R"(
+    r(X) -> exists Y. e(X, Y).
+    e(X, Y) -> p(X).
+  )",
+                                  &syms);
+  Result<SaturationResult> sat = Saturate(theory, &syms);
+  ASSERT_TRUE(sat.ok());
+  Result<Rule> want = ParseRule("r(X) -> p(X)", &syms);
+  std::string key = CanonicalRuleString(want.value(), syms);
+  bool found = false;
+  for (const Rule& r : sat.value().datalog.rules()) {
+    if (CanonicalRuleString(r, syms) == key) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SaturationTest, Theorem3AnswerEquivalenceOnRandomishDatabases) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory(kExample7, &syms);
+  Result<SaturationResult> sat = Saturate(theory, &syms);
+  ASSERT_TRUE(sat.ok());
+  const char* kDatabases[] = {
+      "a(c). c0(c).",
+      "a(c).",
+      "c0(c). r(c, u). b(u).",
+      "a(u). a(v). c0(v). r(u, v).",
+      "s(u, u). c0(u). r(w, u).",
+      "t(u, u, v). c0(w). r(w, u).",
+  };
+  for (const char* dbtext : kDatabases) {
+    SCOPED_TRACE(dbtext);
+    Database db = ParseDatabase(dbtext, &syms).value();
+    ChaseResult chase = Chase(theory, db, &syms);
+    ASSERT_TRUE(chase.saturated);
+    Result<DatalogResult> eval =
+        EvaluateDatalog(sat.value().datalog, db, &syms);
+    ASSERT_TRUE(eval.ok());
+    // Ground atomic consequences over constants must coincide (Thm 3).
+    for (RelationId rel : theory.Relations()) {
+      for (uint32_t i : chase.database.AtomsOf(rel)) {
+        const Atom& atom = chase.database.atom(i);
+        if (atom.IsGroundOverConstants()) {
+          EXPECT_TRUE(eval.value().database.Contains(atom))
+              << "missing " << ToString(atom, syms);
+        }
+      }
+      for (uint32_t i : eval.value().database.AtomsOf(rel)) {
+        const Atom& atom = eval.value().database.atom(i);
+        if (atom.IsGroundOverConstants()) {
+          EXPECT_TRUE(chase.database.Contains(atom))
+              << "extra " << ToString(atom, syms);
+        }
+      }
+    }
+  }
+}
+
+TEST(SaturationTest, RejectsUnguardedTheory) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory("e(X, Y), e(Y, Z) -> t(X, Z).", &syms);
+  EXPECT_FALSE(Saturate(theory, &syms).ok());
+}
+
+TEST(SaturationTest, RenamingRuleDerivesSigma6) {
+  SymbolTable syms;
+  // σ3 = s(X, Y) → ∃Z t(X, Y, Z) with g = {X→Y} gives
+  // σ6 = s(Y, Y) → ∃Z t(Y, Y, Z).
+  Theory theory = MustParseTheory("s(X, Y) -> exists Z. t(X, Y, Z).", &syms);
+  Result<SaturationResult> sat = Saturate(theory, &syms);
+  ASSERT_TRUE(sat.ok());
+  Result<Rule> want = ParseRule("s(Y, Y) -> exists Z. t(Y, Y, Z)", &syms);
+  std::string key = CanonicalRuleString(want.value(), syms);
+  bool found = false;
+  for (const Rule& r : sat.value().closure.rules()) {
+    if (CanonicalRuleString(r, syms) == key) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Prop6Test, NearlyGuardedMixesDatalogAndGuardedParts) {
+  SymbolTable syms;
+  // Transitive closure (safe Datalog) plus a guarded existential part
+  // feeding it.
+  Theory theory = MustParseTheory(R"(
+    start(X) -> exists Y. e(X, Y).
+    e(X, Y) -> mark(X).
+    mark(X), mark(Y) -> pair(X, Y).
+  )",
+                                  &syms);
+  Classification c = Classify(theory);
+  ASSERT_TRUE(c.nearly_guarded);
+  ASSERT_FALSE(c.guarded);
+  Result<DatalogTranslation> dat = NearlyGuardedToDatalog(theory, &syms);
+  ASSERT_TRUE(dat.ok()) << dat.status().message();
+  EXPECT_TRUE(dat.value().complete);
+  Database db = ParseDatabase("start(a). e(b, c).", &syms).value();
+  RelationId pair = syms.Relation("pair");
+  std::set<std::vector<Term>> via_chase =
+      ChaseAnswers(theory, db, pair, &syms);
+  Result<std::set<std::vector<Term>>> via_datalog =
+      DatalogAnswers(dat.value().datalog, db, pair, &syms);
+  ASSERT_TRUE(via_datalog.ok());
+  EXPECT_EQ(via_chase, via_datalog.value());
+  EXPECT_EQ(via_chase.size(), 4u);  // {a, b}².
+}
+
+TEST(Prop6Test, RejectsNonNearlyGuarded) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory(R"(
+    r(X) -> exists Y. e(X, Y).
+    e(X, Y), e(Y, Z) -> e(X, Z).
+  )",
+                                  &syms);
+  ASSERT_FALSE(Classify(theory).nearly_guarded);
+  EXPECT_FALSE(NearlyGuardedToDatalog(theory, &syms).ok());
+}
+
+TEST(SaturationTest, FactRulesSurvive) {
+  SymbolTable syms;
+  Theory theory = MustParseTheory("-> start(c).\nstart(X) -> done(X).",
+                                  &syms);
+  Result<SaturationResult> sat = Saturate(theory, &syms);
+  ASSERT_TRUE(sat.ok());
+  Database db;
+  Result<DatalogResult> eval =
+      EvaluateDatalog(sat.value().datalog, db, &syms);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_TRUE(eval.value().database.Contains(
+      Atom(syms.Relation("done"), {syms.Constant("c")})));
+}
+
+}  // namespace
+}  // namespace gerel

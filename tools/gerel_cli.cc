@@ -1,0 +1,324 @@
+// gerel — command-line front end for the library.
+//
+// Usage:
+//   gerel classify  <program>             classify the rules (§3)
+//   gerel normalize <program>             print the Prop 1 normal form
+//   gerel chase     <program> [opts]      run the bounded oblivious chase
+//   gerel tree      <program>             print the chase tree (§4)
+//   gerel translate <mode> <program>      print a translation:
+//       fg2ng   frontier-guarded -> nearly guarded        (Thm 1)
+//       nfg2ng  nearly frontier-guarded -> nearly guarded (Prop 4)
+//       wfg2wg  weakly frontier-guarded -> weakly guarded (Thm 2)
+//       g2dat   guarded -> Datalog                        (Thm 3)
+//       ng2dat  nearly guarded -> Datalog                 (Prop 6)
+//   gerel answer <program> <relation> [--route=chase|datalog]
+//                                         answers of the output relation
+//   gerel dot preds|positions|tree <program>
+//                                         Graphviz renderings
+//
+// A <program> file mixes rules and facts ("rule." / "fact." statements;
+// see core/parser.h for the grammar). Chase options:
+//   --max-steps=N --max-atoms=N --max-depth=N
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chase/chase.h"
+#include "chase/chase_tree.h"
+#include "core/classify.h"
+#include "core/normalize.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "datalog/evaluator.h"
+#include "transform/annotation.h"
+#include "transform/fg_to_ng.h"
+#include "core/graphviz.h"
+#include "transform/saturation.h"
+
+namespace {
+
+using namespace gerel;  // NOLINT
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "gerel: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Status::Error(std::string("cannot open ") + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct ParsedArgs {
+  std::string command;
+  std::string mode;  // For translate.
+  std::string file;
+  std::string relation;  // For answer.
+  std::string route = "datalog";
+  ChaseOptions chase;
+};
+
+bool ParseFlag(const char* arg, const char* name, long* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtol(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+int Classify(const ParsedArgs& args) {
+  SymbolTable syms;
+  auto text = ReadFile(args.file.c_str());
+  if (!text.ok()) return Fail(text.status().message());
+  auto program = ParseProgram(text.value(), &syms);
+  if (!program.ok()) return Fail(program.status().message());
+  const Theory& t = program.value().theory;
+  Classification c = gerel::Classify(t);
+  std::printf("rules: %zu   max arity: %zu   max vars/rule: %zu\n",
+              t.size(), t.MaxArity(), t.MaxVarsPerRule());
+  std::printf("datalog:                  %s\n", c.datalog ? "yes" : "no");
+  std::printf("guarded:                  %s\n", c.guarded ? "yes" : "no");
+  std::printf("frontier-guarded:         %s\n",
+              c.frontier_guarded ? "yes" : "no");
+  std::printf("weakly guarded:           %s\n",
+              c.weakly_guarded ? "yes" : "no");
+  std::printf("weakly frontier-guarded:  %s\n",
+              c.weakly_frontier_guarded ? "yes" : "no");
+  std::printf("nearly guarded:           %s\n",
+              c.nearly_guarded ? "yes" : "no");
+  std::printf("nearly frontier-guarded:  %s\n",
+              c.nearly_frontier_guarded ? "yes" : "no");
+  // Per-rule diagnosis for the tightest failing class.
+  PositionSet affected = AffectedPositions(t);
+  for (size_t i = 0; i < t.rules().size(); ++i) {
+    const Rule& r = t.rules()[i];
+    if (!IsWeaklyFrontierGuardedRule(r, affected)) {
+      std::printf("  rule %zu is not weakly frontier-guarded: %s\n", i,
+                  ToString(r, syms).c_str());
+    }
+  }
+  return 0;
+}
+
+int Normalize(const ParsedArgs& args) {
+  SymbolTable syms;
+  auto text = ReadFile(args.file.c_str());
+  if (!text.ok()) return Fail(text.status().message());
+  auto program = ParseProgram(text.value(), &syms);
+  if (!program.ok()) return Fail(program.status().message());
+  Theory normal = gerel::Normalize(program.value().theory, &syms);
+  std::printf("%s", ToString(normal, syms).c_str());
+  return 0;
+}
+
+int RunChase(const ParsedArgs& args) {
+  SymbolTable syms;
+  auto text = ReadFile(args.file.c_str());
+  if (!text.ok()) return Fail(text.status().message());
+  auto program = ParseProgram(text.value(), &syms);
+  if (!program.ok()) return Fail(program.status().message());
+  ChaseResult r = Chase(program.value().theory, program.value().database,
+                        &syms, args.chase);
+  std::fprintf(stderr, "chase: %zu atoms, %zu steps, saturated=%d\n",
+               r.database.size(), r.steps, r.saturated);
+  std::printf("%s", ToString(r.database, syms).c_str());
+  return r.saturated ? 0 : 2;
+}
+
+int Tree(const ParsedArgs& args) {
+  SymbolTable syms;
+  auto text = ReadFile(args.file.c_str());
+  if (!text.ok()) return Fail(text.status().message());
+  auto program = ParseProgram(text.value(), &syms);
+  if (!program.ok()) return Fail(program.status().message());
+  auto tree = BuildChaseTree(program.value().theory,
+                             program.value().database, &syms, args.chase);
+  if (!tree.ok()) return Fail(tree.status().message());
+  for (size_t i = 0; i < tree.value().nodes.size(); ++i) {
+    const ChaseTreeNode& node = tree.value().nodes[i];
+    std::printf("node %zu (parent %d, depth %zu):\n", i, node.parent,
+                tree.value().Depth(i));
+    for (const Atom& a : node.atoms) {
+      std::printf("  %s\n", ToString(a, syms).c_str());
+    }
+  }
+  Status props = CheckChaseTreeProperties(
+      tree.value(), program.value().theory, program.value().database);
+  std::fprintf(stderr, "Prop 2 (P1)-(P3): %s\n",
+               props.ok() ? "hold" : props.message().c_str());
+  return 0;
+}
+
+int Translate(const ParsedArgs& args) {
+  SymbolTable syms;
+  auto text = ReadFile(args.file.c_str());
+  if (!text.ok()) return Fail(text.status().message());
+  auto program = ParseProgram(text.value(), &syms);
+  if (!program.ok()) return Fail(program.status().message());
+  const Theory& t = program.value().theory;
+  if (args.mode == "fg2ng" || args.mode == "nfg2ng") {
+    Theory normal = gerel::Normalize(t, &syms);
+    auto rew = args.mode == "fg2ng"
+                   ? RewriteFgToNearlyGuarded(normal, &syms)
+                   : RewriteNfgToNearlyGuarded(normal, &syms);
+    if (!rew.ok()) return Fail(rew.status().message());
+    std::fprintf(stderr, "%zu rules, complete=%d\n",
+                 rew.value().theory.size(), rew.value().complete);
+    std::printf("%s", ToString(rew.value().theory, syms).c_str());
+    return 0;
+  }
+  if (args.mode == "wfg2wg") {
+    Theory normal = gerel::Normalize(t, &syms);
+    auto rew = RewriteWfgToWeaklyGuarded(normal, &syms);
+    if (!rew.ok()) return Fail(rew.status().message());
+    std::fprintf(stderr, "%zu rules, complete=%d\n",
+                 rew.value().theory.size(), rew.value().complete);
+    std::printf("%s", ToString(rew.value().theory, syms).c_str());
+    return 0;
+  }
+  if (args.mode == "g2dat") {
+    auto sat = Saturate(t, &syms);
+    if (!sat.ok()) return Fail(sat.status().message());
+    std::fprintf(stderr, "closure %zu, datalog %zu, complete=%d\n",
+                 sat.value().closure.size(), sat.value().datalog.size(),
+                 sat.value().complete);
+    std::printf("%s", ToString(sat.value().datalog, syms).c_str());
+    return 0;
+  }
+  if (args.mode == "ng2dat") {
+    auto dat = NearlyGuardedToDatalog(t, &syms);
+    if (!dat.ok()) return Fail(dat.status().message());
+    std::fprintf(stderr, "%zu datalog rules, complete=%d\n",
+                 dat.value().datalog.size(), dat.value().complete);
+    std::printf("%s", ToString(dat.value().datalog, syms).c_str());
+    return 0;
+  }
+  return Fail("unknown translation mode: " + args.mode);
+}
+
+int Answer(const ParsedArgs& args) {
+  SymbolTable syms;
+  auto text = ReadFile(args.file.c_str());
+  if (!text.ok()) return Fail(text.status().message());
+  auto program = ParseProgram(text.value(), &syms);
+  if (!program.ok()) return Fail(program.status().message());
+  if (!syms.HasRelation(args.relation)) {
+    return Fail("relation not found: " + args.relation);
+  }
+  RelationId q = syms.Relation(args.relation);
+  std::set<std::vector<Term>> answers;
+  if (args.route == "chase") {
+    answers = ChaseAnswers(program.value().theory, program.value().database,
+                           q, &syms, args.chase);
+  } else if (args.route == "datalog") {
+    // Translate (Prop 4 + Prop 6) then evaluate.
+    Theory normal = gerel::Normalize(program.value().theory, &syms);
+    auto rew = RewriteNfgToNearlyGuarded(normal, &syms);
+    if (!rew.ok()) return Fail(rew.status().message() +
+                               " (try --route=chase)");
+    auto dat = NearlyGuardedToDatalog(rew.value().theory, &syms);
+    if (!dat.ok()) return Fail(dat.status().message());
+    if (!rew.value().complete || !dat.value().complete) {
+      std::fprintf(stderr,
+                   "warning: translation hit a size cap; answers are "
+                   "sound but may be incomplete (try --route=chase)\n");
+    }
+    auto ans = DatalogAnswers(dat.value().datalog,
+                              program.value().database, q, &syms);
+    if (!ans.ok()) return Fail(ans.status().message());
+    answers = std::move(ans).value();
+  } else {
+    return Fail("unknown route: " + args.route);
+  }
+  for (const std::vector<Term>& tuple : answers) {
+    std::printf("%s(", args.relation.c_str());
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) std::printf(", ");
+      std::printf("%s", syms.TermName(tuple[i]).c_str());
+    }
+    std::printf(")\n");
+  }
+  std::fprintf(stderr, "%zu answers\n", answers.size());
+  return 0;
+}
+
+int Dot(const ParsedArgs& args) {
+  SymbolTable syms;
+  auto text = ReadFile(args.file.c_str());
+  if (!text.ok()) return Fail(text.status().message());
+  auto program = ParseProgram(text.value(), &syms);
+  if (!program.ok()) return Fail(program.status().message());
+  if (args.mode == "preds") {
+    std::printf("%s", PredicateGraphDot(program.value().theory, syms).c_str());
+    return 0;
+  }
+  if (args.mode == "positions") {
+    std::printf("%s", PositionGraphDot(program.value().theory, syms).c_str());
+    return 0;
+  }
+  if (args.mode == "tree") {
+    auto tree = BuildChaseTree(program.value().theory,
+                               program.value().database, &syms, args.chase);
+    if (!tree.ok()) return Fail(tree.status().message());
+    std::printf("%s", ChaseTreeDot(tree.value(), syms).c_str());
+    return 0;
+  }
+  return Fail("unknown dot mode: " + args.mode);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gerel classify|normalize|chase|tree <program>\n"
+               "       gerel translate fg2ng|nfg2ng|wfg2wg|g2dat|ng2dat "
+               "<program>\n"
+               "       gerel answer <program> <relation> "
+               "[--route=chase|datalog]\n"
+               "       gerel dot preds|positions|tree <program>\n"
+               "flags: --max-steps=N --max-atoms=N --max-depth=N\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  ParsedArgs args;
+  args.command = argv[1];
+  int pos = 2;
+  if (args.command == "translate" || args.command == "dot") {
+    if (argc < 4) return Usage();
+    args.mode = argv[pos++];
+  }
+  args.file = argv[pos++];
+  if (args.command == "answer") {
+    if (pos >= argc) return Usage();
+    args.relation = argv[pos++];
+  }
+  for (int i = pos; i < argc; ++i) {
+    long value = 0;
+    if (ParseFlag(argv[i], "--max-steps", &value)) {
+      args.chase.max_steps = static_cast<size_t>(value);
+    } else if (ParseFlag(argv[i], "--max-atoms", &value)) {
+      args.chase.max_atoms = static_cast<size_t>(value);
+    } else if (ParseFlag(argv[i], "--max-depth", &value)) {
+      args.chase.max_null_depth = static_cast<uint32_t>(value);
+    } else if (std::strncmp(argv[i], "--route=", 8) == 0) {
+      args.route = argv[i] + 8;
+    } else {
+      return Usage();
+    }
+  }
+  if (args.command == "classify") return Classify(args);
+  if (args.command == "normalize") return Normalize(args);
+  if (args.command == "chase") return RunChase(args);
+  if (args.command == "tree") return Tree(args);
+  if (args.command == "translate") return Translate(args);
+  if (args.command == "answer") return Answer(args);
+  if (args.command == "dot") return Dot(args);
+  return Usage();
+}
