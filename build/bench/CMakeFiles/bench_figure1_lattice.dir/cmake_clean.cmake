@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_lattice.dir/bench_figure1_lattice.cc.o"
+  "CMakeFiles/bench_figure1_lattice.dir/bench_figure1_lattice.cc.o.d"
+  "bench_figure1_lattice"
+  "bench_figure1_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_chase.dir/bench_figure2_chase.cc.o"
+  "CMakeFiles/bench_figure2_chase.dir/bench_figure2_chase.cc.o.d"
+  "bench_figure2_chase"
+  "bench_figure2_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

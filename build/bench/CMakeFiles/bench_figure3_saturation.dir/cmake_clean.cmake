@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_saturation.dir/bench_figure3_saturation.cc.o"
+  "CMakeFiles/bench_figure3_saturation.dir/bench_figure3_saturation.cc.o.d"
+  "bench_figure3_saturation"
+  "bench_figure3_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

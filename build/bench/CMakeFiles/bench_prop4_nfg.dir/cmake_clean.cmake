@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop4_nfg.dir/bench_prop4_nfg.cc.o"
+  "CMakeFiles/bench_prop4_nfg.dir/bench_prop4_nfg.cc.o.d"
+  "bench_prop4_nfg"
+  "bench_prop4_nfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop4_nfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

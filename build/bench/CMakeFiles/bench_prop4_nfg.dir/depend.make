@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_prop4_nfg.
+# This may be replaced when dependencies are built.

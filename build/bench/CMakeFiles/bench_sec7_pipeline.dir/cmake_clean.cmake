@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_pipeline.dir/bench_sec7_pipeline.cc.o"
+  "CMakeFiles/bench_sec7_pipeline.dir/bench_sec7_pipeline.cc.o.d"
+  "bench_sec7_pipeline"
+  "bench_sec7_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

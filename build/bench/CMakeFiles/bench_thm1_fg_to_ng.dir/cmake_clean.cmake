@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_fg_to_ng.dir/bench_thm1_fg_to_ng.cc.o"
+  "CMakeFiles/bench_thm1_fg_to_ng.dir/bench_thm1_fg_to_ng.cc.o.d"
+  "bench_thm1_fg_to_ng"
+  "bench_thm1_fg_to_ng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_fg_to_ng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_wfg_to_wg.dir/bench_thm2_wfg_to_wg.cc.o"
+  "CMakeFiles/bench_thm2_wfg_to_wg.dir/bench_thm2_wfg_to_wg.cc.o.d"
+  "bench_thm2_wfg_to_wg"
+  "bench_thm2_wfg_to_wg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_wfg_to_wg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm2_wfg_to_wg.
+# This may be replaced when dependencies are built.

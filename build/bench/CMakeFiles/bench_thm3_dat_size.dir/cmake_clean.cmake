@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_dat_size.dir/bench_thm3_dat_size.cc.o"
+  "CMakeFiles/bench_thm3_dat_size.dir/bench_thm3_dat_size.cc.o.d"
+  "bench_thm3_dat_size"
+  "bench_thm3_dat_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_dat_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

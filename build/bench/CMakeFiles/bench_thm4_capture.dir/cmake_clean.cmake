@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm4_capture.dir/bench_thm4_capture.cc.o"
+  "CMakeFiles/bench_thm4_capture.dir/bench_thm4_capture.cc.o.d"
+  "bench_thm4_capture"
+  "bench_thm4_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm4_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm5_order.dir/bench_thm5_order.cc.o"
+  "CMakeFiles/bench_thm5_order.dir/bench_thm5_order.cc.o.d"
+  "bench_thm5_order"
+  "bench_thm5_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm5_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_exptime.dir/capture_exptime.cpp.o"
+  "CMakeFiles/capture_exptime.dir/capture_exptime.cpp.o.d"
+  "capture_exptime"
+  "capture_exptime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_exptime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

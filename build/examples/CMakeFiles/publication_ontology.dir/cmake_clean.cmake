@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publication_ontology.dir/publication_ontology.cpp.o"
+  "CMakeFiles/publication_ontology.dir/publication_ontology.cpp.o.d"
+  "publication_ontology"
+  "publication_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publication_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

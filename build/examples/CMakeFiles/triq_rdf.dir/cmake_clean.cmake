@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triq_rdf.dir/triq_rdf.cpp.o"
+  "CMakeFiles/triq_rdf.dir/triq_rdf.cpp.o.d"
+  "triq_rdf"
+  "triq_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triq_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/capture_compiler.cc" "src/capture/CMakeFiles/gerel_capture.dir/capture_compiler.cc.o" "gcc" "src/capture/CMakeFiles/gerel_capture.dir/capture_compiler.cc.o.d"
+  "/root/repo/src/capture/code_program.cc" "src/capture/CMakeFiles/gerel_capture.dir/code_program.cc.o" "gcc" "src/capture/CMakeFiles/gerel_capture.dir/code_program.cc.o.d"
+  "/root/repo/src/capture/order_program.cc" "src/capture/CMakeFiles/gerel_capture.dir/order_program.cc.o" "gcc" "src/capture/CMakeFiles/gerel_capture.dir/order_program.cc.o.d"
+  "/root/repo/src/capture/string_database.cc" "src/capture/CMakeFiles/gerel_capture.dir/string_database.cc.o" "gcc" "src/capture/CMakeFiles/gerel_capture.dir/string_database.cc.o.d"
+  "/root/repo/src/capture/turing_machine.cc" "src/capture/CMakeFiles/gerel_capture.dir/turing_machine.cc.o" "gcc" "src/capture/CMakeFiles/gerel_capture.dir/turing_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gerel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/gerel_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/gerel_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stratified/CMakeFiles/gerel_stratified.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/gerel_transform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerel_capture.dir/capture_compiler.cc.o"
+  "CMakeFiles/gerel_capture.dir/capture_compiler.cc.o.d"
+  "CMakeFiles/gerel_capture.dir/code_program.cc.o"
+  "CMakeFiles/gerel_capture.dir/code_program.cc.o.d"
+  "CMakeFiles/gerel_capture.dir/order_program.cc.o"
+  "CMakeFiles/gerel_capture.dir/order_program.cc.o.d"
+  "CMakeFiles/gerel_capture.dir/string_database.cc.o"
+  "CMakeFiles/gerel_capture.dir/string_database.cc.o.d"
+  "CMakeFiles/gerel_capture.dir/turing_machine.cc.o"
+  "CMakeFiles/gerel_capture.dir/turing_machine.cc.o.d"
+  "libgerel_capture.a"
+  "libgerel_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerel_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

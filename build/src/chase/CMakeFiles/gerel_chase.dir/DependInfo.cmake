@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/chase.cc" "src/chase/CMakeFiles/gerel_chase.dir/chase.cc.o" "gcc" "src/chase/CMakeFiles/gerel_chase.dir/chase.cc.o.d"
+  "/root/repo/src/chase/chase_tree.cc" "src/chase/CMakeFiles/gerel_chase.dir/chase_tree.cc.o" "gcc" "src/chase/CMakeFiles/gerel_chase.dir/chase_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gerel_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerel_chase.dir/chase.cc.o"
+  "CMakeFiles/gerel_chase.dir/chase.cc.o.d"
+  "CMakeFiles/gerel_chase.dir/chase_tree.cc.o"
+  "CMakeFiles/gerel_chase.dir/chase_tree.cc.o.d"
+  "libgerel_chase.a"
+  "libgerel_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerel_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

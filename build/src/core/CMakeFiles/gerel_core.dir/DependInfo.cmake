@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/acyclicity.cc" "src/core/CMakeFiles/gerel_core.dir/acyclicity.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/acyclicity.cc.o.d"
+  "/root/repo/src/core/atom.cc" "src/core/CMakeFiles/gerel_core.dir/atom.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/atom.cc.o.d"
+  "/root/repo/src/core/classify.cc" "src/core/CMakeFiles/gerel_core.dir/classify.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/classify.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/gerel_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/database.cc.o.d"
+  "/root/repo/src/core/graphviz.cc" "src/core/CMakeFiles/gerel_core.dir/graphviz.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/graphviz.cc.o.d"
+  "/root/repo/src/core/homomorphism.cc" "src/core/CMakeFiles/gerel_core.dir/homomorphism.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/homomorphism.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/core/CMakeFiles/gerel_core.dir/normalize.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/normalize.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/core/CMakeFiles/gerel_core.dir/parser.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/parser.cc.o.d"
+  "/root/repo/src/core/printer.cc" "src/core/CMakeFiles/gerel_core.dir/printer.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/printer.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/core/CMakeFiles/gerel_core.dir/rule.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/rule.cc.o.d"
+  "/root/repo/src/core/substitution.cc" "src/core/CMakeFiles/gerel_core.dir/substitution.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/substitution.cc.o.d"
+  "/root/repo/src/core/symbol_table.cc" "src/core/CMakeFiles/gerel_core.dir/symbol_table.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/symbol_table.cc.o.d"
+  "/root/repo/src/core/theory.cc" "src/core/CMakeFiles/gerel_core.dir/theory.cc.o" "gcc" "src/core/CMakeFiles/gerel_core.dir/theory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerel_core.dir/acyclicity.cc.o"
+  "CMakeFiles/gerel_core.dir/acyclicity.cc.o.d"
+  "CMakeFiles/gerel_core.dir/atom.cc.o"
+  "CMakeFiles/gerel_core.dir/atom.cc.o.d"
+  "CMakeFiles/gerel_core.dir/classify.cc.o"
+  "CMakeFiles/gerel_core.dir/classify.cc.o.d"
+  "CMakeFiles/gerel_core.dir/database.cc.o"
+  "CMakeFiles/gerel_core.dir/database.cc.o.d"
+  "CMakeFiles/gerel_core.dir/graphviz.cc.o"
+  "CMakeFiles/gerel_core.dir/graphviz.cc.o.d"
+  "CMakeFiles/gerel_core.dir/homomorphism.cc.o"
+  "CMakeFiles/gerel_core.dir/homomorphism.cc.o.d"
+  "CMakeFiles/gerel_core.dir/normalize.cc.o"
+  "CMakeFiles/gerel_core.dir/normalize.cc.o.d"
+  "CMakeFiles/gerel_core.dir/parser.cc.o"
+  "CMakeFiles/gerel_core.dir/parser.cc.o.d"
+  "CMakeFiles/gerel_core.dir/printer.cc.o"
+  "CMakeFiles/gerel_core.dir/printer.cc.o.d"
+  "CMakeFiles/gerel_core.dir/rule.cc.o"
+  "CMakeFiles/gerel_core.dir/rule.cc.o.d"
+  "CMakeFiles/gerel_core.dir/substitution.cc.o"
+  "CMakeFiles/gerel_core.dir/substitution.cc.o.d"
+  "CMakeFiles/gerel_core.dir/symbol_table.cc.o"
+  "CMakeFiles/gerel_core.dir/symbol_table.cc.o.d"
+  "CMakeFiles/gerel_core.dir/theory.cc.o"
+  "CMakeFiles/gerel_core.dir/theory.cc.o.d"
+  "libgerel_core.a"
+  "libgerel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/evaluator.cc" "src/datalog/CMakeFiles/gerel_datalog.dir/evaluator.cc.o" "gcc" "src/datalog/CMakeFiles/gerel_datalog.dir/evaluator.cc.o.d"
+  "/root/repo/src/datalog/magic.cc" "src/datalog/CMakeFiles/gerel_datalog.dir/magic.cc.o" "gcc" "src/datalog/CMakeFiles/gerel_datalog.dir/magic.cc.o.d"
+  "/root/repo/src/datalog/orderings.cc" "src/datalog/CMakeFiles/gerel_datalog.dir/orderings.cc.o" "gcc" "src/datalog/CMakeFiles/gerel_datalog.dir/orderings.cc.o.d"
+  "/root/repo/src/datalog/stratifier.cc" "src/datalog/CMakeFiles/gerel_datalog.dir/stratifier.cc.o" "gcc" "src/datalog/CMakeFiles/gerel_datalog.dir/stratifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gerel_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

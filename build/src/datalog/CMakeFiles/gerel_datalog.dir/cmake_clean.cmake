@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerel_datalog.dir/evaluator.cc.o"
+  "CMakeFiles/gerel_datalog.dir/evaluator.cc.o.d"
+  "CMakeFiles/gerel_datalog.dir/magic.cc.o"
+  "CMakeFiles/gerel_datalog.dir/magic.cc.o.d"
+  "CMakeFiles/gerel_datalog.dir/orderings.cc.o"
+  "CMakeFiles/gerel_datalog.dir/orderings.cc.o.d"
+  "CMakeFiles/gerel_datalog.dir/stratifier.cc.o"
+  "CMakeFiles/gerel_datalog.dir/stratifier.cc.o.d"
+  "libgerel_datalog.a"
+  "libgerel_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerel_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

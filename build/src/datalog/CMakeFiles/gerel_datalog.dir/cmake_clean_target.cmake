@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgerel_datalog.a"
+)

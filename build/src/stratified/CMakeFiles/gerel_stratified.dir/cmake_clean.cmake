@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerel_stratified.dir/stratified_chase.cc.o"
+  "CMakeFiles/gerel_stratified.dir/stratified_chase.cc.o.d"
+  "libgerel_stratified.a"
+  "libgerel_stratified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerel_stratified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

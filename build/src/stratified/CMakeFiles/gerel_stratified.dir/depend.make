@@ -1,0 +1,2 @@
+# Empty dependencies file for gerel_stratified.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/acdom.cc" "src/transform/CMakeFiles/gerel_transform.dir/acdom.cc.o" "gcc" "src/transform/CMakeFiles/gerel_transform.dir/acdom.cc.o.d"
+  "/root/repo/src/transform/annotation.cc" "src/transform/CMakeFiles/gerel_transform.dir/annotation.cc.o" "gcc" "src/transform/CMakeFiles/gerel_transform.dir/annotation.cc.o.d"
+  "/root/repo/src/transform/canonical.cc" "src/transform/CMakeFiles/gerel_transform.dir/canonical.cc.o" "gcc" "src/transform/CMakeFiles/gerel_transform.dir/canonical.cc.o.d"
+  "/root/repo/src/transform/fg_to_ng.cc" "src/transform/CMakeFiles/gerel_transform.dir/fg_to_ng.cc.o" "gcc" "src/transform/CMakeFiles/gerel_transform.dir/fg_to_ng.cc.o.d"
+  "/root/repo/src/transform/grounding.cc" "src/transform/CMakeFiles/gerel_transform.dir/grounding.cc.o" "gcc" "src/transform/CMakeFiles/gerel_transform.dir/grounding.cc.o.d"
+  "/root/repo/src/transform/pipeline.cc" "src/transform/CMakeFiles/gerel_transform.dir/pipeline.cc.o" "gcc" "src/transform/CMakeFiles/gerel_transform.dir/pipeline.cc.o.d"
+  "/root/repo/src/transform/rewriting.cc" "src/transform/CMakeFiles/gerel_transform.dir/rewriting.cc.o" "gcc" "src/transform/CMakeFiles/gerel_transform.dir/rewriting.cc.o.d"
+  "/root/repo/src/transform/saturation.cc" "src/transform/CMakeFiles/gerel_transform.dir/saturation.cc.o" "gcc" "src/transform/CMakeFiles/gerel_transform.dir/saturation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gerel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/gerel_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/gerel_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerel_transform.dir/acdom.cc.o"
+  "CMakeFiles/gerel_transform.dir/acdom.cc.o.d"
+  "CMakeFiles/gerel_transform.dir/annotation.cc.o"
+  "CMakeFiles/gerel_transform.dir/annotation.cc.o.d"
+  "CMakeFiles/gerel_transform.dir/canonical.cc.o"
+  "CMakeFiles/gerel_transform.dir/canonical.cc.o.d"
+  "CMakeFiles/gerel_transform.dir/fg_to_ng.cc.o"
+  "CMakeFiles/gerel_transform.dir/fg_to_ng.cc.o.d"
+  "CMakeFiles/gerel_transform.dir/grounding.cc.o"
+  "CMakeFiles/gerel_transform.dir/grounding.cc.o.d"
+  "CMakeFiles/gerel_transform.dir/pipeline.cc.o"
+  "CMakeFiles/gerel_transform.dir/pipeline.cc.o.d"
+  "CMakeFiles/gerel_transform.dir/rewriting.cc.o"
+  "CMakeFiles/gerel_transform.dir/rewriting.cc.o.d"
+  "CMakeFiles/gerel_transform.dir/saturation.cc.o"
+  "CMakeFiles/gerel_transform.dir/saturation.cc.o.d"
+  "libgerel_transform.a"
+  "libgerel_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerel_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

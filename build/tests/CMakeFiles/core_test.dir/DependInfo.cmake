@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_acyclicity_test.cc" "tests/CMakeFiles/core_test.dir/core_acyclicity_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_acyclicity_test.cc.o.d"
+  "/root/repo/tests/core_classify_test.cc" "tests/CMakeFiles/core_test.dir/core_classify_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_classify_test.cc.o.d"
+  "/root/repo/tests/core_database_test.cc" "tests/CMakeFiles/core_test.dir/core_database_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_database_test.cc.o.d"
+  "/root/repo/tests/core_graphviz_test.cc" "tests/CMakeFiles/core_test.dir/core_graphviz_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_graphviz_test.cc.o.d"
+  "/root/repo/tests/core_homomorphism_test.cc" "tests/CMakeFiles/core_test.dir/core_homomorphism_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_homomorphism_test.cc.o.d"
+  "/root/repo/tests/core_normalize_test.cc" "tests/CMakeFiles/core_test.dir/core_normalize_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_normalize_test.cc.o.d"
+  "/root/repo/tests/core_parser_test.cc" "tests/CMakeFiles/core_test.dir/core_parser_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_parser_test.cc.o.d"
+  "/root/repo/tests/core_rule_test.cc" "tests/CMakeFiles/core_test.dir/core_rule_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_rule_test.cc.o.d"
+  "/root/repo/tests/core_term_test.cc" "tests/CMakeFiles/core_test.dir/core_term_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_term_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gerel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/gerel_chase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core_acyclicity_test.cc.o"
+  "CMakeFiles/core_test.dir/core_acyclicity_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_classify_test.cc.o"
+  "CMakeFiles/core_test.dir/core_classify_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_database_test.cc.o"
+  "CMakeFiles/core_test.dir/core_database_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_graphviz_test.cc.o"
+  "CMakeFiles/core_test.dir/core_graphviz_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_homomorphism_test.cc.o"
+  "CMakeFiles/core_test.dir/core_homomorphism_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_normalize_test.cc.o"
+  "CMakeFiles/core_test.dir/core_normalize_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_parser_test.cc.o"
+  "CMakeFiles/core_test.dir/core_parser_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_rule_test.cc.o"
+  "CMakeFiles/core_test.dir/core_rule_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_term_test.cc.o"
+  "CMakeFiles/core_test.dir/core_term_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

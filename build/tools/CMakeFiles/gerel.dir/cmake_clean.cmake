@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gerel.dir/gerel_cli.cc.o"
+  "CMakeFiles/gerel.dir/gerel_cli.cc.o.d"
+  "gerel"
+  "gerel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gerel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
