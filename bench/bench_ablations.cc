@@ -193,7 +193,5 @@ void PrintEquivalenceCheck() {
 
 int main(int argc, char** argv) {
   PrintEquivalenceCheck();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_ablations");
 }

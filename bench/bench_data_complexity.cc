@@ -80,4 +80,6 @@ BENCHMARK(BM_WeaklyGuardedChaseGrowth)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_data_complexity");
+}

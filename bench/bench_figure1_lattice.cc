@@ -120,7 +120,5 @@ BENCHMARK(BM_AffectedPositionsFixpoint)->Arg(8)->Arg(32)->Arg(128);
 
 int main(int argc, char** argv) {
   PrintLattice();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_figure1_lattice");
 }

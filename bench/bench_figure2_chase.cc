@@ -90,7 +90,5 @@ BENCHMARK(BM_ChaseTreeRunningExample)->Arg(4)->Arg(16)->Arg(64)
 
 int main(int argc, char** argv) {
   PrintFigure2Verification();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_figure2_chase");
 }

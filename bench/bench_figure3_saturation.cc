@@ -96,7 +96,5 @@ BENCHMARK(BM_SaturateGuardedChain)->Arg(2)->Arg(4)->Arg(6)->Arg(8)
 
 int main(int argc, char** argv) {
   PrintExample7Verification();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_figure3_saturation");
 }

@@ -85,7 +85,5 @@ BENCHMARK(BM_AcdomAxiomatization)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   PrintVerification();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_prop4_nfg");
 }

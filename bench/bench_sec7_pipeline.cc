@@ -88,7 +88,5 @@ BENCHMARK(BM_PipelineVsChase)
 
 int main(int argc, char** argv) {
   PrintVerification();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_sec7_pipeline");
 }

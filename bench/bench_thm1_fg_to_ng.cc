@@ -108,7 +108,5 @@ BENCHMARK(BM_ExpandRunningExample)->Unit(benchmark::kMillisecond)
 
 int main(int argc, char** argv) {
   PrintGrowthTable();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_thm1_fg_to_ng");
 }

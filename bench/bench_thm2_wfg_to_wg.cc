@@ -137,7 +137,5 @@ int main(int argc, char** argv) {
   }
   argc = out;
   PrintVerification(full);
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_thm2_wfg_to_wg");
 }

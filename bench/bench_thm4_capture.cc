@@ -4,6 +4,8 @@
 // sizes, and measures decision time vs word length.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <cstdio>
 
 #include "capture/capture_compiler.h"
@@ -145,7 +147,5 @@ BENCHMARK(BM_BinaryCounterExponentialTime)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
 
 int main(int argc, char** argv) {
   PrintVerification();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_thm4_capture");
 }

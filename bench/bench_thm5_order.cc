@@ -4,6 +4,8 @@
 // measures the stratified chase cost as the domain grows.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <cstdio>
 
 #include "capture/order_program.h"
@@ -86,7 +88,5 @@ BENCHMARK(BM_OrderProgram)->Arg(2)->Arg(3)->Arg(4)
 
 int main(int argc, char** argv) {
   PrintVerification();
-  ::benchmark::Initialize(&argc, argv);
-  ::benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_thm5_order");
 }

@@ -2,6 +2,8 @@
 #ifndef GEREL_BENCH_BENCH_UTIL_H_
 #define GEREL_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <random>
 #include <string>
@@ -123,6 +125,78 @@ inline std::string GuardedChainTheoryText(int length) {
     out += "s" + std::to_string(i) + "(X, Y), goal(Y) -> goal(X).\n";
   }
   return out;
+}
+
+// Console reporter that additionally accumulates every finished run, so
+// the binary can drop a machine-readable BENCH_<name>.json next to the
+// console table (regression tracking across commits; see EXPERIMENTS.md).
+class JsonDumpReporter : public ::benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      runs_.push_back(run);
+    }
+  }
+
+  // Writes BENCH_<binary_name>.json into the current directory.
+  void Write(const std::string& binary_name) const {
+    std::string path = "BENCH_" + binary_name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    auto escape = [](const std::string& s) {
+      std::string out;
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      return out;
+    };
+    std::fprintf(f, "{\n  \"binary\": \"%s\",\n  \"benchmarks\": [\n",
+                 escape(binary_name).c_str());
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      const Run& run = runs_[i];
+      double iters = run.iterations > 0
+                         ? static_cast<double>(run.iterations)
+                         : 1.0;
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"wall_ms\": %.6f, "
+                   "\"cpu_ms\": %.6f, \"iterations\": %lld, "
+                   "\"threads\": %d",
+                   escape(run.benchmark_name()).c_str(),
+                   1e3 * run.real_accumulated_time / iters,
+                   1e3 * run.cpu_accumulated_time / iters,
+                   static_cast<long long>(run.iterations),
+                   static_cast<int>(run.threads));
+      // User counters carry workload facts (derived atoms, rounds,
+      // closure sizes, evaluation threads) where the bench records them.
+      for (const auto& [name, counter] : run.counters) {
+        std::fprintf(f, ", \"%s\": %.6f", escape(name).c_str(),
+                     static_cast<double>(counter.value));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < runs_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+// Shared driver for every bench main: run all registered benchmarks with
+// the console output unchanged, then dump BENCH_<binary_name>.json.
+inline int RunBenchmarks(int argc, char** argv,
+                         const std::string& binary_name) {
+  ::benchmark::Initialize(&argc, argv);
+  JsonDumpReporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.Write(binary_name);
+  return 0;
 }
 
 }  // namespace gerel::bench

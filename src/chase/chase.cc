@@ -7,6 +7,7 @@
 
 #include "core/check.h"
 #include "core/homomorphism.h"
+#include "core/join_plan.h"
 #include "core/substitution.h"
 
 namespace gerel {
@@ -38,6 +39,11 @@ struct PreparedRule {
   std::vector<Term> uvars;
   std::vector<Term> evars;
   std::vector<Term> fvars;
+  // plans[j] compiles the whole body with atom j pinned as level 0, to
+  // be matched only against a delta atom (ExecuteSeeded). Compiled once;
+  // the per-round `rest` pattern construction of the interpreted matcher
+  // is gone.
+  std::vector<JoinPlan> plans;
 };
 
 class ChaseEngine {
@@ -53,6 +59,11 @@ class ChaseEngine {
       p.uvars = r.UVars();
       p.evars = r.EVars();
       p.fvars = r.FVars();
+      p.plans.reserve(p.body.size());
+      for (size_t j = 0; j < p.body.size(); ++j) {
+        p.plans.emplace_back(p.body, std::vector<Term>(),
+                             static_cast<int>(j));
+      }
       rules_.push_back(std::move(p));
     }
     result_.database = input;
@@ -74,22 +85,23 @@ class ChaseEngine {
         }
         // Semi-naive enumeration: some body atom must match an atom of the
         // delta window [delta_begin, delta_end); in the first round the
-        // delta is the whole input database.
+        // delta is the whole input database. Plan level 0 is the pinned
+        // body atom, matched only against the delta atom; Fire() inserts
+        // mid-enumeration, so candidate postings are snapshotted
+        // (db_grows) exactly like the interpreted matcher did.
+        auto fire = [&](const JoinExecutor& e) {
+          Substitution h;
+          e.AppendBindings(&h);
+          Fire(ri, h);
+          return !LimitReached();
+        };
         for (size_t j = 0; j < rule.body.size(); ++j) {
-          std::vector<Atom> rest;
-          for (size_t i = 0; i < rule.body.size(); ++i) {
-            if (i != j) rest.push_back(rule.body[i]);
-          }
+          RelationId pred = rule.body[j].pred;
           for (size_t ai = delta_begin; ai < delta_end; ++ai) {
-            const Atom& delta_atom = result_.database.atom(ai);
-            if (delta_atom.pred != rule.body[j].pred) continue;
-            Substitution seed;
-            if (!UnifySeed(rule.body[j], delta_atom, &seed)) continue;
-            ForEachHomomorphism(
-                rest, result_.database, seed, [&](const Substitution& h) {
-                  Fire(ri, h);
-                  return !LimitReached();
-                });
+            if (result_.database.atom(ai).pred != pred) continue;
+            exec_.ExecuteSeeded(rule.plans[j], result_.database,
+                                result_.database.atom(ai), fire,
+                                /*db_grows=*/true);
             if (LimitReached()) break;
           }
           if (LimitReached()) break;
@@ -122,28 +134,6 @@ class ChaseEngine {
         result_.database.size() >= options_.max_atoms)
       return true;
     return false;
-  }
-
-  static bool UnifySeed(const Atom& pattern, const Atom& target,
-                        Substitution* seed) {
-    if (pattern.args.size() != target.args.size() ||
-        pattern.annotation.size() != target.annotation.size()) {
-      return false;
-    }
-    auto unify = [&](const std::vector<Term>& ps,
-                     const std::vector<Term>& ts) {
-      for (size_t i = 0; i < ps.size(); ++i) {
-        Term p = seed->Apply(ps[i]);
-        if (p.IsVariable()) {
-          seed->Bind(p, ts[i]);
-        } else if (p != ts[i]) {
-          return false;
-        }
-      }
-      return true;
-    };
-    return unify(pattern.args, target.args) &&
-           unify(pattern.annotation, target.annotation);
   }
 
   uint32_t TermDepth(Term t) const {
@@ -206,6 +196,7 @@ class ChaseEngine {
   SymbolTable* symbols_;
   ChaseOptions options_;
   std::vector<PreparedRule> rules_;
+  JoinExecutor exec_;  // Reused across triggers; state reset per seed.
   ChaseResult result_;
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
   std::unordered_map<uint32_t, uint32_t> null_depth_;

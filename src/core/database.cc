@@ -20,7 +20,8 @@ bool Database::Insert(const Atom& atom) {
   by_relation_[atom.pred].push_back(index);
   if (position_index_enabled_) {
     uint32_t pos = 0;
-    for (Term t : atom.args) by_position_[PositionKey(atom.pred, pos++, t)].push_back(index);
+    for (Term t : atom.args)
+      by_position_[PositionKey(atom.pred, pos++, t)].push_back(index);
     for (Term t : atom.annotation)
       by_position_[PositionKey(atom.pred, pos++, t)].push_back(index);
   }

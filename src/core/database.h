@@ -62,17 +62,38 @@ class Database {
   friend bool operator==(const Database& a, const Database& b);
 
  private:
+  // A (relation, position, term) index key. The seed packed all three
+  // into 64 bits as (pred << 40) ^ (pos << 32) ^ term.bits(), which let
+  // any position >= 256 bleed into the relation bits (a high-arity atom
+  // could alias another relation's postings); the full 96 bits are kept
+  // collision-free here.
+  struct PositionKey {
+    uint64_t pred_pos = 0;  // pred << 32 | pos
+    uint32_t term = 0;
+
+    PositionKey() = default;
+    PositionKey(RelationId pred, uint32_t pos, Term t)
+        : pred_pos((static_cast<uint64_t>(pred) << 32) | pos),
+          term(t.bits()) {}
+
+    friend bool operator==(const PositionKey& a, const PositionKey& b) {
+      return a.pred_pos == b.pred_pos && a.term == b.term;
+    }
+  };
+  struct PositionKeyHash {
+    size_t operator()(const PositionKey& k) const {
+      uint64_t h = (k.pred_pos + 0x9E3779B97F4A7C15ull) * 0xBF58476D1CE4E5B9ull;
+      h ^= (static_cast<uint64_t>(k.term) + 0x94D049BB133111EBull) * 0xC2B2AE3D27D4EB4Full;
+      return static_cast<size_t>(h ^ (h >> 31));
+    }
+  };
+
   std::vector<Atom> atoms_;
   std::unordered_set<Atom, AtomHash> set_;
   std::unordered_map<RelationId, std::vector<uint32_t>> by_relation_;
-  // Key: (pred, pos) packed | term bits.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> by_position_;
+  std::unordered_map<PositionKey, std::vector<uint32_t>, PositionKeyHash>
+      by_position_;
   bool position_index_enabled_ = true;
-
-  static uint64_t PositionKey(RelationId pred, uint32_t pos, Term term) {
-    return (static_cast<uint64_t>(pred) << 40) ^
-           (static_cast<uint64_t>(pos) << 32) ^ term.bits();
-  }
 };
 
 // The name of the built-in active-constant-domain relation (paper §2,

@@ -1,166 +1,77 @@
 #include "core/homomorphism.h"
 
 #include <algorithm>
-#include <cstdint>
-#include <unordered_set>
 
 #include "core/check.h"
+#include "core/join_plan.h"
 
 namespace gerel {
 
 namespace {
 
-// Tries to extend `subst` so that subst(pattern) == target for one atom.
-// Only variables in `bindable` may be (re)bound: target-side variables
-// are rigid even when a pattern variable was previously bound onto one
-// (the image then behaves like a constant). The caller saves/restores the
-// substitution around the call.
-bool UnifyAtom(const Atom& pattern, const Atom& target,
-               const std::unordered_set<uint32_t>& bindable,
-               Substitution* subst) {
-  if (pattern.pred != target.pred ||
-      pattern.args.size() != target.args.size() ||
-      pattern.annotation.size() != target.annotation.size()) {
-    return false;
-  }
-  auto unify_seq = [&](const std::vector<Term>& ps,
-                       const std::vector<Term>& ts) {
-    for (size_t i = 0; i < ps.size(); ++i) {
-      Term p = ps[i];
-      bool is_free =
-          p.IsVariable() && bindable.count(p.bits()) > 0 && !subst->IsBound(p);
-      if (is_free) {
-        subst->Bind(p, ts[i]);
-      } else if (subst->Apply(p) != ts[i]) {
-        return false;
+// Pattern variables that `initial` pre-binds; they seed the executor and
+// count as bound for the compiled join order.
+std::vector<Term> PreBoundVars(const std::vector<Atom>& pattern,
+                               const Substitution& initial) {
+  std::vector<Term> out;
+  if (initial.empty()) return out;
+  for (const Atom& a : pattern) {
+    for (Term v : a.AllVars()) {
+      if (initial.IsBound(v) &&
+          std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
       }
     }
-    return true;
-  };
-  return unify_seq(pattern.args, target.args) &&
-         unify_seq(pattern.annotation, target.annotation);
+  }
+  return out;
 }
 
-// Backtracking matcher shared by database and atom-set targets.
-class Matcher {
- public:
-  Matcher(const std::vector<Atom>& pattern, const Database* db,
-          const std::vector<Atom>* target, const HomomorphismVisitor& visitor)
-      : pattern_(pattern), db_(db), target_(target), visitor_(visitor) {}
+void SeedExecutor(const std::vector<Term>& pre_bound,
+                  const Substitution& initial, JoinExecutor* exec) {
+  for (Term v : pre_bound) exec->Bind(v, initial.Apply(v));
+}
 
-  // Returns false iff the visitor requested a stop.
-  bool Run(const Substitution& initial) {
-    subst_ = initial;
-    used_.assign(pattern_.size(), false);
-    bindable_.clear();
-    for (const Atom& a : pattern_) {
-      for (Term t : a.AllVars()) bindable_.insert(t.bits());
-    }
-    return Recurse(0);
-  }
-
- private:
-  // Number of bound terms in `atom` under the current substitution.
-  int BoundCount(const Atom& atom) const {
-    int n = 0;
-    for (Term t : atom.args) {
-      if (!subst_.Apply(t).IsVariable()) ++n;
-    }
-    for (Term t : atom.annotation) {
-      if (!subst_.Apply(t).IsVariable()) ++n;
-    }
-    return n;
-  }
-
-  // Picks the unprocessed pattern atom with the most bound terms (a cheap
-  // most-constrained-first heuristic).
-  int PickNext() const {
-    int best = -1;
-    int best_bound = -1;
-    for (size_t i = 0; i < pattern_.size(); ++i) {
-      if (used_[i]) continue;
-      int b = BoundCount(pattern_[i]);
-      if (b > best_bound) {
-        best_bound = b;
-        best = static_cast<int>(i);
-      }
-    }
-    return best;
-  }
-
-  bool Recurse(size_t depth) {
-    if (depth == pattern_.size()) return visitor_(subst_);
-    int idx = PickNext();
-    GEREL_CHECK(idx >= 0);
-    used_[idx] = true;
-    const Atom& p = pattern_[idx];
-    bool keep_going = true;
-    auto try_target = [&](const Atom& candidate) {
-      Substitution saved = subst_;
-      if (UnifyAtom(p, candidate, bindable_, &subst_)) {
-        keep_going = Recurse(depth + 1);
-      }
-      subst_ = std::move(saved);
-      return keep_going;
-    };
-    if (db_ != nullptr) {
-      // Choose the most selective index available. The postings are
-      // snapshotted: visitors (chase/Datalog rule firing) may insert into
-      // the database mid-enumeration, which can reallocate the index;
-      // atoms added during the enumeration are picked up by the caller's
-      // next semi-naive round.
-      const std::vector<uint32_t>* postings = &db_->AtomsOf(p.pred);
-      if (db_->position_index_enabled()) {
-        uint32_t pos = 0;
-        auto consider = [&](Term t) {
-          Term s = subst_.Apply(t);
-          if (!s.IsVariable()) {
-            const std::vector<uint32_t>& cand = db_->AtomsAt(p.pred, pos, s);
-            if (cand.size() < postings->size()) postings = &cand;
-          }
-          ++pos;
-        };
-        for (Term t : p.args) consider(t);
-        for (Term t : p.annotation) consider(t);
-      }
-      const std::vector<uint32_t> snapshot = *postings;
-      for (uint32_t ai : snapshot) {
-        if (!try_target(db_->atom(ai))) break;
-      }
-    } else {
-      for (const Atom& candidate : *target_) {
-        if (!try_target(candidate)) break;
-      }
-    }
-    used_[idx] = false;
-    return keep_going;
-  }
-
-  const std::vector<Atom>& pattern_;
-  const Database* db_;
-  const std::vector<Atom>* target_;
-  const HomomorphismVisitor& visitor_;
-  Substitution subst_;
-  std::vector<bool> used_;
-  std::unordered_set<uint32_t> bindable_;
-};
+// Adapts a plan-based match to the Substitution-taking visitor of the
+// public API: the visitor sees `initial` extended by the slot bindings.
+JoinExecutor::Visitor SubstitutionVisitor(const Substitution& initial,
+                                          const HomomorphismVisitor& visitor) {
+  return [&initial, &visitor](const JoinExecutor& e) {
+    Substitution h = initial;
+    e.AppendBindings(&h);
+    return visitor(h);
+  };
+}
 
 }  // namespace
 
 bool ForEachHomomorphism(const std::vector<Atom>& pattern, const Database& db,
                          const Substitution& initial,
                          const HomomorphismVisitor& visitor) {
-  Matcher m(pattern, &db, nullptr, visitor);
-  return m.Run(initial);
+  std::vector<Term> pre_bound = PreBoundVars(pattern, initial);
+  JoinPlan plan(pattern, pre_bound);
+  JoinExecutor exec;
+  exec.Reset(plan);
+  SeedExecutor(pre_bound, initial, &exec);
+  // Visitors may insert into the database mid-enumeration (chase and
+  // Datalog rule firing), so candidate lists are snapshotted per level.
+  return exec.Execute(plan, db, SubstitutionVisitor(initial, visitor),
+                      /*db_grows=*/true);
 }
 
 bool HasHomomorphism(const std::vector<Atom>& pattern, const Database& db,
                      const Substitution& initial) {
+  std::vector<Term> pre_bound = PreBoundVars(pattern, initial);
+  JoinPlan plan(pattern, pre_bound);
+  JoinExecutor exec;
+  exec.Reset(plan);
+  SeedExecutor(pre_bound, initial, &exec);
   bool found = false;
-  ForEachHomomorphism(pattern, db, initial, [&found](const Substitution&) {
-    found = true;
-    return false;  // Stop at the first hit.
-  });
+  exec.Execute(plan, db,
+               [&found](const JoinExecutor&) {
+                 found = true;
+                 return false;  // Stop at the first hit.
+               },
+               /*db_grows=*/false);
   return found;
 }
 
@@ -168,8 +79,13 @@ bool ForEachEmbedding(const std::vector<Atom>& pattern,
                       const std::vector<Atom>& target,
                       const Substitution& initial,
                       const HomomorphismVisitor& visitor) {
-  Matcher m(pattern, nullptr, &target, visitor);
-  return m.Run(initial);
+  std::vector<Term> pre_bound = PreBoundVars(pattern, initial);
+  JoinPlan plan(pattern, pre_bound);
+  JoinExecutor exec;
+  exec.Reset(plan);
+  SeedExecutor(pre_bound, initial, &exec);
+  return exec.ExecuteOnAtoms(plan, target,
+                             SubstitutionVisitor(initial, visitor));
 }
 
 bool DatabaseMapsInto(const Database& a, const Database& b) {

@@ -25,12 +25,27 @@ struct DatalogOptions {
   bool populate_acdom = true;
   // Safety valve on fixpoint rounds per stratum; 0 = unlimited.
   size_t max_rounds = 0;
+  // Worker lanes per semi-naive round (1 = fully sequential, the
+  // reference behavior). With more lanes the rules of a stratum match
+  // concurrently against the round's immutable snapshot and emit into
+  // per-rule buffers that are merged in rule order at the barrier, so
+  // the final database (as a set) and all answers are independent of the
+  // lane count; the round count may differ from the sequential engine's,
+  // because buffered derivations only become visible next round.
+  size_t num_threads = 1;
+};
+
+// Per-rule evaluation counters, indexed like Theory::rules().
+struct RuleStats {
+  size_t matches = 0;  // Homomorphisms enumerated (pre-negation-check).
+  size_t derived = 0;  // New atoms this rule inserted first.
 };
 
 struct DatalogResult {
   Database database;
   size_t rounds = 0;
   size_t derived_atoms = 0;
+  std::vector<RuleStats> rule_stats;
 };
 
 // Evaluates `theory` (all rules Datalog, i.e. no existential variables;

@@ -1,0 +1,57 @@
+// A small persistent worker pool for intra-round rule parallelism.
+//
+// Semi-naive evaluation has a natural barrier per round: every rule of a
+// stratum matches against the same immutable database snapshot, and the
+// derived atoms only become visible at the round boundary. The pool runs
+// one task per rule; the caller's thread participates, so a pool built
+// for `num_threads` spawns num_threads - 1 workers.
+#ifndef GEREL_DATALOG_PARALLEL_H_
+#define GEREL_DATALOG_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gerel {
+
+class WorkerPool {
+ public:
+  // A pool of `num_threads` total lanes (including the calling thread);
+  // values <= 1 spawn no workers and Run degenerates to a serial loop.
+  explicit WorkerPool(size_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Runs fn(i) for every i in [0, num_tasks), distributed over the pool
+  // plus the calling thread; returns when all calls finished. `fn` must
+  // be safe to invoke concurrently for distinct i. Not reentrant.
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size() + 1; }
+
+ private:
+  void WorkerLoop();
+  // Claims tasks off next_ until the batch is exhausted.
+  void Drain();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* fn_ = nullptr;  // Current batch.
+  size_t num_tasks_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t active_ = 0;        // Workers still draining the current batch.
+  uint64_t generation_ = 0;  // Bumped per Run to wake the workers.
+  bool stop_ = false;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_DATALOG_PARALLEL_H_

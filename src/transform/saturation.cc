@@ -7,7 +7,7 @@
 
 #include "core/check.h"
 #include "core/classify.h"
-#include "core/homomorphism.h"
+#include "core/join_plan.h"
 #include "core/substitution.h"
 #include "core/printer.h"
 #include "transform/canonical.h"
@@ -66,8 +66,8 @@ class Saturator {
 
  private:
   void Process(size_t idx) {
-    // Copy: Add() may reallocate rules_ while the inference rules run.
-    const Rule current = rules_[idx];
+    // rules_ is a deque: Add() never invalidates references to elements.
+    const Rule& current = rules_[idx];
     if (options_.enable_projection) Project(current);
     if (options_.enable_renaming) Rename(current);
     if (!options_.enable_composition) return;
@@ -78,13 +78,13 @@ class Saturator {
     // existential heads here (the paper's own σ6–σ12 derivation in
     // Example 7 uses exclusively existential left premises).
     size_t n = rules_.size();
-    bool idx_existential = !rules_[idx].EVars().empty();
+    bool idx_existential = existential_[idx];
     for (size_t j = 0; j < n && result_.complete; ++j) {
-      const Rule left = rules_[idx];
-      const Rule right = rules_[j];
-      if (idx_existential && right.EVars().empty()) Compose(left, right);
-      if (idx != j && !right.EVars().empty() && left.EVars().empty()) {
-        Compose(right, left);
+      if (existential_[j] == idx_existential) continue;
+      if (idx_existential) {
+        Compose(idx, j);
+      } else {
+        Compose(j, idx);
       }
     }
   }
@@ -142,69 +142,70 @@ class Saturator {
   // (composition): left = α → β, right = Datalog γ → δ. For every split
   // γ = γ1 ⊎ γ2 with γ2 ≠ ∅, every homomorphism h : γ2 → β whose
   // extension maps vars(γ1) into vars(α): derive α ∧ h(γ1) → β ∧ h(δ).
-  void Compose(const Rule& left, const Rule& right_in) {
-    // Rename the right premise apart with reserved composition variables.
-    Rule right = right_in;
-    {
-      Substitution apart;
-      std::vector<Term> rvars = right.Vars();
-      for (size_t i = 0; i < rvars.size(); ++i) {
-        apart.Bind(rvars[i], CompositionVar(i));
-      }
-      right = apart.Apply(right);
-    }
-    std::vector<Atom> gamma = right.PositiveBody();
+  // Premises are addressed by rule index so their cached derived data
+  // (uvars, the renamed-apart right premise and its positive body) is
+  // reused across the quadratically many pairings.
+  void Compose(size_t left_idx, size_t right_idx) {
+    const Rule& left = rules_[left_idx];
+    const Rule& right = renamed_[right_idx];
+    const std::vector<Atom>& gamma = gamma_[right_idx];
     if (gamma.empty()) return;  // Fact rules compose trivially.
-    std::vector<Term> alpha_vars = left.UVars();
-    std::vector<Term> beta_evars = left.EVars();
+    const std::vector<Term>& alpha_vars = uvars_[left_idx];
 
     size_t subsets = size_t{1} << gamma.size();
     for (size_t mask = 1; mask < subsets; ++mask) {
-      std::vector<Atom> gamma2, gamma1;
+      gamma1_.clear();
+      gamma2_.clear();
       for (size_t i = 0; i < gamma.size(); ++i) {
-        ((mask >> i) & 1 ? gamma2 : gamma1).push_back(gamma[i]);
+        ((mask >> i) & 1 ? gamma2_ : gamma1_).push_back(gamma[i]);
       }
-      ForEachEmbedding(
-          gamma2, left.head, Substitution(), [&](const Substitution& h0) {
-            // Bound γ1/δ variables must not map onto β's existential
-            // variables and must land in vars(α) when they occur in γ1.
-            std::vector<Term> gamma1_vars;
-            for (const Atom& a : gamma1) AppendDistinct(a.AllVars(),
-                                                        &gamma1_vars);
-            std::vector<Term> unbound;
-            bool ok = true;
-            for (Term v : gamma1_vars) {
-              Term img = h0.Apply(v);
-              if (img == v && !h0.IsBound(v)) {
-                unbound.push_back(v);
-              } else if (img.IsVariable() && !Contains(alpha_vars, img)) {
-                ok = false;  // Mapped onto an existential of β.
-                break;
-              }
-            }
-            if (!ok) return true;
-            // Enumerate assignments of the unbound γ1 variables into
-            // vars(α).
-            if (!unbound.empty() && alpha_vars.empty()) return true;
-            std::vector<size_t> pick(unbound.size(), 0);
-            while (true) {
-              Substitution h = h0;
-              for (size_t i = 0; i < unbound.size(); ++i) {
-                h.Bind(unbound[i], alpha_vars[pick[i]]);
-              }
-              EmitComposition(left, right, gamma1, h);
-              if (!result_.complete) return false;
-              // Advance the mixed-radix counter.
-              size_t i = 0;
-              for (; i < pick.size(); ++i) {
-                if (++pick[i] < alpha_vars.size()) break;
-                pick[i] = 0;
-              }
-              if (i == pick.size()) break;
-              if (pick.empty()) break;
-            }
-            return result_.complete;
-          });
+      gamma1_vars_.clear();
+      for (const Atom& a : gamma1_) {
+        AppendDistinct(a.AllVars(), &gamma1_vars_);
+      }
+      // One plan/executor pair lives across all pairings: Recompile and
+      // Reset reuse their buffers, so a subset split costs no allocation
+      // in steady state.
+      plan_.Recompile(gamma2_);
+      exec_.Reset(plan_);
+      exec_.ExecuteOnAtoms(plan_, left.head, [&](const JoinExecutor& e) {
+        // Bound γ1/δ variables must not map onto β's existential
+        // variables and must land in vars(α) when they occur in γ1.
+        // γ2's variables are reserved Cmp# names that never occur in
+        // left.head, so Value(v) == v exactly when v is unbound.
+        unbound_.clear();
+        for (Term v : gamma1_vars_) {
+          Term img = e.Value(v);
+          if (img == v) {
+            unbound_.push_back(v);
+          } else if (img.IsVariable() && !Contains(alpha_vars, img)) {
+            return true;  // Mapped onto an existential of β.
+          }
+        }
+        // Enumerate assignments of the unbound γ1 variables into
+        // vars(α).
+        if (!unbound_.empty() && alpha_vars.empty()) return true;
+        Substitution h0;
+        e.AppendBindings(&h0);
+        std::vector<size_t> pick(unbound_.size(), 0);
+        while (true) {
+          Substitution h = h0;
+          for (size_t i = 0; i < unbound_.size(); ++i) {
+            h.Bind(unbound_[i], alpha_vars[pick[i]]);
+          }
+          EmitComposition(left, right, gamma1_, h);
+          if (!result_.complete) return false;
+          // Advance the mixed-radix counter.
+          size_t i = 0;
+          for (; i < pick.size(); ++i) {
+            if (++pick[i] < alpha_vars.size()) break;
+            pick[i] = 0;
+          }
+          if (i == pick.size()) break;
+          if (pick.empty()) break;
+        }
+        return result_.complete;
+      });
       if (!result_.complete) return;
     }
   }
@@ -262,16 +263,47 @@ class Saturator {
     std::string key = CanonicalRuleString(rule, *symbols_);
     if (!seen_.insert(key).second) return;
     rules_.push_back(rule);
+    bool ex = !rule.EVars().empty();
+    existential_.push_back(ex);
+    uvars_.push_back(rule.UVars());
+    // Precompute the right-premise role: the rule renamed apart with the
+    // reserved composition variables, and its positive body γ. Only
+    // Datalog rules ever stand on the right of (composition).
+    Rule renamed;
+    if (!ex) {
+      Substitution apart;
+      std::vector<Term> rvars = rule.Vars();
+      for (size_t i = 0; i < rvars.size(); ++i) {
+        apart.Bind(rvars[i], CompositionVar(i));
+      }
+      renamed = apart.Apply(rule);
+    }
+    gamma_.push_back(renamed.PositiveBody());
+    renamed_.push_back(std::move(renamed));
     worklist_.push_back(rules_.size() - 1);
   }
 
   SymbolTable* symbols_;
   SaturationOptions options_;
-  std::vector<Rule> rules_;
+  // Deques: Process and Compose hold references across Add() calls.
+  std::deque<Rule> rules_;
+  // Per-rule data cached at Add time (EVars()/UVars() recomputation and
+  // the per-pairing rename-apart dominated the composition loop in the
+  // seed).
+  std::vector<bool> existential_;
+  std::deque<std::vector<Term>> uvars_;
+  std::deque<Rule> renamed_;
+  std::deque<std::vector<Atom>> gamma_;
   std::unordered_set<std::string> seen_;
   std::deque<size_t> worklist_;
   std::vector<Term> composition_vars_;
   SaturationResult result_;
+  // Compose scratch, reused across pairings and subset splits.
+  JoinPlan plan_;
+  JoinExecutor exec_;
+  std::vector<Atom> gamma1_, gamma2_;
+  std::vector<Term> gamma1_vars_;
+  std::vector<Term> unbound_;
 };
 
 }  // namespace

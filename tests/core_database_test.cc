@@ -115,5 +115,38 @@ TEST(DatabaseTest, DisablingPositionIndex) {
   EXPECT_FALSE(db.position_index_enabled());
 }
 
+// Regression: the position-index key used to pack (pred, pos, term) as
+// (pred << 40) ^ (pos << 32) ^ term, so an atom with a term at position
+// >= 256 aliased the postings of relation (pred ^ (pos >> 8)) at
+// position (pos & 0xFF) — a wide atom could leak into another
+// relation's per-position postings.
+TEST(DatabaseTest, HighArityPositionIndexDoesNotAliasRelations) {
+  SymbolTable syms;
+  // Arrange a pair of relations whose ids differ exactly in bit 0: under
+  // the old packing, (wide, pos=256, t) collided with (wide ^ 1, 0, t).
+  RelationId wide = syms.Relation("wide0", 257);
+  for (int i = 1; wide % 2 != 0; ++i) {
+    wide = syms.Relation("wide" + std::to_string(i), 257);
+  }
+  RelationId unary = syms.Relation("unary", 1);
+  ASSERT_EQ(unary, wide ^ 1u);
+
+  Term filler = syms.Constant("filler");
+  Term probe = syms.Constant("probe");
+  std::vector<Term> args(257, filler);
+  args[256] = probe;
+
+  Database db;
+  db.Insert(Atom(wide, args));
+  EXPECT_EQ(db.AtomsAt(wide, 256, probe).size(), 1u);
+  EXPECT_EQ(db.AtomsAt(wide, 0, filler).size(), 1u);
+  // The other relation's postings must stay empty.
+  EXPECT_TRUE(db.AtomsAt(unary, 0, probe).empty());
+
+  db.Insert(Atom(unary, {probe}));
+  ASSERT_EQ(db.AtomsAt(unary, 0, probe).size(), 1u);
+  EXPECT_EQ(db.atom(db.AtomsAt(unary, 0, probe)[0]).pred, unary);
+}
+
 }  // namespace
 }  // namespace gerel
