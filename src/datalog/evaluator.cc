@@ -1,214 +1,26 @@
 #include "datalog/evaluator.h"
 
-#include <algorithm>
-
-#include "core/check.h"
-#include "core/join_plan.h"
-#include "core/substitution.h"
-#include "datalog/parallel.h"
-#include "datalog/stratifier.h"
+#include "datalog/program.h"
 
 namespace gerel {
 
-namespace {
-
-// Evaluation of one rule given a delta window [delta_begin, delta_end) of
-// the database; negative literals are checked against the full database
-// (sound because their relations are fully computed in lower strata).
-//
-// All join plans are compiled once at construction: one plan over the
-// whole positive body for naive/first rounds, and one per body-atom
-// position j for semi-naive rounds, with atom j pinned as level 0 and
-// matched only against delta atoms. Heads and negated atoms are compiled
-// against each plan's slots, so firing a match is a slot lookup per term
-// rather than a hash-map substitution.
-class RuleEvaluator {
- public:
-  explicit RuleEvaluator(const Rule& rule) : rule_(&rule) {
-    for (const Literal& l : rule.body) {
-      (l.negated ? negatives_ : positives_).push_back(l.atom);
-    }
-    // All plans compile on first use: translated programs carry hundreds
-    // of rules whose body relations stay empty, and those never need one.
-    seeded_.resize(positives_.size());
-  }
-
-  // Fires the rule for every homomorphism with at least one positive atom
-  // in the delta window. With a null `buffer`, heads are inserted into
-  // *db as they are derived (and become visible to the enumeration, the
-  // sequential reference semantics); with a buffer, *db is read-only and
-  // heads are emitted for the caller to merge at the round barrier.
-  // Returns the number of new atoms inserted (0 in buffered mode).
-  size_t Evaluate(Database* db, size_t delta_begin, size_t delta_end,
-                  bool restrict_to_delta, std::vector<Atom>* buffer) {
-    size_t added = 0;
-    const bool db_grows = buffer == nullptr;
-    const CompiledRule* firing = nullptr;
-    auto fire = [&](const JoinExecutor& e) {
-      ++stats_.matches;
-      for (const CompiledAtom& neg : firing->negatives) {
-        Atom ground = e.Apply(neg);
-        GEREL_CHECK(ground.IsDatabaseAtom());  // Safety guarantees this.
-        if (db->Contains(ground)) return true;  // Blocked; keep enumerating.
-      }
-      for (const CompiledAtom& head : firing->heads) {
-        Atom derived = e.Apply(head);
-        GEREL_CHECK(derived.IsDatabaseAtom());
-        if (buffer != nullptr) {
-          if (!db->Contains(derived)) buffer->push_back(std::move(derived));
-        } else if (db->Insert(derived)) {
-          ++added;
-          ++stats_.derived;
-        }
-      }
-      return true;
-    };
-    if (!restrict_to_delta || positives_.empty()) {
-      // A positive conjunctive body cannot match if any body relation has
-      // no atoms at all; skip before paying for plan compilation.
-      for (const Atom& a : positives_) {
-        if (db->AtomsOf(a.pred).empty()) return 0;
-      }
-      if (!full_.ready) Compile(*rule_, &full_, /*pinned_first=*/-1);
-      // An empty positive body compiles to a zero-level plan, which
-      // visits exactly one (empty) match — the fact-rule case.
-      firing = &full_;
-      exec_.Reset(full_.plan);
-      exec_.Execute(full_.plan, *db, fire, db_grows);
-      return added;
-    }
-    for (size_t j = 0; j < positives_.size(); ++j) {
-      RelationId pred = positives_[j].pred;
-      for (size_t ai = delta_begin; ai < delta_end; ++ai) {
-        if (db->atom(ai).pred != pred) continue;
-        if (!seeded_[j].ready) {
-          Compile(*rule_, &seeded_[j], static_cast<int>(j));
-        }
-        firing = &seeded_[j];
-        // ExecuteSeeded matches plan level 0 (body atom j) against the
-        // delta atom only; repeated-variable mismatches visit nothing.
-        exec_.ExecuteSeeded(seeded_[j].plan, *db, db->atom(ai), fire,
-                            db_grows);
-      }
-    }
-    return added;
-  }
-
-  const RuleStats& stats() const { return stats_; }
-
- private:
-  struct CompiledRule {
-    JoinPlan plan;
-    std::vector<CompiledAtom> heads;
-    std::vector<CompiledAtom> negatives;
-    bool ready = false;
-  };
-
-  void Compile(const Rule& rule, CompiledRule* out, int pinned_first) {
-    out->ready = true;
-    out->plan.Recompile(positives_, {}, pinned_first);
-    out->heads.reserve(rule.head.size());
-    for (const Atom& a : rule.head) out->heads.push_back(out->plan.Compile(a));
-    out->negatives.reserve(negatives_.size());
-    for (const Atom& a : negatives_) {
-      out->negatives.push_back(out->plan.Compile(a));
-    }
-  }
-
-  const Rule* rule_;  // Backing theory rule; outlives the evaluator.
-  std::vector<Atom> positives_;
-  std::vector<Atom> negatives_;
-  CompiledRule full_;
-  std::vector<CompiledRule> seeded_;  // One per pinned body-atom position.
-  JoinExecutor exec_;
-  RuleStats stats_;
-};
-
-}  // namespace
-
+// One-shot evaluation: compile a DatalogProgram (datalog/program.h) and
+// materialize a single fixpoint. Callers that evaluate the same program
+// repeatedly (the serving layer) keep the compiled program instead.
 Result<DatalogResult> EvaluateDatalog(const Theory& theory,
                                       const Database& input,
                                       SymbolTable* symbols,
                                       const DatalogOptions& options) {
-  for (const Rule& rule : theory.rules()) {
-    if (!rule.EVars().empty()) {
-      return Status::Error("EvaluateDatalog requires Datalog rules "
-                           "(no existential variables)");
-    }
-    Status s = rule.Validate(*symbols);
-    if (!s.ok()) return s;
-  }
-  Result<Stratification> strat = Stratify(theory);
-  if (!strat.ok()) return strat.status();
-
+  Result<DatalogProgram> program =
+      DatalogProgram::Compile(theory, symbols, options);
+  if (!program.ok()) return program.status();
   DatalogResult result;
   result.database = input;
-  result.rule_stats.resize(theory.rules().size());
-  if (options.populate_acdom) {
-    PopulateAcdom(theory, symbols, &result.database);
-  }
-  size_t initial = result.database.size();
-
-  size_t num_threads = std::max<size_t>(1, options.num_threads);
-  WorkerPool pool(num_threads);
-  std::vector<std::vector<Atom>> buffers;
-
-  for (const std::vector<uint32_t>& stratum : strat.value().strata) {
-    std::vector<RuleEvaluator> evaluators;
-    evaluators.reserve(stratum.size());
-    for (uint32_t ri : stratum) {
-      evaluators.emplace_back(theory.rules()[ri]);
-    }
-    size_t delta_begin = 0;
-    bool first_round = true;
-    while (true) {
-      size_t delta_end = result.database.size();
-      size_t added = 0;
-      bool restrict = options.seminaive && !first_round;
-      // In the first round of a stratum the whole database is "new"
-      // from this stratum's perspective.
-      size_t begin = restrict ? delta_begin : 0;
-      if (num_threads == 1) {
-        for (RuleEvaluator& ev : evaluators) {
-          added += ev.Evaluate(&result.database, begin, delta_end, restrict,
-                               /*buffer=*/nullptr);
-        }
-      } else {
-        // Parallel round: the database is immutable while the rules
-        // match (per-rule buffers, no snapshot copies needed), then the
-        // buffers merge in rule order — a deterministic sequence of
-        // Insert calls, so the resulting database is independent of
-        // thread scheduling.
-        buffers.resize(evaluators.size());
-        pool.Run(evaluators.size(), [&](size_t k) {
-          buffers[k].clear();
-          evaluators[k].Evaluate(&result.database, begin, delta_end,
-                                 restrict, &buffers[k]);
-        });
-        for (size_t k = 0; k < evaluators.size(); ++k) {
-          for (Atom& atom : buffers[k]) {
-            if (result.database.Insert(std::move(atom))) {
-              ++added;
-              ++result.rule_stats[stratum[k]].derived;
-            }
-          }
-        }
-      }
-      ++result.rounds;
-      first_round = false;
-      if (added == 0) break;
-      delta_begin = delta_end;
-      if (options.max_rounds != 0 && result.rounds >= options.max_rounds) {
-        return Status::Error("max_rounds exceeded");
-      }
-    }
-    for (size_t k = 0; k < evaluators.size(); ++k) {
-      RuleStats& out = result.rule_stats[stratum[k]];
-      out.matches += evaluators[k].stats().matches;
-      if (num_threads == 1) out.derived += evaluators[k].stats().derived;
-    }
-  }
-  result.derived_atoms = result.database.size() - initial;
+  Result<EvalPassStats> pass = program.value().Materialize(&result.database);
+  if (!pass.ok()) return pass.status();
+  result.rounds = pass.value().rounds;
+  result.derived_atoms = pass.value().derived_atoms;
+  result.rule_stats = program.value().rule_stats();
   return result;
 }
 

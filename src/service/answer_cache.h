@@ -1,0 +1,59 @@
+// An LRU cache of answer sets keyed by the canonicalized conjunctive
+// query (DESIGN.md §7).
+//
+// The cache is internally locked so that many PreparedKb::Query calls —
+// which run concurrently under the KB's shared lock — can probe and fill
+// it; Assert clears it under the KB's exclusive lock (any cached answer
+// set may be stale once the model grows).
+#ifndef GEREL_SERVICE_ANSWER_CACHE_H_
+#define GEREL_SERVICE_ANSWER_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/term.h"
+
+namespace gerel {
+
+class AnswerCache {
+ public:
+  struct Entry {
+    std::set<std::vector<Term>> answers;
+    bool complete = true;
+  };
+
+  // `capacity` = maximum number of cached queries; 0 disables the cache
+  // (Lookup always misses, Insert is a no-op).
+  explicit AnswerCache(size_t capacity) : capacity_(capacity) {}
+
+  // On hit, copies the entry into *out, promotes the key to
+  // most-recently-used, and returns true.
+  bool Lookup(const std::string& key, Entry* out);
+
+  // Inserts (or refreshes) the entry, evicting the least-recently-used
+  // key when over capacity.
+  void Insert(const std::string& key, Entry entry);
+
+  // Drops every entry (model changed).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> index_;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_SERVICE_ANSWER_CACHE_H_

@@ -1,0 +1,300 @@
+#include "service/prepared_kb.h"
+
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "core/join_plan.h"
+#include "core/normalize.h"
+#include "transform/annotation.h"
+#include "transform/canonical.h"
+#include "transform/grounding.h"
+#include "transform/saturation.h"
+
+namespace gerel {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+PreparedKb::PreparedKb(SymbolTable* symbols, const PreparedKbOptions& options)
+    : symbols_(symbols),
+      options_(options),
+      cache_(options.answer_cache_capacity) {}
+
+Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
+    const Theory& theory, const Database& db, SymbolTable* symbols,
+    const PreparedKbOptions& options) {
+  Clock::time_point start = Clock::now();
+  std::unique_ptr<PreparedKb> kb(new PreparedKb(symbols, options));
+  kb->normal_ = Normalize(theory, symbols);
+  Classification c = Classify(kb->normal_);
+  if (!c.weakly_frontier_guarded) {
+    return Status::Error("knowledge base is not weakly frontier-guarded");
+  }
+  kb->affected_ = AffectedPositions(kb->normal_);
+  for (const Rule& r : kb->normal_.rules()) {
+    if (!r.EVars().empty()) kb->theory_has_existentials_ = true;
+  }
+  // Step 1: rew(Σ) (Thm 2), unless the theory is already weakly guarded.
+  // This stage is both query- and data-independent, so it never reruns.
+  if (c.weakly_guarded) {
+    kb->weakly_guarded_ = kb->normal_;
+  } else {
+    Result<WfgRewriteResult> rew = RewriteWfgToWeaklyGuarded(
+        kb->normal_, symbols, options.pipeline.expansion);
+    if (!rew.ok()) return rew.status();
+    kb->rewrite_complete_ = rew.value().complete;
+    kb->weakly_guarded_ = std::move(rew.value().theory);
+  }
+  Classification wc = Classify(kb->weakly_guarded_);
+  kb->mode_ = wc.datalog ? Mode::kDatalog
+                         : (wc.guarded ? Mode::kGuarded
+                                       : Mode::kWeaklyGuarded);
+  kb->acdom_ = AcdomRelation(symbols);
+  kb->edb_ = db;
+  Status s = kb->CompileProgram();
+  if (!s.ok()) return s;
+  s = kb->MaterializeModel();
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> lock(kb->stats_mu_);
+    kb->stats_.prepares = 1;
+    kb->stats_.prepare_wall_ms = MsSince(start);
+    kb->stats_.model_atoms = kb->model_.size();
+    kb->stats_.datalog_rules = kb->program_->theory().size();
+  }
+  return kb;
+}
+
+Status PreparedKb::CompileProgram() {
+  Theory program_rules;
+  bool complete = true;
+  switch (mode_) {
+    case Mode::kDatalog:
+      // The theory is its own Datalog translation; its least model over
+      // any database is the chase. No grounding, no saturation.
+      program_rules = weakly_guarded_;
+      break;
+    case Mode::kGuarded: {
+      // Step 3 only: dat(Σ) (Thm 3) has the same ground atomic
+      // consequences as Σ over *every* database, so the translation
+      // survives any sequence of asserts.
+      Result<SaturationResult> sat =
+          Saturate(weakly_guarded_, symbols_, options_.pipeline.saturation);
+      if (!sat.ok()) return sat.status();
+      complete = sat.value().complete;
+      program_rules = std::move(sat.value().datalog);
+      break;
+    }
+    case Mode::kWeaklyGuarded: {
+      // Steps 2–3: pg(Σ, D) then dat(·) (§7). The grounding depends on
+      // the constant domain of the EDB; Assert re-runs this stage when a
+      // genuinely new constant arrives.
+      Result<GroundingResult> pg = PartialGrounding(
+          weakly_guarded_, edb_, options_.pipeline.grounding);
+      if (!pg.ok()) return pg.status();
+      complete = pg.value().complete;
+      Result<SaturationResult> sat = Saturate(
+          pg.value().theory, symbols_, options_.pipeline.saturation);
+      if (!sat.ok()) return sat.status();
+      complete = complete && sat.value().complete;
+      program_rules = std::move(sat.value().datalog);
+      grounded_constants_.clear();
+      for (Term t : edb_.ActiveConstants()) {
+        grounded_constants_.insert(t.bits());
+      }
+      for (Term t : weakly_guarded_.Constants()) {
+        grounded_constants_.insert(t.bits());
+      }
+      break;
+    }
+  }
+  Result<DatalogProgram> program = DatalogProgram::Compile(
+      std::move(program_rules), symbols_, options_.datalog);
+  if (!program.ok()) return program.status();
+  program_ = std::make_unique<DatalogProgram>(std::move(program).value());
+  compile_complete_ = complete;
+  return Status::Ok();
+}
+
+Status PreparedKb::MaterializeModel() {
+  model_ = edb_;
+  Result<EvalPassStats> pass = program_->Materialize(&model_);
+  if (!pass.ok()) return pass.status();
+  return Status::Ok();
+}
+
+bool PreparedKb::QueryCannotHaveNullWitnesses(const Rule& cq) const {
+  if (!theory_has_existentials_) return true;
+  for (const Literal& l : cq.body) {
+    for (uint32_t i = 0; i < l.atom.arity(); ++i) {
+      if (affected_.Contains(l.atom.pred, i)) return false;
+    }
+  }
+  return true;
+}
+
+Result<PreparedQueryResult> PreparedKb::Query(const Rule& cq) const {
+  if (cq.head.size() != 1) {
+    return Status::Error("conjunctive query must have a single head atom");
+  }
+  if (cq.body.empty()) {
+    return Status::Error("conjunctive query must have a non-empty body");
+  }
+  std::vector<Atom> positives;
+  positives.reserve(cq.body.size());
+  for (const Literal& l : cq.body) {
+    if (l.negated) {
+      return Status::Error("conjunctive queries must be negation-free");
+    }
+    positives.push_back(l.atom);
+  }
+  // Answer variables missing from the body range over the active domain,
+  // exactly as GuardConjunctiveQuery arranges for the one-shot pipeline.
+  for (Term x : cq.head[0].ArgVars()) {
+    bool in_body = false;
+    for (const Atom& a : positives) {
+      for (Term t : a.AllTerms()) {
+        if (t == x) in_body = true;
+      }
+    }
+    if (!in_body) positives.push_back(Atom(acdom_, {x}));
+  }
+  Clock::time_point start = Clock::now();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::string key = CanonicalRuleString(cq, *symbols_);
+  PreparedQueryResult result;
+  AnswerCache::Entry entry;
+  if (cache_.Lookup(key, &entry)) {
+    result.answers = std::move(entry.answers);
+    result.complete = entry.complete;
+    result.cache_hit = true;
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.queries;
+    ++stats_.cache_hits;
+    stats_.query_wall_ms += MsSince(start);
+    return result;
+  }
+  // The model contains every certain ground atom, so matching the body
+  // join against it yields only certain answers; tuples touching labeled
+  // nulls of the input database are filtered like the one-shot pipeline.
+  JoinPlan plan(positives);
+  CompiledAtom head = plan.Compile(cq.head[0]);
+  JoinExecutor exec;
+  exec.Reset(plan);
+  exec.Execute(
+      plan, model_,
+      [&](const JoinExecutor& e) {
+        Atom a = e.Apply(head);
+        if (a.IsGroundOverConstants()) result.answers.insert(a.args);
+        return true;
+      },
+      /*db_grows=*/false);
+  result.complete = rewrite_complete_ && compile_complete_ &&
+                    QueryCannotHaveNullWitnesses(cq);
+  cache_.Insert(key, {result.answers, result.complete});
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.queries;
+  ++stats_.cache_misses;
+  stats_.query_wall_ms += MsSince(start);
+  return result;
+}
+
+Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
+  for (const Atom& f : facts) {
+    if (!f.IsDatabaseAtom()) {
+      return Status::Error("asserted facts must be ground");
+    }
+  }
+  Clock::time_point start = Clock::now();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  AssertResult out;
+  for (const Atom& f : facts) {
+    if (edb_.Insert(f)) ++out.new_atoms;
+  }
+  bool recompile = false;
+  if (mode_ == Mode::kWeaklyGuarded) {
+    for (const Atom& f : facts) {
+      for (Term t : f.AllTerms()) {
+        if (t.IsConstant() &&
+            grounded_constants_.count(t.bits()) == 0) {
+          recompile = true;
+        }
+      }
+    }
+  }
+  bool rematerialize = recompile || program_->has_negation();
+  if (recompile) {
+    // A constant outside the grounded domain: pg(Σ, D) must be re-run
+    // over the grown domain before the model can be trusted.
+    Status s = CompileProgram();
+    if (!s.ok()) return s;
+  }
+  if (rematerialize) {
+    Status s = MaterializeModel();
+    if (!s.ok()) return s;
+    out.delta = false;
+  } else {
+    // Delta path: seed the semi-naive evaluator with exactly the new
+    // atoms (plus acdom facts for any new terms) and let it re-derive
+    // only their consequences against the existing fixpoint.
+    size_t begin = model_.size();
+    for (const Atom& f : facts) model_.Insert(f);
+    if (options_.datalog.populate_acdom) {
+      size_t inserted_end = model_.size();
+      for (size_t i = begin; i < inserted_end; ++i) {
+        for (Term t : model_.atom(i).AllTerms()) {
+          model_.Insert(Atom(acdom_, {t}));
+        }
+      }
+    }
+    Result<EvalPassStats> pass = program_->ExtendWithDelta(&model_, begin);
+    if (!pass.ok()) return pass.status();
+    out.derived_atoms = pass.value().derived_atoms;
+  }
+  cache_.Clear();
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.asserts;
+  stats_.asserted_atoms += out.new_atoms;
+  if (out.delta) {
+    ++stats_.delta_asserts;
+    stats_.delta_derived_atoms += out.derived_atoms;
+  } else {
+    ++stats_.rematerializations;
+    if (recompile) ++stats_.prepares;
+  }
+  stats_.model_atoms = model_.size();
+  stats_.datalog_rules = program_->theory().size();
+  stats_.assert_wall_ms += MsSince(start);
+  return out;
+}
+
+ServiceStats PreparedKb::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+bool PreparedKb::prepare_complete() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return rewrite_complete_ && compile_complete_;
+}
+
+size_t PreparedKb::model_size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return model_.size();
+}
+
+size_t PreparedKb::datalog_rules() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return program_->theory().size();
+}
+
+}  // namespace gerel

@@ -1,0 +1,170 @@
+// Prepared knowledge bases: run the §7 pipeline once, serve many queries
+// and incremental fact assertions (DESIGN.md §7).
+//
+// AnswerKbQuery (transform/pipeline.h) re-runs rewrite → partial
+// grounding → saturation → stratification → join-plan compilation on
+// every call. For a fixed weakly frontier-guarded theory all of these
+// artifacts are query-independent, and most are data-independent too;
+// PreparedKb computes them once:
+//
+//   Prepare:  normalize and classify Σ, rewrite to weakly guarded (Thm
+//             2) if needed, then collapse the remaining stages by class:
+//               - Datalog Σ: compile Σ directly (no grounding, no
+//                 saturation — the least model is the chase);
+//               - guarded Σ: dat(Σ) by saturation (Thm 3), which is
+//                 database-independent;
+//               - weakly guarded Σ: dat(pg(Σ, D)) (§7), which depends
+//                 only on D's constant domain.
+//             The compiled Datalog program is evaluated over D once and
+//             the resulting model kept ("materialized").
+//   Query:    evaluate the CQ's body join directly against the
+//             materialized model — no recompilation, no re-evaluation.
+//             Answers are always sound (every tuple is certain); the
+//             `complete` flag certifies they are all of the certain
+//             answers (see PreparedQueryResult).
+//   Assert:   extend the model incrementally: new facts seed the
+//             semi-naive evaluator's delta, so only their consequences
+//             are derived. Falls back to re-running the data-dependent
+//             stages only when a weakly guarded theory meets constants
+//             outside the grounded domain (or the program has negation).
+//
+// Concurrency: Query takes a shared lock, Assert an exclusive one — any
+// number of reader threads can query while asserts serialize. All symbol
+// table access happens under the lock, so sessions may keep parsing on
+// the thread that asserts.
+#ifndef GEREL_SERVICE_PREPARED_KB_H_
+#define GEREL_SERVICE_PREPARED_KB_H_
+
+#include <memory>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/database.h"
+#include "core/rule.h"
+#include "core/status.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+#include "datalog/program.h"
+#include "service/answer_cache.h"
+#include "service/stats.h"
+#include "transform/pipeline.h"
+
+namespace gerel {
+
+struct PreparedKbOptions {
+  // Caps for the rewrite/grounding/saturation stages (shared with the
+  // one-shot pipeline).
+  KbQueryOptions pipeline;
+  // Evaluation options; num_threads > 1 parallelizes the materialization
+  // and delta rounds over the prepared worker pool.
+  DatalogOptions datalog;
+  // Maximum number of cached query answer sets; 0 disables the cache.
+  size_t answer_cache_capacity = 1024;
+};
+
+struct PreparedQueryResult {
+  std::set<std::vector<Term>> answers;
+  // Answers are always sound. They are certified complete when no
+  // prepare stage hit a cap and the query cannot have null witnesses:
+  // either the prepared theory is existential-free, or no body relation
+  // of the CQ has an affected position (ap(Σ), Def 2 — only affected
+  // positions ever hold chase nulls). Otherwise the certain answers may
+  // strictly include these (the one-shot pipeline saturates the query
+  // rule into the theory and can see null witnesses; see DESIGN.md §7).
+  bool complete = true;
+  bool cache_hit = false;
+};
+
+struct AssertResult {
+  // EDB atoms that were actually new.
+  size_t new_atoms = 0;
+  // Derived consequences added to the materialized model (delta path
+  // only; 0 after a re-materialization).
+  size_t derived_atoms = 0;
+  // False when the assert had to rebuild the model from the EDB.
+  bool delta = true;
+};
+
+class PreparedKb {
+ public:
+  // Which stages the §7 pipeline collapsed to for this theory.
+  enum class Mode {
+    kDatalog,        // Direct evaluation; fully incremental.
+    kGuarded,        // dat(Σ) once; fully incremental.
+    kWeaklyGuarded,  // dat(pg(Σ, D)); re-grounds on new constants.
+  };
+
+  // Runs the prepare phase over `theory` (must be weakly
+  // frontier-guarded) and `db`. `symbols` must outlive the PreparedKb
+  // and must not be mutated externally while Query/Assert run.
+  static Result<std::unique_ptr<PreparedKb>> Prepare(
+      const Theory& theory, const Database& db, SymbolTable* symbols,
+      const PreparedKbOptions& options = PreparedKbOptions());
+
+  // Answers the conjunctive query `cq` (a Datalog rule with a single
+  // head atom and a positive, non-empty body) against the materialized
+  // model. Thread-safe: takes a shared lock.
+  Result<PreparedQueryResult> Query(const Rule& cq) const;
+
+  // Adds ground facts to the knowledge base and re-derives their
+  // consequences. Thread-safe: takes an exclusive lock and invalidates
+  // the answer cache.
+  Result<AssertResult> Assert(const std::vector<Atom>& facts);
+
+  // Consistent snapshot of the serving counters.
+  ServiceStats stats() const;
+
+  Mode mode() const { return mode_; }
+  // Whether every prepare stage ran to completion (no cap hit); query
+  // results degrade to complete=false otherwise.
+  bool prepare_complete() const;
+  size_t model_size() const;
+  size_t datalog_rules() const;
+
+ private:
+  PreparedKb(SymbolTable* symbols, const PreparedKbOptions& options);
+
+  // Rebuilds the data-dependent stages (grounding + saturation +
+  // program compilation) from the current EDB. Exclusive lock held.
+  Status CompileProgram();
+  // Rebuilds the materialized model from the EDB. Exclusive lock held.
+  Status MaterializeModel();
+  // Completeness certificate for a query: no body relation of `cq` can
+  // hold a labeled null in the chase.
+  bool QueryCannotHaveNullWitnesses(const Rule& cq) const;
+
+  SymbolTable* const symbols_;
+  const PreparedKbOptions options_;
+
+  // Query-independent artifacts, immutable after Prepare.
+  Theory normal_;          // Normalize(Σ).
+  Theory weakly_guarded_;  // rew(normal_) (Thm 2), or normal_ itself.
+  PositionSet affected_;   // ap(normal_), for the completeness check.
+  Mode mode_ = Mode::kDatalog;
+  bool rewrite_complete_ = true;
+  bool theory_has_existentials_ = false;
+  RelationId acdom_ = 0;
+
+  // Everything below is guarded by mu_ (shared for Query, exclusive for
+  // Assert and the prepare phase).
+  mutable std::shared_mutex mu_;
+  Database edb_;    // Base facts: the initial database plus all asserts.
+  Database model_;  // edb_ plus every derived consequence (and acdom).
+  std::unique_ptr<DatalogProgram> program_;
+  bool compile_complete_ = true;
+  // kWeaklyGuarded only: constants the current grounding covers.
+  std::unordered_set<uint32_t> grounded_constants_;
+
+  mutable AnswerCache cache_;
+
+  mutable std::mutex stats_mu_;
+  mutable ServiceStats stats_;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_SERVICE_PREPARED_KB_H_

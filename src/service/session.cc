@@ -1,0 +1,121 @@
+#include "service/session.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace gerel {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Splits off the first whitespace-delimited word.
+std::string_view FirstWord(std::string_view line, std::string_view* rest) {
+  size_t i = 0;
+  while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+  *rest = Trim(line.substr(i));
+  return line.substr(0, i);
+}
+
+}  // namespace
+
+ServiceSession::Response ServiceSession::HandleLine(std::string_view line) {
+  Response r;
+  line = Trim(line);
+  if (line.empty() || line.front() == '%' || line.front() == '#') return r;
+  std::string_view rest;
+  std::string_view cmd = FirstWord(line, &rest);
+  if (cmd == "quit" || cmd == "exit") {
+    r.quit = true;
+    return r;
+  }
+  if (cmd == "stats") {
+    r.text = kb_->stats().ToString();
+    return r;
+  }
+  if (cmd == "query") return Query(rest);
+  if (cmd == "assert") return Assert(rest);
+  r.error = true;
+  saw_error_ = true;
+  r.text = "error: unknown command \"" + std::string(cmd) +
+           "\" (expected query, assert, stats, quit)\n";
+  return r;
+}
+
+ServiceSession::Response ServiceSession::Query(std::string_view text) {
+  Response r;
+  Result<Rule> cq = ParseRule(text, symbols_);
+  if (!cq.ok()) {
+    r.error = true;
+    saw_error_ = true;
+    r.text = std::string("error: ") + cq.status().message() + "\n";
+    return r;
+  }
+  Result<PreparedQueryResult> answers = kb_->Query(cq.value());
+  if (!answers.ok()) {
+    r.error = true;
+    saw_error_ = true;
+    r.text = std::string("error: ") + answers.status().message() + "\n";
+    return r;
+  }
+  const Atom& head = cq.value().head[0];
+  for (const std::vector<Term>& tuple : answers.value().answers) {
+    Atom a(head.pred, tuple);
+    r.text += ToString(a, *symbols_) + "\n";
+  }
+  char line[96];
+  if (answers.value().complete) {
+    std::snprintf(line, sizeof(line), "%zu answers (complete)%s\n",
+                  answers.value().answers.size(),
+                  answers.value().cache_hit ? " [cached]" : "");
+  } else {
+    saw_incomplete_ = true;
+    std::snprintf(line, sizeof(line),
+                  "%zu answers (sound, possibly incomplete)%s\n",
+                  answers.value().answers.size(),
+                  answers.value().cache_hit ? " [cached]" : "");
+  }
+  r.text += line;
+  return r;
+}
+
+ServiceSession::Response ServiceSession::Assert(std::string_view text) {
+  Response r;
+  std::string padded(Trim(text));
+  if (!padded.empty() && padded.back() != '.') padded += '.';
+  Result<Database> facts = ParseDatabase(padded, symbols_);
+  if (!facts.ok()) {
+    r.error = true;
+    saw_error_ = true;
+    r.text = std::string("error: ") + facts.status().message() + "\n";
+    return r;
+  }
+  Result<AssertResult> out = kb_->Assert(facts.value().atoms());
+  if (!out.ok()) {
+    r.error = true;
+    saw_error_ = true;
+    r.text = std::string("error: ") + out.status().message() + "\n";
+    return r;
+  }
+  char line[96];
+  std::snprintf(line, sizeof(line), "asserted %zu new, derived %zu (%s)\n",
+                out.value().new_atoms, out.value().derived_atoms,
+                out.value().delta ? "delta" : "rematerialized");
+  r.text = line;
+  return r;
+}
+
+}  // namespace gerel

@@ -1,0 +1,63 @@
+// A line-oriented command interpreter over a PreparedKb, backing the
+// `gerel serve` subcommand (docs/format.md, "Serve commands").
+//
+// Grammar, one command per line:
+//
+//   query <rule>      answer a conjunctive query (e.g. "query
+//                     e(X, Y) -> q(X)") against the prepared model
+//   assert <facts>    add ground facts (e.g. "assert e(a, b). e(b, c).";
+//                     the final period may be omitted)
+//   stats             print the serving counters
+//   quit | exit       end the session
+//
+// Blank lines and lines starting with "%" or "#" are skipped. The
+// session records whether any query returned sound-but-possibly-
+// incomplete answers (saw_incomplete) and whether any command failed
+// (saw_error), so callers can map them to exit codes.
+#ifndef GEREL_SERVICE_SESSION_H_
+#define GEREL_SERVICE_SESSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/symbol_table.h"
+#include "service/prepared_kb.h"
+
+namespace gerel {
+
+class ServiceSession {
+ public:
+  // `kb` and `symbols` must outlive the session. The session itself is
+  // not thread-safe (it parses into the shared symbol table); run one
+  // session per input stream.
+  ServiceSession(PreparedKb* kb, SymbolTable* symbols)
+      : kb_(kb), symbols_(symbols) {}
+
+  struct Response {
+    std::string text;  // Complete output for the line ("" for skipped).
+    bool error = false;
+    bool quit = false;
+  };
+
+  // Executes one input line.
+  Response HandleLine(std::string_view line);
+
+  // Whether any query so far returned answers that are sound but not
+  // certified complete.
+  bool saw_incomplete() const { return saw_incomplete_; }
+  // Whether any command so far failed to parse or execute.
+  bool saw_error() const { return saw_error_; }
+
+ private:
+  Response Query(std::string_view text);
+  Response Assert(std::string_view text);
+
+  PreparedKb* const kb_;
+  SymbolTable* const symbols_;
+  bool saw_incomplete_ = false;
+  bool saw_error_ = false;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_SERVICE_SESSION_H_

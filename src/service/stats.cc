@@ -1,0 +1,81 @@
+#include "service/stats.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace gerel {
+
+namespace {
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  std::string out;
+  Append(&out, "prepares:            %llu\n",
+         static_cast<unsigned long long>(prepares));
+  Append(&out, "queries:             %llu\n",
+         static_cast<unsigned long long>(queries));
+  Append(&out, "cache hits:          %llu\n",
+         static_cast<unsigned long long>(cache_hits));
+  Append(&out, "cache misses:        %llu\n",
+         static_cast<unsigned long long>(cache_misses));
+  Append(&out, "asserts:             %llu\n",
+         static_cast<unsigned long long>(asserts));
+  Append(&out, "delta asserts:       %llu\n",
+         static_cast<unsigned long long>(delta_asserts));
+  Append(&out, "rematerializations:  %llu\n",
+         static_cast<unsigned long long>(rematerializations));
+  Append(&out, "asserted atoms:      %llu\n",
+         static_cast<unsigned long long>(asserted_atoms));
+  Append(&out, "delta derived atoms: %llu\n",
+         static_cast<unsigned long long>(delta_derived_atoms));
+  Append(&out, "model atoms:         %llu\n",
+         static_cast<unsigned long long>(model_atoms));
+  Append(&out, "datalog rules:       %llu\n",
+         static_cast<unsigned long long>(datalog_rules));
+  Append(&out, "prepare wall ms:     %.3f\n", prepare_wall_ms);
+  Append(&out, "query wall ms:       %.3f\n", query_wall_ms);
+  Append(&out, "assert wall ms:      %.3f\n", assert_wall_ms);
+  return out;
+}
+
+std::string ServiceStats::ToJson() const {
+  std::string out = "{";
+  Append(&out, "\"prepares\": %llu, ",
+         static_cast<unsigned long long>(prepares));
+  Append(&out, "\"queries\": %llu, ",
+         static_cast<unsigned long long>(queries));
+  Append(&out, "\"cache_hits\": %llu, ",
+         static_cast<unsigned long long>(cache_hits));
+  Append(&out, "\"cache_misses\": %llu, ",
+         static_cast<unsigned long long>(cache_misses));
+  Append(&out, "\"asserts\": %llu, ",
+         static_cast<unsigned long long>(asserts));
+  Append(&out, "\"delta_asserts\": %llu, ",
+         static_cast<unsigned long long>(delta_asserts));
+  Append(&out, "\"rematerializations\": %llu, ",
+         static_cast<unsigned long long>(rematerializations));
+  Append(&out, "\"asserted_atoms\": %llu, ",
+         static_cast<unsigned long long>(asserted_atoms));
+  Append(&out, "\"delta_derived_atoms\": %llu, ",
+         static_cast<unsigned long long>(delta_derived_atoms));
+  Append(&out, "\"model_atoms\": %llu, ",
+         static_cast<unsigned long long>(model_atoms));
+  Append(&out, "\"datalog_rules\": %llu, ",
+         static_cast<unsigned long long>(datalog_rules));
+  Append(&out, "\"prepare_wall_ms\": %.6f, ", prepare_wall_ms);
+  Append(&out, "\"query_wall_ms\": %.6f, ", query_wall_ms);
+  Append(&out, "\"assert_wall_ms\": %.6f}", assert_wall_ms);
+  return out;
+}
+
+}  // namespace gerel

@@ -1,0 +1,48 @@
+// Per-knowledge-base serving counters (DESIGN.md §7).
+//
+// A PreparedKb maintains one ServiceStats block across its lifetime;
+// PreparedKb::stats() returns a consistent snapshot. The CLI `serve`
+// subcommand dumps the block on the `stats` command and at session end.
+#ifndef GEREL_SERVICE_STATS_H_
+#define GEREL_SERVICE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gerel {
+
+struct ServiceStats {
+  // Full pipeline compilations: the initial Prepare plus every assert
+  // that had to re-run a data-dependent stage (partial grounding with a
+  // grown constant domain).
+  uint64_t prepares = 0;
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t asserts = 0;
+  // Asserts served by the semi-naive delta path (no recompilation, no
+  // re-materialization).
+  uint64_t delta_asserts = 0;
+  // Asserts that rebuilt the materialized model from the EDB.
+  uint64_t rematerializations = 0;
+  // New EDB atoms accepted by Assert (duplicates excluded).
+  uint64_t asserted_atoms = 0;
+  // Atoms derived by delta extensions (excludes full re-materializations).
+  uint64_t delta_derived_atoms = 0;
+  // Current sizes.
+  uint64_t model_atoms = 0;
+  uint64_t datalog_rules = 0;
+  // Cumulative wall times per phase.
+  double prepare_wall_ms = 0.0;
+  double query_wall_ms = 0.0;
+  double assert_wall_ms = 0.0;
+
+  // Human-readable block, one "name: value" per line.
+  std::string ToString() const;
+  // Single-object JSON rendering (the bench/CI format).
+  std::string ToJson() const;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_SERVICE_STATS_H_

@@ -24,7 +24,9 @@ std::set<std::vector<Term>> CollectAnswers(const Database& db,
 
 Rule GuardConjunctiveQuery(const Rule& cq, SymbolTable* symbols) {
   GEREL_CHECK(cq.head.size() == 1);
-  GEREL_CHECK(cq.EVars().empty());
+  // Head variables missing from the body are answer variables ranging
+  // over the active domain: the acdom guards below bind them, so the
+  // guarded rule has no existential variables.
   Rule out = cq;
   RelationId acdom = AcdomRelation(symbols);
   for (Term x : cq.head[0].ArgVars()) {

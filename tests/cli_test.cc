@@ -39,6 +39,23 @@ std::string Data(const char* name) {
   return std::string(GEREL_DATA_DIR) + "/" + name;
 }
 
+// As RunCli, but feeds `input` to the CLI's stdin (for `serve`).
+CommandResult RunCliWithInput(const std::string& input,
+                              const std::string& args) {
+  std::string command = "printf '%s' '" + input + "' | " +
+                        std::string(GEREL_CLI_PATH) + " " + args + " 2>&1";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buffer;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
 TEST(CliTest, ClassifyPublications) {
   CommandResult r = RunCli("classify " + Data("publications.gerel"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -112,6 +129,50 @@ TEST(CliTest, TreeCommandVerifiesProp2) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("Prop 2 (P1)-(P3): hold"), std::string::npos)
       << r.output;
+}
+
+TEST(CliTest, AnswerExitsWith3WhenTranslationHitsACap) {
+  CommandResult r = RunCli("answer " + Data("transitive_closure.gerel") +
+                           " t --max-rules=1");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("may be incomplete"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ServeAnswersQueriesAndAsserts) {
+  CommandResult r = RunCliWithInput(
+      "query t(X, Y) -> q(X, Y)\n"
+      "assert e(d, f)\n"
+      "query t(X, Y) -> q(X, Y)\n"
+      "stats\n"
+      "quit\n",
+      "serve " + Data("transitive_closure.gerel"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("prepared: mode=datalog"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("6 answers (complete)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("asserted 1 new"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("10 answers (complete)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("delta asserts:       1"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ServeExitsWith3OnIncompleteAnswers) {
+  CommandResult r = RunCliWithInput(
+      "query e(U, V) -> q(U)\nquit\n",
+      "serve " + Data("weakly_guarded_gen.gerel"));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("possibly incomplete"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ServeRejectsBadCommandsWithExit1) {
+  CommandResult r = RunCliWithInput(
+      "frobnicate\nquit\n", "serve " + Data("transitive_closure.gerel"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unknown command"), std::string::npos) << r.output;
 }
 
 TEST(CliTest, UsageOnBadInvocation) {

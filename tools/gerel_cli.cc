@@ -13,16 +13,26 @@
 //       ng2dat  nearly guarded -> Datalog                 (Prop 6)
 //   gerel answer <program> <relation> [--route=chase|datalog]
 //                                         answers of the output relation
+//   gerel serve <program> [opts]          prepare the KB, then answer
+//                                         query/assert commands from stdin
 //   gerel dot preds|positions|tree <program>
 //                                         Graphviz renderings
 //
 // A <program> file mixes rules and facts ("rule." / "fact." statements;
 // see core/parser.h for the grammar). Chase options:
 //   --max-steps=N --max-atoms=N --max-depth=N
+// Translation/serving options:
+//   --max-rules=N (cap the rewrite/grounding/saturation stages)
+//   --threads=N   (parallel Datalog evaluation in serve)
+//
+// Exit codes: 0 success, 1 error, 2 chase hit a cap before saturating,
+// 3 answers are sound but possibly incomplete (a translation stage hit a
+// size cap), 64 usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -33,6 +43,8 @@
 #include "core/parser.h"
 #include "core/printer.h"
 #include "datalog/evaluator.h"
+#include "service/prepared_kb.h"
+#include "service/session.h"
 #include "transform/annotation.h"
 #include "transform/fg_to_ng.h"
 #include "core/graphviz.h"
@@ -62,6 +74,8 @@ struct ParsedArgs {
   std::string relation;  // For answer.
   std::string route = "datalog";
   ChaseOptions chase;
+  size_t max_rules = 0;  // 0 = library defaults.
+  size_t threads = 1;    // For serve.
 };
 
 bool ParseFlag(const char* arg, const char* name, long* out) {
@@ -212,18 +226,26 @@ int Answer(const ParsedArgs& args) {
   }
   RelationId q = syms.Relation(args.relation);
   std::set<std::vector<Term>> answers;
+  bool incomplete = false;
   if (args.route == "chase") {
     answers = ChaseAnswers(program.value().theory, program.value().database,
                            q, &syms, args.chase);
   } else if (args.route == "datalog") {
     // Translate (Prop 4 + Prop 6) then evaluate.
+    ExpansionOptions expansion;
+    SaturationOptions saturation;
+    if (args.max_rules > 0) {
+      expansion.max_rules = args.max_rules;
+      saturation.max_rules = args.max_rules;
+    }
     Theory normal = gerel::Normalize(program.value().theory, &syms);
-    auto rew = RewriteNfgToNearlyGuarded(normal, &syms);
+    auto rew = RewriteNfgToNearlyGuarded(normal, &syms, expansion);
     if (!rew.ok()) return Fail(rew.status().message() +
                                " (try --route=chase)");
-    auto dat = NearlyGuardedToDatalog(rew.value().theory, &syms);
+    auto dat = NearlyGuardedToDatalog(rew.value().theory, &syms, saturation);
     if (!dat.ok()) return Fail(dat.status().message());
     if (!rew.value().complete || !dat.value().complete) {
+      incomplete = true;
       std::fprintf(stderr,
                    "warning: translation hit a size cap; answers are "
                    "sound but may be incomplete (try --route=chase)\n");
@@ -244,7 +266,54 @@ int Answer(const ParsedArgs& args) {
     std::printf(")\n");
   }
   std::fprintf(stderr, "%zu answers\n", answers.size());
-  return 0;
+  return incomplete ? 3 : 0;
+}
+
+const char* ModeName(PreparedKb::Mode mode) {
+  switch (mode) {
+    case PreparedKb::Mode::kDatalog: return "datalog";
+    case PreparedKb::Mode::kGuarded: return "guarded";
+    case PreparedKb::Mode::kWeaklyGuarded: return "weakly guarded";
+  }
+  return "?";
+}
+
+int Serve(const ParsedArgs& args) {
+  SymbolTable syms;
+  auto text = ReadFile(args.file.c_str());
+  if (!text.ok()) return Fail(text.status().message());
+  auto program = ParseProgram(text.value(), &syms);
+  if (!program.ok()) return Fail(program.status().message());
+  PreparedKbOptions options;
+  if (args.max_rules > 0) {
+    options.pipeline.expansion.max_rules = args.max_rules;
+    options.pipeline.saturation.max_rules = args.max_rules;
+    options.pipeline.grounding.max_rules = args.max_rules;
+  }
+  options.datalog.num_threads = args.threads;
+  auto kb = PreparedKb::Prepare(program.value().theory,
+                                program.value().database, &syms, options);
+  if (!kb.ok()) return Fail(kb.status().message());
+  ServiceStats prepared = kb.value()->stats();
+  std::fprintf(stderr,
+               "prepared: mode=%s, %llu datalog rules, %llu model atoms, "
+               "%.1f ms%s\n",
+               ModeName(kb.value()->mode()),
+               static_cast<unsigned long long>(prepared.datalog_rules),
+               static_cast<unsigned long long>(prepared.model_atoms),
+               prepared.prepare_wall_ms,
+               kb.value()->prepare_complete() ? "" : " (incomplete)");
+  ServiceSession session(kb.value().get(), &syms);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    ServiceSession::Response r = session.HandleLine(line);
+    std::fputs(r.text.c_str(), stdout);
+    std::fflush(stdout);
+    if (r.quit) break;
+  }
+  std::fputs(kb.value()->stats().ToString().c_str(), stderr);
+  if (session.saw_incomplete()) return 3;
+  return session.saw_error() ? 1 : 0;
 }
 
 int Dot(const ParsedArgs& args) {
@@ -278,8 +347,10 @@ int Usage() {
                "<program>\n"
                "       gerel answer <program> <relation> "
                "[--route=chase|datalog]\n"
+               "       gerel serve <program> [--threads=N]\n"
                "       gerel dot preds|positions|tree <program>\n"
-               "flags: --max-steps=N --max-atoms=N --max-depth=N\n");
+               "flags: --max-steps=N --max-atoms=N --max-depth=N "
+               "--max-rules=N\n");
   return 64;
 }
 
@@ -307,6 +378,10 @@ int main(int argc, char** argv) {
       args.chase.max_atoms = static_cast<size_t>(value);
     } else if (ParseFlag(argv[i], "--max-depth", &value)) {
       args.chase.max_null_depth = static_cast<uint32_t>(value);
+    } else if (ParseFlag(argv[i], "--max-rules", &value)) {
+      args.max_rules = static_cast<size_t>(value);
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      args.threads = static_cast<size_t>(value);
     } else if (std::strncmp(argv[i], "--route=", 8) == 0) {
       args.route = argv[i] + 8;
     } else {
@@ -319,6 +394,7 @@ int main(int argc, char** argv) {
   if (args.command == "tree") return Tree(args);
   if (args.command == "translate") return Translate(args);
   if (args.command == "answer") return Answer(args);
+  if (args.command == "serve") return Serve(args);
   if (args.command == "dot") return Dot(args);
   return Usage();
 }
