@@ -10,6 +10,7 @@ namespace {
 
 enum class TokenKind {
   kIdent,
+  kQuoted,  // 'quoted constant' with \' and \\ escapes; text is unescaped.
   kLParen,
   kRParen,
   kLBracket,
@@ -67,6 +68,36 @@ class Lexer {
                  text_[pos_ + 1] == '>') {
         out.push_back({TokenKind::kArrow, "->", line_});
         pos_ += 2;
+      } else if (c == '\'') {
+        // Quoted constant: any characters up to the closing quote, with
+        // \' and \\ escapes. (A ' *inside* an identifier is part of the
+        // identifier; only a leading ' opens a quote.)
+        ++pos_;
+        std::string text;
+        bool closed = false;
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          char d = text_[pos_];
+          if (d == '\\' && pos_ + 1 < text_.size()) {
+            text += text_[pos_ + 1];
+            pos_ += 2;
+          } else if (d == '\'') {
+            ++pos_;
+            closed = true;
+            break;
+          } else {
+            text += d;
+            ++pos_;
+          }
+        }
+        if (!closed) {
+          return Status::Error("line " + std::to_string(line_) +
+                               ": unterminated quoted constant");
+        }
+        if (text.empty()) {
+          return Status::Error("line " + std::to_string(line_) +
+                               ": empty quoted constant");
+        }
+        out.push_back({TokenKind::kQuoted, std::move(text), line_});
       } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
         size_t start = pos_;
         while (pos_ < text_.size() &&
@@ -265,6 +296,14 @@ class Parser {
       return out;
     }
     while (true) {
+      if (Peek().kind == TokenKind::kQuoted) {
+        out.push_back(symbols_->Constant(Advance().text));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
       if (Peek().kind != TokenKind::kIdent) return Status(Err("expected term"));
       const std::string& name = Advance().text;
       if (name[0] == '_') {

@@ -1,12 +1,41 @@
 #include "core/printer.h"
 
 #include <algorithm>
+#include <cctype>
 #include <vector>
 
 namespace gerel {
 
+namespace {
+
+// A constant name the lexer reads back as a single identifier token
+// denoting a constant: lower-case or digit start, then identifier
+// characters (including mid-name ' and #, as in fresh "base#k" names).
+bool PlainConstantName(const std::string& name) {
+  if (name.empty()) return false;
+  unsigned char c0 = static_cast<unsigned char>(name[0]);
+  if (!std::islower(c0) && !std::isdigit(c0)) return false;
+  for (char c : name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '_' && c != '\'' && c != '#') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::string ToString(Term t, const SymbolTable& symbols) {
-  return symbols.TermName(t);
+  std::string name = symbols.TermName(t);
+  if (t.IsConstant() && !PlainConstantName(name)) {
+    std::string quoted = "'";
+    for (char c : name) {
+      if (c == '\\' || c == '\'') quoted += '\\';
+      quoted += c;
+    }
+    quoted += "'";
+    return quoted;
+  }
+  return name;
 }
 
 std::string ToString(const Atom& atom, const SymbolTable& symbols) {
@@ -15,7 +44,7 @@ std::string ToString(const Atom& atom, const SymbolTable& symbols) {
     out += "[";
     for (size_t i = 0; i < atom.annotation.size(); ++i) {
       if (i > 0) out += ", ";
-      out += symbols.TermName(atom.annotation[i]);
+      out += ToString(atom.annotation[i], symbols);
     }
     out += "]";
   }
@@ -23,7 +52,7 @@ std::string ToString(const Atom& atom, const SymbolTable& symbols) {
     out += "(";
     for (size_t i = 0; i < atom.args.size(); ++i) {
       if (i > 0) out += ", ";
-      out += symbols.TermName(atom.args[i]);
+      out += ToString(atom.args[i], symbols);
     }
     out += ")";
   }

@@ -55,9 +55,14 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
     kb->weakly_guarded_ = std::move(rew.value().theory);
   }
   Classification wc = Classify(kb->weakly_guarded_);
-  kb->mode_ = wc.datalog ? Mode::kDatalog
-                         : (wc.guarded ? Mode::kGuarded
-                                       : Mode::kWeaklyGuarded);
+  // Existential-free theories are Datalog mode even with negation:
+  // Classify clears `datalog` on negation (the guardedness lattice is
+  // negation-free; §8 treats stratified negation as an extension), but
+  // the stratified evaluator handles such programs directly — and the
+  // Assert path already rematerializes instead of delta-extending them.
+  kb->mode_ = (wc.datalog || !kb->theory_has_existentials_)
+                  ? Mode::kDatalog
+                  : (wc.guarded ? Mode::kGuarded : Mode::kWeaklyGuarded);
   kb->acdom_ = AcdomRelation(symbols);
   kb->edb_ = db;
   Status s = kb->CompileProgram();

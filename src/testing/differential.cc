@@ -1,0 +1,538 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "chase/chase.h"
+#include "core/classify.h"
+#include "core/printer.h"
+#include "datalog/evaluator.h"
+#include "service/prepared_kb.h"
+#include "testing/shrink.h"
+#include "transform/pipeline.h"
+
+namespace gerel::testing {
+
+namespace {
+
+using AnswerSet = std::set<std::vector<Term>>;
+
+// Deterministic per-case seed: splitmix64 over (base seed, class, iter).
+unsigned CaseSeed(unsigned seed, unsigned cls, unsigned iter) {
+  uint64_t z = static_cast<uint64_t>(seed) * 0x9E3779B97F4A7C15ull +
+               static_cast<uint64_t>(cls) * 0xBF58476D1CE4E5B9ull +
+               static_cast<uint64_t>(iter) * 0x94D049BB133111EBull;
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<unsigned>(z ^ (z >> 32));
+}
+
+std::set<std::string> GroundFactSet(const Database& db, const Theory& theory,
+                                    const SymbolTable& symbols) {
+  std::set<RelationId> rels;
+  for (RelationId r : theory.Relations()) rels.insert(r);
+  std::set<std::string> out;
+  for (const Atom& a : db.atoms()) {
+    if (rels.count(a.pred) > 0 && a.IsGroundOverConstants()) {
+      out.insert(ToString(a, symbols));
+    }
+  }
+  return out;
+}
+
+AnswerSet CollectAnswers(const Database& db, RelationId output) {
+  AnswerSet out;
+  for (uint32_t i : db.AtomsOf(output)) {
+    const Atom& a = db.atom(i);
+    if (a.IsGroundOverConstants()) out.insert(a.args);
+  }
+  return out;
+}
+
+bool IsSubset(const AnswerSet& small, const AnswerSet& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+std::string TupleString(const std::vector<Term>& tuple,
+                        const SymbolTable& symbols) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ToString(tuple[i], symbols);
+  }
+  return out + ")";
+}
+
+std::string DescribeAnswerDiff(const AnswerSet& expect, const AnswerSet& got,
+                               const SymbolTable& symbols) {
+  std::string out = "expected " + std::to_string(expect.size()) +
+                    " answers, got " + std::to_string(got.size());
+  for (const auto& t : expect) {
+    if (got.count(t) == 0) {
+      out += "; missing " + TupleString(t, symbols);
+      break;
+    }
+  }
+  for (const auto& t : got) {
+    if (expect.count(t) == 0) {
+      out += "; extra " + TupleString(t, symbols);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string DescribeFactDiff(const std::set<std::string>& expect,
+                             const std::set<std::string>& got) {
+  std::string out = "expected " + std::to_string(expect.size()) +
+                    " facts, got " + std::to_string(got.size());
+  for (const std::string& s : expect) {
+    if (got.count(s) == 0) {
+      out += "; missing " + s;
+      break;
+    }
+  }
+  for (const std::string& s : got) {
+    if (expect.count(s) == 0) {
+      out += "; extra " + s;
+      break;
+    }
+  }
+  return out;
+}
+
+// Applies a constant renaming (metamorphic lane M2).
+Atom RenameAtom(const Atom& a, const std::map<Term, Term>& map) {
+  Atom out = a;
+  for (Term& t : out.args) {
+    auto it = map.find(t);
+    if (it != map.end()) t = it->second;
+  }
+  for (Term& t : out.annotation) {
+    auto it = map.find(t);
+    if (it != map.end()) t = it->second;
+  }
+  return out;
+}
+
+Rule RenameRule(const Rule& r, const std::map<Term, Term>& map) {
+  Rule out = r;
+  for (Literal& l : out.body) l.atom = RenameAtom(l.atom, map);
+  for (Atom& h : out.head) h = RenameAtom(h, map);
+  return out;
+}
+
+// Chase of (Σ ∪ {acdom-guarded cq}, D), collecting the query answers.
+// Returns false (unsaturated) in *saturated if caps were hit.
+AnswerSet ChaseCqAnswers(const Theory& theory, const Rule& cq,
+                         const Database& db, SymbolTable* symbols,
+                         const ChaseOptions& options, bool* saturated) {
+  Theory with_q = theory;
+  with_q.AddRule(GuardConjunctiveQuery(cq, symbols));
+  ChaseResult r = Chase(with_q, db, symbols, options);
+  *saturated = r.saturated;
+  return CollectAnswers(r.database, cq.head[0].pred);
+}
+
+}  // namespace
+
+const char* FaultTag(Fault fault) {
+  switch (fault) {
+    case Fault::kNone: return "none";
+    case Fault::kDropAcdomGuard: return "drop-acdom-guard";
+    case Fault::kSkipSaturationStep: return "skip-saturation-step";
+    case Fault::kStaleAnswerCache: return "stale-answer-cache";
+  }
+  return "?";
+}
+
+bool ParseFault(std::string_view tag, Fault* out) {
+  for (Fault f : {Fault::kNone, Fault::kDropAcdomGuard,
+                  Fault::kSkipSaturationStep, Fault::kStaleAnswerCache}) {
+    if (tag == FaultTag(f)) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+CaseVerdict CheckCase(const GeneratedCase& c, SymbolTable* symbols,
+                      const DiffOptions& options, DiffFailure* failure) {
+  failure->cls = c.cls;
+  failure->case_seed = c.seed;
+  auto fail = [&](const char* lane, std::string detail) {
+    failure->lane = lane;
+    failure->detail = std::move(detail);
+    return CaseVerdict::kFail;
+  };
+
+  // Ground truth: the naive oracle. Unsaturated instances are skipped
+  // (certain-answer comparison needs a terminating chase).
+  OracleResult oracle = OracleChase(c.theory, c.database, symbols,
+                                    options.oracle);
+  if (!oracle.saturated) return CaseVerdict::kSkip;
+  std::set<std::string> facts_expect =
+      OracleGroundFacts(oracle, c.theory, *symbols);
+  AnswerSet expect = OracleCqAnswers(oracle, c.query);
+
+  // The production chase gets generous caps: it fires the same oblivious
+  // triggers as the oracle, so if the oracle saturated, it must too.
+  ChaseOptions chase_opts;
+  chase_opts.max_steps = options.oracle.max_steps * 20;
+  chase_opts.max_atoms = options.oracle.max_atoms * 20;
+
+  // Lane: oracle vs. production chase, ground facts.
+  ChaseResult chase = Chase(c.theory, c.database, symbols, chase_opts);
+  if (!chase.saturated) {
+    return fail("chase-saturation",
+                "oracle saturated but the production chase did not");
+  }
+  std::set<std::string> facts_chase =
+      GroundFactSet(chase.database, c.theory, *symbols);
+  if (facts_chase != facts_expect) {
+    return fail("oracle-vs-chase-facts",
+                DescribeFactDiff(facts_expect, facts_chase));
+  }
+
+  // Lane: oracle vs. chase CQ answers.
+  bool sat = false;
+  AnswerSet chase_ans =
+      ChaseCqAnswers(c.theory, c.query, c.database, symbols, chase_opts, &sat);
+  if (sat && chase_ans != expect) {
+    return fail("oracle-vs-chase-answers",
+                DescribeAnswerDiff(expect, chase_ans, *symbols));
+  }
+
+  // Metamorphic: fact-order permutation (reverse the database).
+  if (sat) {
+    Database reversed;
+    const std::vector<Atom>& atoms = c.database.atoms();
+    for (auto it = atoms.rbegin(); it != atoms.rend(); ++it) {
+      reversed.Insert(*it);
+    }
+    bool rsat = false;
+    AnswerSet rans = ChaseCqAnswers(c.theory, c.query, reversed, symbols,
+                                    chase_opts, &rsat);
+    if (rsat && rans != expect) {
+      return fail("metamorphic-fact-order",
+                  DescribeAnswerDiff(expect, rans, *symbols));
+    }
+
+    // Metamorphic: bijective constant renaming. Answers must be the
+    // renamed answers.
+    std::map<Term, Term> ren;
+    for (const Atom& a : c.database.atoms()) {
+      for (Term t : a.AllTerms()) {
+        if (t.IsConstant() && ren.count(t) == 0) {
+          ren[t] = symbols->Constant("rn_" + symbols->TermName(t));
+        }
+      }
+    }
+    for (Term t : c.theory.Constants()) {
+      if (ren.count(t) == 0) {
+        ren[t] = symbols->Constant("rn_" + symbols->TermName(t));
+      }
+    }
+    Theory rth;
+    for (const Rule& r : c.theory.rules()) rth.AddRule(RenameRule(r, ren));
+    Database rdb;
+    for (const Atom& a : c.database.atoms()) rdb.Insert(RenameAtom(a, ren));
+    Rule rq = RenameRule(c.query, ren);
+    AnswerSet mapped;
+    for (const std::vector<Term>& t : expect) {
+      std::vector<Term> m = t;
+      for (Term& x : m) {
+        auto it = ren.find(x);
+        if (it != ren.end()) x = it->second;
+      }
+      mapped.insert(std::move(m));
+    }
+    bool msat = false;
+    AnswerSet mans = ChaseCqAnswers(rth, rq, rdb, symbols, chase_opts, &msat);
+    if (msat && mans != mapped) {
+      return fail("metamorphic-renaming",
+                  DescribeAnswerDiff(mapped, mans, *symbols));
+    }
+
+    // Metamorphic: rule duplication never changes certain answers.
+    if (c.theory.size() > 0) {
+      Theory dup = c.theory;
+      dup.AddRule(c.theory.rules()[0]);
+      bool dsat = false;
+      AnswerSet dans =
+          ChaseCqAnswers(dup, c.query, c.database, symbols, chase_opts, &dsat);
+      if (dsat && dans != expect) {
+        return fail("metamorphic-rule-dup",
+                    DescribeAnswerDiff(expect, dans, *symbols));
+      }
+    }
+  }
+
+  Classification cls = Classify(c.theory);
+
+  // Shared pipeline caps: these theories are tiny, so a closure that
+  // runs away is pathological — bound it hard and fall back to the
+  // soundness check (complete=false) rather than burning time (an
+  // uncapped fg saturation can take seconds per case).
+  KbQueryOptions pipeline_opts;
+  pipeline_opts.saturation.max_rules = 400;
+  pipeline_opts.saturation.max_body_atoms = 6;
+  pipeline_opts.expansion.max_rules = 2000;
+  pipeline_opts.grounding.max_rules = 2000;
+  if (options.fault == Fault::kSkipSaturationStep) {
+    pipeline_opts.saturation.enable_composition = false;
+  }
+  // A missing saturation step marks the result incomplete; the seeded
+  // bug simulates an engine that skips the step *silently*, so the
+  // harness must trust such results as if complete.
+  bool trust_incomplete = options.fault == Fault::kSkipSaturationStep;
+
+  // Lane: the §7 pipeline (rew → pg → dat → evaluate).
+  if (cls.weakly_frontier_guarded) {
+    Result<KbQueryResult> r =
+        AnswerKbQuery(c.theory, c.query, c.database, symbols, pipeline_opts);
+    if (r.ok()) {
+      bool complete = r.value().complete || trust_incomplete;
+      if (complete && r.value().answers != expect) {
+        return fail("oracle-vs-pipeline-wfg",
+                    DescribeAnswerDiff(expect, r.value().answers, *symbols));
+      }
+      if (!IsSubset(r.value().answers, expect)) {
+        return fail("pipeline-wfg-unsound",
+                    DescribeAnswerDiff(expect, r.value().answers, *symbols));
+      }
+    }
+  }
+
+  // Lane: the nearly frontier-guarded PTime route (Prop 4 + Prop 6).
+  // May reject the combined (Σ, cq) on shape; that is a precondition,
+  // not a failure.
+  if (cls.nearly_frontier_guarded) {
+    Result<KbQueryResult> r = AnswerKbQueryNearlyFrontierGuarded(
+        c.theory, c.query, c.database, symbols, pipeline_opts);
+    if (r.ok()) {
+      bool complete = r.value().complete || trust_incomplete;
+      if (complete && r.value().answers != expect) {
+        return fail("oracle-vs-pipeline-nfg",
+                    DescribeAnswerDiff(expect, r.value().answers, *symbols));
+      }
+      if (!IsSubset(r.value().answers, expect)) {
+        return fail("pipeline-nfg-unsound",
+                    DescribeAnswerDiff(expect, r.value().answers, *symbols));
+      }
+    }
+  }
+
+  // Lanes: PreparedKb — fresh, cached, N threads, incremental assert.
+  if (cls.weakly_frontier_guarded) {
+    PreparedKbOptions po;
+    po.pipeline = pipeline_opts;
+    if (options.fault == Fault::kDropAcdomGuard) {
+      po.datalog.populate_acdom = false;
+    }
+    Result<std::unique_ptr<PreparedKb>> kb =
+        PreparedKb::Prepare(c.theory, c.database, symbols, po);
+    AnswerSet fresh_answers;
+    bool have_fresh = false;
+    bool fresh_complete = false;
+    if (kb.ok()) {
+      Result<PreparedQueryResult> q1 = kb.value()->Query(c.query);
+      if (q1.ok()) {
+        have_fresh = true;
+        fresh_answers = q1.value().answers;
+        fresh_complete =
+            q1.value().complete || options.fault != Fault::kNone;
+        if (fresh_complete && fresh_answers != expect) {
+          return fail("oracle-vs-prepared",
+                      DescribeAnswerDiff(expect, fresh_answers, *symbols));
+        }
+        if (!IsSubset(fresh_answers, expect)) {
+          return fail("prepared-unsound",
+                      DescribeAnswerDiff(expect, fresh_answers, *symbols));
+        }
+        // Cache lane: the second query must serve identical answers.
+        Result<PreparedQueryResult> q2 = kb.value()->Query(c.query);
+        if (q2.ok() && q2.value().answers != fresh_answers) {
+          return fail("prepared-cache",
+                      DescribeAnswerDiff(fresh_answers, q2.value().answers,
+                                         *symbols));
+        }
+      }
+    }
+
+    // Parallel lane: N-thread materialization answers the same.
+    if (have_fresh && options.num_threads > 1) {
+      PreparedKbOptions pn = po;
+      pn.datalog.num_threads = options.num_threads;
+      Result<std::unique_ptr<PreparedKb>> kbn =
+          PreparedKb::Prepare(c.theory, c.database, symbols, pn);
+      if (kbn.ok()) {
+        Result<PreparedQueryResult> qn = kbn.value()->Query(c.query);
+        if (qn.ok() && qn.value().answers != fresh_answers) {
+          return fail("prepared-threads",
+                      DescribeAnswerDiff(fresh_answers, qn.value().answers,
+                                         *symbols));
+        }
+      }
+    }
+
+    // Incremental lane: prepare on the first half, assert the rest; the
+    // final answers must match the fresh full prepare. Also checks
+    // assert-order independence (reversed second half).
+    if (have_fresh && c.database.size() >= 2) {
+      const std::vector<Atom>& atoms = c.database.atoms();
+      size_t half = atoms.size() / 2;
+      Database d1;
+      for (size_t i = 0; i < half; ++i) d1.Insert(atoms[i]);
+      std::vector<Atom> d2(atoms.begin() + half, atoms.end());
+      Result<std::unique_ptr<PreparedKb>> kbi =
+          PreparedKb::Prepare(c.theory, d1, symbols, po);
+      if (kbi.ok()) {
+        AnswerSet stale;
+        if (options.fault == Fault::kStaleAnswerCache) {
+          Result<PreparedQueryResult> qa = kbi.value()->Query(c.query);
+          if (qa.ok()) stale = qa.value().answers;
+        }
+        Result<AssertResult> ar = kbi.value()->Assert(d2);
+        if (ar.ok()) {
+          Result<PreparedQueryResult> qi = kbi.value()->Query(c.query);
+          if (qi.ok()) {
+            // A stale cache serves the pre-assert answers.
+            const AnswerSet& inc_answers =
+                options.fault == Fault::kStaleAnswerCache
+                    ? stale
+                    : qi.value().answers;
+            bool inc_complete = qi.value().complete ||
+                                options.fault != Fault::kNone;
+            if (fresh_complete && inc_complete &&
+                inc_answers != fresh_answers) {
+              return fail(options.fault == Fault::kStaleAnswerCache
+                              ? "prepared-stale-cache"
+                              : "prepared-incremental",
+                          DescribeAnswerDiff(fresh_answers, inc_answers,
+                                             *symbols));
+            }
+          }
+        }
+        // Assert-order independence: reversed second half.
+        std::vector<Atom> d2r(d2.rbegin(), d2.rend());
+        Result<std::unique_ptr<PreparedKb>> kbr =
+            PreparedKb::Prepare(c.theory, d1, symbols, po);
+        if (kbr.ok() && kbr.value()->Assert(d2r).ok()) {
+          Result<PreparedQueryResult> qr = kbr.value()->Query(c.query);
+          Result<PreparedQueryResult> qi2 = kbi.value()->Query(c.query);
+          if (qr.ok() && qi2.ok() &&
+              qr.value().answers != qi2.value().answers) {
+            return fail("metamorphic-assert-order",
+                        DescribeAnswerDiff(qi2.value().answers,
+                                           qr.value().answers, *symbols));
+          }
+        }
+      }
+    }
+  }
+
+  // Lanes: naive vs. semi-naive vs. parallel Datalog (Datalog theories:
+  // the least model is the chase, so the oracle facts are ground truth).
+  bool is_datalog = true;
+  for (const Rule& r : c.theory.rules()) {
+    if (!r.IsDatalog()) is_datalog = false;
+  }
+  if (is_datalog) {
+    struct EngineConfig {
+      const char* lane;
+      bool seminaive;
+      int threads;
+    };
+    const EngineConfig configs[] = {
+        {"datalog-naive", false, 1},
+        {"datalog-seminaive", true, 1},
+        {"datalog-parallel", true, options.num_threads},
+    };
+    for (const EngineConfig& cfg : configs) {
+      DatalogOptions dopt;
+      dopt.seminaive = cfg.seminaive;
+      dopt.num_threads = cfg.threads;
+      Result<DatalogResult> r =
+          EvaluateDatalog(c.theory, c.database, symbols, dopt);
+      if (!r.ok()) continue;
+      std::set<std::string> facts =
+          GroundFactSet(r.value().database, c.theory, *symbols);
+      if (facts != facts_expect) {
+        return fail(cfg.lane, DescribeFactDiff(facts_expect, facts));
+      }
+    }
+  }
+
+  return CaseVerdict::kOk;
+}
+
+DiffReport RunDifferential(unsigned seed, size_t iters,
+                           const std::vector<GenClass>& classes,
+                           const DiffOptions& options) {
+  const std::vector<GenClass>& run_classes =
+      classes.empty() ? AllGenClasses() : classes;
+  DiffReport report;
+  for (GenClass cls : run_classes) {
+    unsigned cls_index = static_cast<unsigned>(cls);
+    for (size_t iter = 0; iter < iters; ++iter) {
+      unsigned cseed = CaseSeed(seed, cls_index, static_cast<unsigned>(iter));
+      SymbolTable symbols;
+      CaseGenerator gen(cseed, &symbols, options.gen);
+      GeneratedCase c = gen.Next(cls);
+      ++report.iterations;
+      if (options.log_cases) report.transcript += CaseToString(c, symbols);
+      DiffFailure f;
+      CaseVerdict verdict = CheckCase(c, &symbols, options, &f);
+      std::string line = std::string(GenClassTag(cls)) + " " +
+                         std::to_string(iter) + " seed=" +
+                         std::to_string(cseed);
+      switch (verdict) {
+        case CaseVerdict::kOk:
+          ++report.checked;
+          report.transcript += line + " ok\n";
+          break;
+        case CaseVerdict::kSkip:
+          ++report.skipped;
+          report.transcript += line + " skip\n";
+          break;
+        case CaseVerdict::kFail: {
+          ++report.checked;
+          report.transcript += line + " FAIL(" + f.lane + ")\n";
+          f.iteration = iter;
+          GeneratedCase repro = c;
+          if (options.shrink) {
+            repro = ShrinkCase(
+                c,
+                [&](const GeneratedCase& cand) {
+                  DiffFailure g;
+                  return CheckCase(cand, &symbols, options, &g) ==
+                         CaseVerdict::kFail;
+                },
+                options.shrink_max_checks);
+            // Re-check the minimized case so lane/detail describe it.
+            DiffFailure g;
+            if (CheckCase(repro, &symbols, options, &g) ==
+                CaseVerdict::kFail) {
+              f.lane = g.lane;
+              f.detail = g.detail;
+            }
+          }
+          f.repro = CaseToString(repro, symbols);
+          f.repro_rules = repro.theory.size();
+          report.failures.push_back(std::move(f));
+          if (options.stop_on_failure) return report;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace gerel::testing

@@ -1,0 +1,119 @@
+// Metamorphic / differential conformance driver (DESIGN.md §8).
+//
+// For each seeded case the driver runs every applicable answering path
+// and asserts agreement with the naive oracle and with each other:
+//
+//   lanes    oracle vs. production chase (ground facts and CQ answers),
+//            the §7 pipeline (dat(pg(rew(Σ), D))), the nearly
+//            frontier-guarded route (Prop 4 + Prop 6), PreparedKb
+//            (fresh, incremental assert, answer cache, N threads), and
+//            naive vs. semi-naive vs. parallel Datalog;
+//   invariants
+//            fact-order permutation, bijective constant renaming, rule
+//            duplication, and assert-order independence.
+//
+// Sound-but-incomplete lanes (a cap was hit, `complete == false`) are
+// checked for soundness only (answers ⊆ oracle answers); unsaturated
+// oracle instances are skipped.
+//
+// Fault injection (--fault): deliberately misconfigured lanes that
+// simulate seeded bugs; the mutation smoke suite proves each is caught
+// within a bounded number of iterations.
+#ifndef GEREL_TESTING_DIFFERENTIAL_H_
+#define GEREL_TESTING_DIFFERENTIAL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "testing/generator.h"
+#include "testing/oracle.h"
+
+namespace gerel::testing {
+
+// Seeded bugs for the mutation smoke suite. Each twists exactly one lane
+// into a realistic wrong configuration; kNone is the production setup.
+enum class Fault {
+  kNone,
+  // Materialize PreparedKb with populate_acdom off: every acdom guard
+  // introduced by the §7 rewriting becomes unsatisfiable, silently
+  // dropping derived facts (simulates "dropped an acdom guard").
+  kDropAcdomGuard,
+  // Saturate with the composition rule disabled but *trust* the result
+  // as complete (simulates "skipped a saturation step" without the
+  // honesty of the `complete` flag).
+  kSkipSaturationStep,
+  // Serve pre-assert answers after Assert (simulates a stale AnswerCache
+  // that survived invalidation).
+  kStaleAnswerCache,
+};
+
+const char* FaultTag(Fault fault);
+bool ParseFault(std::string_view tag, Fault* out);
+
+struct DiffOptions {
+  GenOptions gen;
+  OracleOptions oracle;
+  // Thread count for the parallel lanes (PreparedKb materialization and
+  // the parallel Datalog engine). Does not affect verdicts.
+  int num_threads = 2;
+  Fault fault = Fault::kNone;
+  // Shrink failing cases before reporting.
+  bool shrink = true;
+  size_t shrink_max_checks = 400;
+  // Stop the run at the first failure (the CLI default; the mutation
+  // smoke tests only need one repro).
+  bool stop_on_failure = true;
+  // Embed every generated case (parser syntax) in the transcript, so a
+  // transcript diff pins down generator nondeterminism, not just verdict
+  // nondeterminism (the deterministic-replay test sets this).
+  bool log_cases = false;
+};
+
+struct DiffFailure {
+  GenClass cls = GenClass::kDatalog;
+  unsigned case_seed = 0;
+  size_t iteration = 0;
+  std::string lane;    // Which comparison disagreed (e.g. "oracle-vs-chase").
+  std::string detail;  // Human-readable expected/actual sketch.
+  // The shrunk (or original, with shrinking off) failing triple, in
+  // parser syntax.
+  std::string repro;
+  size_t repro_rules = 0;
+};
+
+struct DiffReport {
+  size_t iterations = 0;  // Cases generated.
+  size_t checked = 0;     // Cases with a saturated oracle (fully compared).
+  size_t skipped = 0;     // Unsaturated / out-of-scope cases.
+  std::vector<DiffFailure> failures;
+  // One line per case: "<class> <iteration> seed=<s> <verdict>". Pure
+  // function of (seed, iters, classes, gen options) — thread counts and
+  // wall clock never appear, which the determinism test pins down.
+  std::string transcript;
+  bool ok() const { return failures.empty(); }
+};
+
+enum class CaseVerdict {
+  kOk,    // Every applicable lane agreed.
+  kSkip,  // Oracle did not saturate within its bounds; nothing compared.
+  kFail,  // Some lane disagreed; *failure is filled in.
+};
+
+// Checks one case against every applicable lane. `symbols` must be the
+// table the case was generated against (engines add fresh nulls to it).
+// On kFail, `failure->lane`/`detail` are set; the repro fields are
+// filled by the caller (after shrinking).
+CaseVerdict CheckCase(const GeneratedCase& c, SymbolTable* symbols,
+                      const DiffOptions& options, DiffFailure* failure);
+
+// Runs `iters` iterations per class: generates a case (fresh symbol
+// table, per-case seed derived from `seed`), checks it, and shrinks any
+// failure. `classes` defaults to all seven when empty.
+DiffReport RunDifferential(unsigned seed, size_t iters,
+                           const std::vector<GenClass>& classes,
+                           const DiffOptions& options = DiffOptions());
+
+}  // namespace gerel::testing
+
+#endif  // GEREL_TESTING_DIFFERENTIAL_H_

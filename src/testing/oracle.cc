@@ -1,0 +1,226 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "core/check.h"
+#include "core/printer.h"
+#include "core/substitution.h"
+
+namespace gerel::testing {
+
+namespace {
+
+// Collects the distinct ground terms of `atoms`, in sorted order (the
+// enumeration below must be deterministic for replayable runs).
+std::vector<Term> GroundTerms(const std::set<Atom>& atoms) {
+  std::set<Term> seen;
+  for (const Atom& a : atoms) {
+    for (Term t : a.AllTerms()) {
+      if (t.IsGround()) seen.insert(t);
+    }
+  }
+  return std::vector<Term>(seen.begin(), seen.end());
+}
+
+// Enumerates all assignments of `vars` into `domain` (odometer order) and
+// calls `visit` with each substitution. Returns false if the number of
+// assignments would exceed `cap`.
+bool ForEachAssignment(const std::vector<Term>& vars,
+                       const std::vector<Term>& domain, size_t cap,
+                       const std::function<void(const Substitution&)>& visit) {
+  if (domain.empty() && !vars.empty()) return true;  // No assignments.
+  size_t total = 1;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    total *= domain.size();
+    if (total > cap) return false;
+  }
+  std::vector<size_t> pick(vars.size(), 0);
+  while (true) {
+    Substitution s;
+    for (size_t i = 0; i < vars.size(); ++i) s.Bind(vars[i], domain[pick[i]]);
+    visit(s);
+    size_t i = 0;
+    for (; i < pick.size(); ++i) {
+      if (++pick[i] < domain.size()) break;
+      pick[i] = 0;
+    }
+    if (i == pick.size()) break;
+  }
+  return true;
+}
+
+// acdom is the active *constant* domain (core/database.h): nulls never
+// enter it, matching PopulateAcdom and the chase.
+void InsertAcdomFor(const Atom& atom, RelationId acdom,
+                    std::set<Atom>* atoms) {
+  if (atom.pred == acdom) return;
+  for (Term t : atom.AllTerms()) {
+    if (t.IsConstant()) atoms->insert(Atom(acdom, {t}));
+  }
+}
+
+}  // namespace
+
+OracleResult OracleChase(const Theory& theory, const Database& input,
+                         SymbolTable* symbols, const OracleOptions& options) {
+  for (const Rule& r : theory.rules()) {
+    GEREL_CHECK(!r.HasNegation());  // The oracle chase is negation-free.
+  }
+  OracleResult result;
+  for (const Atom& a : input.atoms()) result.atoms.insert(a);
+  RelationId acdom = AcdomRelation(symbols);
+  if (options.populate_acdom) {
+    for (const Atom& a : input.atoms()) {
+      InsertAcdomFor(a, acdom, &result.atoms);
+    }
+    for (Term c : theory.Constants()) {
+      result.atoms.insert(Atom(acdom, {c}));
+    }
+  }
+  // Fired triggers: (rule index, images of its universal variables). The
+  // oblivious chase fires each exactly once.
+  std::set<std::pair<size_t, std::vector<Term>>> fired;
+  bool within_caps = true;
+  bool changed = true;
+  size_t budget = options.max_total_substitutions;
+  while (changed && within_caps) {
+    changed = false;
+    std::vector<Term> domain = GroundTerms(result.atoms);
+    for (Term c : theory.Constants()) {
+      if (!std::binary_search(domain.begin(), domain.end(), c)) {
+        domain.push_back(c);
+        std::sort(domain.begin(), domain.end());
+      }
+    }
+    for (size_t ri = 0; ri < theory.rules().size() && within_caps; ++ri) {
+      const Rule& rule = theory.rules()[ri];
+      std::vector<Term> uvars = rule.UVars();
+      std::vector<Atom> body = rule.PositiveBody();
+      // Charge the full odometer product against the run budget up
+      // front; the enumeration never breaks early.
+      size_t product = 1;
+      bool affordable = true;
+      for (size_t i = 0; i < uvars.size() && affordable; ++i) {
+        product *= domain.size();
+        if (product > budget) affordable = false;
+      }
+      if (!affordable) {
+        within_caps = false;
+        break;
+      }
+      budget -= product;
+      bool enumerable = ForEachAssignment(
+          uvars, domain, options.max_substitutions_per_rule,
+          [&](const Substitution& h) {
+            if (!within_caps) return;
+            for (const Atom& b : body) {
+              if (result.atoms.count(h.Apply(b)) == 0) return;
+            }
+            std::vector<Term> images;
+            images.reserve(uvars.size());
+            for (Term v : uvars) images.push_back(h.Apply(v));
+            if (!fired.insert({ri, std::move(images)}).second) return;
+            if (++result.steps > options.max_steps) {
+              within_caps = false;
+              return;
+            }
+            // Fire: fresh nulls for the existential variables.
+            Substitution ext = h;
+            for (Term e : rule.EVars()) ext.Bind(e, symbols->FreshNull());
+            for (const Atom& ha : rule.head) {
+              Atom derived = ext.Apply(ha);
+              if (result.atoms.insert(derived).second) {
+                changed = true;
+                if (options.populate_acdom) {
+                  InsertAcdomFor(derived, acdom, &result.atoms);
+                }
+                if (result.atoms.size() > options.max_atoms) {
+                  within_caps = false;
+                }
+              }
+            }
+          });
+      if (!enumerable) within_caps = false;
+    }
+  }
+  result.saturated = within_caps;
+  return result;
+}
+
+std::set<Atom> OracleGroundAtoms(const OracleResult& result,
+                                 const Theory& theory) {
+  std::set<RelationId> rels;
+  for (RelationId r : theory.Relations()) rels.insert(r);
+  std::set<Atom> out;
+  for (const Atom& a : result.atoms) {
+    if (rels.count(a.pred) > 0 && a.IsGroundOverConstants()) out.insert(a);
+  }
+  return out;
+}
+
+std::set<std::string> OracleGroundFacts(const OracleResult& result,
+                                        const Theory& theory,
+                                        const SymbolTable& symbols) {
+  std::set<std::string> out;
+  for (const Atom& a : OracleGroundAtoms(result, theory)) {
+    out.insert(ToString(a, symbols));
+  }
+  return out;
+}
+
+std::set<std::vector<Term>> OracleCqAnswers(const OracleResult& result,
+                                            const Rule& cq) {
+  GEREL_CHECK(cq.head.size() == 1);
+  std::vector<Atom> body = cq.PositiveBody();
+  std::vector<Term> body_vars;
+  for (const Atom& a : body) {
+    for (Term v : a.AllVars()) {
+      if (std::find(body_vars.begin(), body_vars.end(), v) ==
+          body_vars.end()) {
+        body_vars.push_back(v);
+      }
+    }
+  }
+  // Head-only variables range over the constants of the chase (the acdom
+  // convention of the §7 pipeline).
+  std::vector<Term> free_vars;
+  for (Term v : cq.head[0].AllVars()) {
+    if (std::find(body_vars.begin(), body_vars.end(), v) == body_vars.end() &&
+        std::find(free_vars.begin(), free_vars.end(), v) == free_vars.end()) {
+      free_vars.push_back(v);
+    }
+  }
+  std::vector<Term> domain = GroundTerms(result.atoms);
+  std::vector<Term> constants;
+  for (Term t : domain) {
+    if (t.IsConstant()) constants.push_back(t);
+  }
+  std::set<std::vector<Term>> answers;
+  ForEachAssignment(
+      body_vars, domain, static_cast<size_t>(-1),
+      [&](const Substitution& h) {
+        for (const Atom& b : body) {
+          if (result.atoms.count(h.Apply(b)) == 0) return;
+        }
+        // Answer tuples must be constant-only (nulls are witnesses, not
+        // answers).
+        Atom head = h.Apply(cq.head[0]);
+        bool null_answer = false;
+        for (Term t : head.AllTerms()) {
+          if (t.IsNull()) null_answer = true;
+        }
+        if (null_answer) return;
+        ForEachAssignment(free_vars, constants, static_cast<size_t>(-1),
+                          [&](const Substitution& f) {
+                            Atom full = f.Apply(head);
+                            if (full.IsGroundOverConstants()) {
+                              answers.insert(full.args);
+                            }
+                          });
+      });
+  return answers;
+}
+
+}  // namespace gerel::testing

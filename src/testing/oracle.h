@@ -1,0 +1,85 @@
+// Reference oracle for differential testing (DESIGN.md §8).
+//
+// A deliberately naive, obviously-correct evaluator used as ground truth
+// by the conformance harness: a depth/size-bounded oblivious chase and a
+// naive Datalog fixpoint, both over a plain std::set<Atom> with
+// brute-force substitution enumeration. No join plans, no semi-naive
+// deltas, no interning tricks, no indexes — every optimization the
+// production engines use is deliberately absent, so a disagreement
+// between this oracle and any engine points at the engine (or at a
+// genuine semantics bug in both, which the metamorphic checks then
+// triangulate).
+//
+// The oracle only certifies instances whose chase terminates within its
+// bounds (`saturated`); the differential driver skips unsaturated
+// instances, exactly like the property tests do.
+#ifndef GEREL_TESTING_ORACLE_H_
+#define GEREL_TESTING_ORACLE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/atom.h"
+#include "core/database.h"
+#include "core/rule.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel::testing {
+
+struct OracleOptions {
+  // Trigger-firing cap; exceeding it clears `saturated`.
+  size_t max_steps = 5000;
+  // Atom-count cap; exceeding it clears `saturated`.
+  size_t max_atoms = 5000;
+  // Brute-force assignment cap per rule per round; exceeding it clears
+  // `saturated` (the instance is too wide for the naive oracle).
+  size_t max_substitutions_per_rule = 500000;
+  // Total assignment budget for the whole run. Without it a
+  // non-terminating instance burns the per-rule cap on every round until
+  // max_atoms — minutes of brute force before giving up; with it the
+  // oracle's worst case is a fixed, small amount of work.
+  size_t max_total_substitutions = 1000000;
+  // Insert acdom(t) for every active term before and during the run, so
+  // rewritten theories with acdom guards evaluate correctly.
+  bool populate_acdom = true;
+};
+
+struct OracleResult {
+  std::set<Atom> atoms;
+  bool saturated = false;
+  size_t steps = 0;
+};
+
+// The naive oblivious chase: every (rule, body substitution) trigger
+// fires exactly once, existential head variables become fresh labeled
+// nulls. Substitutions are enumerated by brute force over the active
+// terms. `theory` must be negation-free. Datalog theories get their
+// least model (the chase of a Datalog theory is its least model).
+OracleResult OracleChase(const Theory& theory, const Database& input,
+                         SymbolTable* symbols,
+                         const OracleOptions& options = OracleOptions());
+
+// Ground constant-only atoms over the relations of `theory`, rendered in
+// parser syntax (comparable across engines that agree on `symbols`).
+std::set<std::string> OracleGroundFacts(const OracleResult& result,
+                                        const Theory& theory,
+                                        const SymbolTable& symbols);
+
+// Same selection, but as atoms (for metamorphic renaming checks).
+std::set<Atom> OracleGroundAtoms(const OracleResult& result,
+                                 const Theory& theory);
+
+// Certain answers of the conjunctive query `cq` (single positive-body
+// rule) over a saturated oracle result: all constant head tuples whose
+// body embeds into the chase (null witnesses allowed, null answers
+// filtered — the standard certain-answer semantics on a terminating
+// chase). Head variables missing from the body range over the constants
+// of `result` (the acdom convention of the §7 pipeline).
+std::set<std::vector<Term>> OracleCqAnswers(const OracleResult& result,
+                                            const Rule& cq);
+
+}  // namespace gerel::testing
+
+#endif  // GEREL_TESTING_ORACLE_H_

@@ -1,6 +1,6 @@
-// Random theory/database generators for the property-based tests.
-#ifndef GEREL_TESTS_RANDOM_THEORIES_H_
-#define GEREL_TESTS_RANDOM_THEORIES_H_
+// Random theory/database generators for the property-based tests (now part of gerel_testing; see generator.h for the class-targeted generator).
+#ifndef GEREL_TESTING_RANDOM_THEORIES_H_
+#define GEREL_TESTING_RANDOM_THEORIES_H_
 
 #include <random>
 #include <string>
@@ -156,4 +156,4 @@ class RandomTheoryGen {
 
 }  // namespace gerel::testing
 
-#endif  // GEREL_TESTS_RANDOM_THEORIES_H_
+#endif  // GEREL_TESTING_RANDOM_THEORIES_H_

@@ -1,0 +1,121 @@
+#include "testing/shrink.h"
+
+#include <utility>
+#include <vector>
+
+namespace gerel::testing {
+
+namespace {
+
+// Rebuilds a case with a subset of rules / facts kept.
+GeneratedCase WithRules(const GeneratedCase& base,
+                        const std::vector<Rule>& rules) {
+  GeneratedCase out = base;
+  out.theory = Theory();
+  for (const Rule& r : rules) out.theory.AddRule(r);
+  return out;
+}
+
+GeneratedCase WithFacts(const GeneratedCase& base,
+                        const std::vector<Atom>& facts) {
+  GeneratedCase out = base;
+  out.database = Database();
+  for (const Atom& a : facts) out.database.Insert(a);
+  return out;
+}
+
+}  // namespace
+
+GeneratedCase ShrinkCase(const GeneratedCase& failing,
+                         const FailurePredicate& still_fails,
+                         size_t max_checks, ShrinkStats* stats) {
+  GeneratedCase best = failing;
+  ShrinkStats local;
+  ShrinkStats* st = stats != nullptr ? stats : &local;
+  auto check = [&](const GeneratedCase& candidate) {
+    if (st->checks >= max_checks) return false;
+    ++st->checks;
+    return still_fails(candidate);
+  };
+
+  bool progress = true;
+  while (progress && st->checks < max_checks) {
+    progress = false;
+
+    // 1. Drop rule chunks, halving ddmin-style: try removing the first
+    //    half, the second half, then each single rule.
+    std::vector<Rule> rules = best.theory.rules();
+    for (size_t chunk = std::max<size_t>(rules.size() / 2, 1);
+         chunk >= 1 && rules.size() > 0; chunk /= 2) {
+      for (size_t start = 0; start < rules.size();) {
+        size_t end = std::min(start + chunk, rules.size());
+        std::vector<Rule> kept(rules.begin(), rules.begin() + start);
+        kept.insert(kept.end(), rules.begin() + end, rules.end());
+        GeneratedCase candidate = WithRules(best, kept);
+        if (check(candidate)) {
+          st->removed_rules += end - start;
+          best = std::move(candidate);
+          rules = std::move(kept);
+          progress = true;
+          // Same start index now addresses the next chunk.
+        } else {
+          start = end;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // 2. Drop facts, one at a time (databases are small).
+    std::vector<Atom> facts = best.database.atoms();
+    for (size_t i = 0; i < facts.size();) {
+      std::vector<Atom> kept(facts.begin(), facts.begin() + i);
+      kept.insert(kept.end(), facts.begin() + i + 1, facts.end());
+      GeneratedCase candidate = WithFacts(best, kept);
+      if (check(candidate)) {
+        ++st->removed_facts;
+        best = std::move(candidate);
+        facts = std::move(kept);
+      } else {
+        ++i;
+      }
+    }
+
+    // 3. Drop query body atoms (keep at least one).
+    while (best.query.body.size() > 1) {
+      bool removed = false;
+      for (size_t i = 0; i < best.query.body.size(); ++i) {
+        GeneratedCase candidate = best;
+        candidate.query.body.erase(candidate.query.body.begin() + i);
+        if (check(candidate)) {
+          ++st->removed_atoms;
+          best = std::move(candidate);
+          removed = true;
+          progress = true;
+          break;
+        }
+      }
+      if (!removed) break;
+    }
+
+    // 4. Drop individual rule body literals (keep at least one per rule;
+    //    the predicate rejects edits that break class membership).
+    for (size_t ri = 0; ri < best.theory.rules().size(); ++ri) {
+      for (size_t bi = 0; bi < best.theory.rules()[ri].body.size() &&
+                          best.theory.rules()[ri].body.size() > 1;
+           ++bi) {
+        GeneratedCase candidate = best;
+        candidate.theory.mutable_rules()[ri].body.erase(
+            candidate.theory.mutable_rules()[ri].body.begin() + bi);
+        if (check(candidate)) {
+          ++st->removed_atoms;
+          best = std::move(candidate);
+          progress = true;
+          --bi;  // The next literal shifted into this slot.
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace gerel::testing

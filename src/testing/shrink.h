@@ -1,0 +1,43 @@
+// Greedy delta-debugging shrinker for failing (theory, database, query)
+// triples (DESIGN.md §8).
+//
+// Given a case and a predicate "does this case still fail?", the
+// shrinker repeatedly tries structure-removing edits — drop rules (in
+// halving chunks, then singly), drop facts, drop query body atoms, drop
+// individual rule body literals — and keeps any edit under which the
+// predicate still holds, until a fixpoint. The predicate is expected to
+// be robust: a candidate that breaks a precondition (class membership,
+// query shape) should simply return false, and the edit is discarded.
+//
+// The shrinker is deterministic (no randomness) and bounded by
+// `max_checks` predicate evaluations.
+#ifndef GEREL_TESTING_SHRINK_H_
+#define GEREL_TESTING_SHRINK_H_
+
+#include <functional>
+
+#include "testing/generator.h"
+
+namespace gerel::testing {
+
+// Returns true iff the candidate still exhibits the failure under
+// investigation.
+using FailurePredicate = std::function<bool(const GeneratedCase&)>;
+
+struct ShrinkStats {
+  size_t checks = 0;  // Predicate evaluations spent.
+  size_t removed_rules = 0;
+  size_t removed_facts = 0;
+  size_t removed_atoms = 0;  // Query/rule body atoms removed.
+};
+
+// Minimizes `failing` under `still_fails` (which must hold for `failing`
+// itself). Returns the smallest case found within `max_checks`.
+GeneratedCase ShrinkCase(const GeneratedCase& failing,
+                         const FailurePredicate& still_fails,
+                         size_t max_checks = 400,
+                         ShrinkStats* stats = nullptr);
+
+}  // namespace gerel::testing
+
+#endif  // GEREL_TESTING_SHRINK_H_

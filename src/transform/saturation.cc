@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
 #include <string>
 #include <unordered_set>
 
 #include "core/check.h"
 #include "core/classify.h"
-#include "core/join_plan.h"
 #include "core/substitution.h"
 #include "core/printer.h"
 #include "transform/canonical.h"
@@ -139,21 +139,25 @@ class Saturator {
     rec(0);
   }
 
-  // (composition): left = α → β, right = Datalog γ → δ. For every split
-  // γ = γ1 ⊎ γ2 with γ2 ≠ ∅, every homomorphism h : γ2 → β whose
-  // extension maps vars(γ1) into vars(α): derive α ∧ h(γ1) → β ∧ h(δ).
+  // (composition): left = α → ∃ȳ.β, right = Datalog γ → δ. For every
+  // split γ = γ1 ⊎ γ2 with γ2 ≠ ∅ and every unifier θ of γ2 with atoms
+  // of β: derive θ(α) ∧ θ(γ1) → θ(β) ∧ θ(δ). The unifier may
+  // specialize the *universal* variables of the left premise — binding
+  // them to constants or merging them — but never its existentials (a
+  // labeled null is not equal to any constant or frontier term). Plain
+  // homomorphisms γ2 → β are the special case where θ fixes every left
+  // variable; the specializing unifiers matter for (partially) grounded
+  // theories, whose Datalog rules carry constants that must bind β's
+  // universal variables for the resolution chain to go through.
   // Premises are addressed by rule index so their cached derived data
-  // (uvars, the renamed-apart right premise and its positive body) is
-  // reused across the quadratically many pairings.
+  // (uvars/evars, the renamed-apart right premise and its positive
+  // body) is reused across the quadratically many pairings.
   void Compose(size_t left_idx, size_t right_idx) {
-    const Rule& left = rules_[left_idx];
-    const Rule& right = renamed_[right_idx];
     const std::vector<Atom>& gamma = gamma_[right_idx];
     if (gamma.empty()) return;  // Fact rules compose trivially.
-    const std::vector<Term>& alpha_vars = uvars_[left_idx];
 
     size_t subsets = size_t{1} << gamma.size();
-    for (size_t mask = 1; mask < subsets; ++mask) {
+    for (size_t mask = 1; mask < subsets && result_.complete; ++mask) {
       gamma1_.clear();
       gamma2_.clear();
       for (size_t i = 0; i < gamma.size(); ++i) {
@@ -163,62 +167,156 @@ class Saturator {
       for (const Atom& a : gamma1_) {
         AppendDistinct(a.AllVars(), &gamma1_vars_);
       }
-      // One plan/executor pair lives across all pairings: Recompile and
-      // Reset reuse their buffers, so a subset split costs no allocation
-      // in steady state.
-      plan_.Recompile(gamma2_);
-      exec_.Reset(plan_);
-      exec_.ExecuteOnAtoms(plan_, left.head, [&](const JoinExecutor& e) {
-        // Bound γ1/δ variables must not map onto β's existential
-        // variables and must land in vars(α) when they occur in γ1.
-        // γ2's variables are reserved Cmp# names that never occur in
-        // left.head, so Value(v) == v exactly when v is unbound.
-        unbound_.clear();
-        for (Term v : gamma1_vars_) {
-          Term img = e.Value(v);
-          if (img == v) {
-            unbound_.push_back(v);
-          } else if (img.IsVariable() && !Contains(alpha_vars, img)) {
-            return true;  // Mapped onto an existential of β.
-          }
-        }
-        // Enumerate assignments of the unbound γ1 variables into
-        // vars(α).
-        if (!unbound_.empty() && alpha_vars.empty()) return true;
-        Substitution h0;
-        e.AppendBindings(&h0);
-        std::vector<size_t> pick(unbound_.size(), 0);
-        while (true) {
-          Substitution h = h0;
-          for (size_t i = 0; i < unbound_.size(); ++i) {
-            h.Bind(unbound_[i], alpha_vars[pick[i]]);
-          }
-          EmitComposition(left, right, gamma1_, h);
-          if (!result_.complete) return false;
-          // Advance the mixed-radix counter.
-          size_t i = 0;
-          for (; i < pick.size(); ++i) {
-            if (++pick[i] < alpha_vars.size()) break;
-            pick[i] = 0;
-          }
-          if (i == pick.size()) break;
-          if (pick.empty()) break;
-        }
-        return result_.complete;
-      });
+      bindings_.clear();
+      trail_.clear();
+      MatchGamma2(0, left_idx, right_idx);
+    }
+  }
+
+  // Follows binding chains to the representative term. Chains are
+  // acyclic: a variable is only ever bound to the representative of a
+  // term whose chain does not pass through it.
+  Term Resolve(Term t) const {
+    while (t.IsVariable()) {
+      auto it = bindings_.find(t);
+      if (it == bindings_.end()) break;
+      t = it->second;
+    }
+    return t;
+  }
+
+  void BindVar(Term v, Term t) {
+    bindings_[v] = t;
+    trail_.push_back(v);
+  }
+
+  void UndoTo(size_t mark) {
+    while (trail_.size() > mark) {
+      bindings_.erase(trail_.back());
+      trail_.pop_back();
+    }
+  }
+
+  // Unifies a γ2 term with a β term under the composition orientation:
+  // the right premise's renamed-apart variables bind to anything, the
+  // left premise's universal variables bind to constants or to each
+  // other, its existential variables are rigid.
+  bool Unify(Term a, Term b, const std::vector<Term>& alpha_vars,
+             const std::vector<Term>& evars) {
+    a = Resolve(a);
+    b = Resolve(b);
+    if (a == b) return true;
+    // Right-premise variables: not the left rule's, by rename-apart.
+    if (a.IsVariable() && !Contains(alpha_vars, a) && !Contains(evars, a)) {
+      BindVar(a, b);
+      return true;
+    }
+    if (b.IsVariable() && !Contains(alpha_vars, b) && !Contains(evars, b)) {
+      BindVar(b, a);
+      return true;
+    }
+    if (Contains(evars, a) || Contains(evars, b)) return false;
+    if (a.IsVariable()) {  // Universal of the left premise.
+      BindVar(a, b);
+      return true;
+    }
+    if (b.IsVariable()) {
+      BindVar(b, a);
+      return true;
+    }
+    return false;  // Distinct constants.
+  }
+
+  // Matches γ2[gi..] against head atoms of the left premise (several γ2
+  // atoms may share a head atom), emitting a composition per complete
+  // unifier.
+  void MatchGamma2(size_t gi, size_t left_idx, size_t right_idx) {
+    if (!result_.complete) return;
+    if (gi == gamma2_.size()) {
+      EmitMatches(left_idx, right_idx);
+      return;
+    }
+    const Atom& g = gamma2_[gi];
+    const Rule& left = rules_[left_idx];
+    for (const Atom& h : left.head) {
+      if (h.pred != g.pred || h.args.size() != g.args.size()) continue;
+      size_t mark = trail_.size();
+      bool ok = true;
+      for (size_t k = 0; k < g.args.size() && ok; ++k) {
+        ok = Unify(g.args[k], h.args[k], uvars_[left_idx],
+                   evars_[left_idx]);
+      }
+      if (ok) MatchGamma2(gi + 1, left_idx, right_idx);
+      UndoTo(mark);
       if (!result_.complete) return;
+    }
+  }
+
+  // One full unifier of γ2 into β is on `bindings_`: check the γ1-side
+  // conditions, enumerate still-free γ1 variables over the specialized
+  // α domain, and emit the derived rules.
+  void EmitMatches(size_t left_idx, size_t right_idx) {
+    const Rule& left = rules_[left_idx];
+    const Rule& right = renamed_[right_idx];
+    const std::vector<Term>& alpha_vars = uvars_[left_idx];
+    const std::vector<Term>& evars = evars_[left_idx];
+    // The specialized α domain: resolved images of vars(α).
+    alpha_dom_.clear();
+    for (Term v : alpha_vars) {
+      Term r = Resolve(v);
+      if (!Contains(alpha_dom_, r)) alpha_dom_.push_back(r);
+    }
+    // Bound γ1/δ variables must not resolve onto β's existential
+    // variables; unresolved ones are enumerated into the α domain so
+    // θ(γ1) stays guarded by θ(α).
+    unbound_.clear();
+    for (Term v : gamma1_vars_) {
+      Term r = Resolve(v);
+      if (!r.IsVariable()) continue;
+      if (Contains(evars, r)) return;  // Mapped onto an existential of β.
+      if (!Contains(alpha_vars, r) && !Contains(unbound_, r)) {
+        unbound_.push_back(r);
+      }
+    }
+    if (!unbound_.empty() && alpha_dom_.empty()) return;
+    std::vector<size_t> pick(unbound_.size(), 0);
+    while (true) {
+      size_t mark = trail_.size();
+      for (size_t i = 0; i < unbound_.size(); ++i) {
+        BindVar(unbound_[i], alpha_dom_[pick[i]]);
+      }
+      Substitution s;
+      for (Term v : alpha_vars) {
+        Term r = Resolve(v);
+        if (r != v) s.Bind(v, r);
+      }
+      for (Term v : rvars_[right_idx]) {
+        Term r = Resolve(v);
+        if (r != v) s.Bind(v, r);
+      }
+      UndoTo(mark);
+      EmitComposition(left, right, gamma1_, s);
+      if (!result_.complete) return;
+      // Advance the mixed-radix counter.
+      size_t i = 0;
+      for (; i < pick.size(); ++i) {
+        if (++pick[i] < alpha_dom_.size()) break;
+        pick[i] = 0;
+      }
+      if (i == pick.size()) break;
     }
   }
 
   void EmitComposition(const Rule& left, const Rule& right,
                        const std::vector<Atom>& gamma1,
                        const Substitution& h) {
+    Rule spec = h.Apply(left);  // θ may specialize the left premise.
     Rule derived;
-    derived.body = left.body;
+    derived.body = std::move(spec.body);
     for (const Atom& a : gamma1) {
       derived.body.emplace_back(h.Apply(a), /*negated=*/false);
     }
-    derived.head = left.head;
+    derived.head = std::move(spec.head);
     bool head_grew = false;
     for (const Atom& a : right.head) {
       Atom img = h.Apply(a);
@@ -263,23 +361,28 @@ class Saturator {
     std::string key = CanonicalRuleString(rule, *symbols_);
     if (!seen_.insert(key).second) return;
     rules_.push_back(rule);
-    bool ex = !rule.EVars().empty();
+    std::vector<Term> ev = rule.EVars();
+    bool ex = !ev.empty();
     existential_.push_back(ex);
     uvars_.push_back(rule.UVars());
+    evars_.push_back(std::move(ev));
     // Precompute the right-premise role: the rule renamed apart with the
     // reserved composition variables, and its positive body γ. Only
     // Datalog rules ever stand on the right of (composition).
     Rule renamed;
+    std::vector<Term> rv;
     if (!ex) {
       Substitution apart;
       std::vector<Term> rvars = rule.Vars();
       for (size_t i = 0; i < rvars.size(); ++i) {
         apart.Bind(rvars[i], CompositionVar(i));
+        rv.push_back(CompositionVar(i));
       }
       renamed = apart.Apply(rule);
     }
     gamma_.push_back(renamed.PositiveBody());
     renamed_.push_back(std::move(renamed));
+    rvars_.push_back(std::move(rv));
     worklist_.push_back(rules_.size() - 1);
   }
 
@@ -292,18 +395,20 @@ class Saturator {
   // seed).
   std::vector<bool> existential_;
   std::deque<std::vector<Term>> uvars_;
+  std::deque<std::vector<Term>> evars_;
   std::deque<Rule> renamed_;
   std::deque<std::vector<Atom>> gamma_;
+  std::deque<std::vector<Term>> rvars_;
   std::unordered_set<std::string> seen_;
   std::deque<size_t> worklist_;
   std::vector<Term> composition_vars_;
   SaturationResult result_;
   // Compose scratch, reused across pairings and subset splits.
-  JoinPlan plan_;
-  JoinExecutor exec_;
   std::vector<Atom> gamma1_, gamma2_;
   std::vector<Term> gamma1_vars_;
-  std::vector<Term> unbound_;
+  std::vector<Term> unbound_, alpha_dom_;
+  std::map<Term, Term> bindings_;
+  std::vector<Term> trail_;
 };
 
 }  // namespace

@@ -175,6 +175,73 @@ TEST(CliTest, ServeRejectsBadCommandsWithExit1) {
   EXPECT_NE(r.output.find("unknown command"), std::string::npos) << r.output;
 }
 
+TEST(CliTest, ServeMalformedQueryIsACleanError) {
+  // Parse errors and shape errors (negated CQ body) must come back as
+  // error lines with exit 1 — never crash the session.
+  CommandResult r = RunCliWithInput(
+      "query t(((\n"
+      "query e(X, Y), not t(X, Y) -> q(X, Y)\n"
+      "query t(X, Y) -> q(X, Y)\n"
+      "quit\n",
+      "serve " + Data("transitive_closure.gerel"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("negation-free"), std::string::npos) << r.output;
+  // The session keeps serving after errors.
+  EXPECT_NE(r.output.find("6 answers (complete)"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ServeAssertIntoNegationRematerializes) {
+  // Asserting into a stratified-negation program must rematerialize
+  // (never delta-extend): the new edge *retracts* separated-pairs.
+  CommandResult r = RunCliWithInput(
+      "query separated(X, Y) -> q(X, Y)\n"
+      "assert e(b, c)\n"
+      "query separated(X, Y) -> q(X, Y)\n"
+      "quit\n",
+      "serve " + Data("stratified_sep.gerel"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("mode=datalog"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("8 answers (complete)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("(rematerialized)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("6 answers (complete)"), std::string::npos)
+      << r.output;
+  // q(a, c) holds before the assert and is retracted by it: it must
+  // appear exactly once across the two answer blocks.
+  size_t first = r.output.find("q(a, c)");
+  ASSERT_NE(first, std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("q(a, c)", first + 1), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ServeAssertRejectsNonGroundFacts) {
+  CommandResult r = RunCliWithInput(
+      "assert e(X, b)\nquit\n",
+      "serve " + Data("transitive_closure.gerel"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("fact contains variables"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ServeCompletenessCertificateLines) {
+  // Both certificate verdicts in one session: gen's positions can never
+  // hold labeled nulls (certificate holds → "(complete)"), while e holds
+  // the invented successor, so its answers are sound but possibly
+  // incomplete — which is exactly what exit code 3 certifies.
+  CommandResult r = RunCliWithInput(
+      "query gen(U) -> q(U)\n"
+      "query e(U, V) -> q(U)\n"
+      "quit\n",
+      "serve " + Data("weakly_guarded_gen.gerel"));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("1 answers (complete)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("(sound, possibly incomplete)"), std::string::npos)
+      << r.output;
+}
+
 TEST(CliTest, UsageOnBadInvocation) {
   EXPECT_EQ(RunCli("frobnicate nothing").exit_code, 64);
   EXPECT_EQ(RunCli("classify").exit_code, 64);

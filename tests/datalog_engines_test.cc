@@ -11,7 +11,7 @@
 #include "core/parser.h"
 #include "core/printer.h"
 #include "datalog/evaluator.h"
-#include "tests/random_theories.h"
+#include "testing/random_theories.h"
 
 namespace gerel {
 namespace {

@@ -7,6 +7,7 @@
 
 #include "core/parser.h"
 #include "core/printer.h"
+#include "testing/generator.h"
 
 namespace gerel {
 namespace {
@@ -64,6 +65,69 @@ TEST_P(ParserFuzzTest, StructuredMutationsOfValidProgram) {
     Result<Program> p = ParseProgram(mutated, &syms);
     (void)p;  // Either outcome is fine; it just must not crash.
   }
+}
+
+// Every theory, database, and query the conformance generator emits must
+// survive parse(print(·)) exactly — including quoted constants (spaces,
+// upper-case starts) and annotation positions R[~t](~v). Faithfulness is
+// checked by re-printing with the second symbol table: identical text
+// means identical structure up to interning.
+TEST_P(ParserFuzzTest, GeneratedCasesRoundTrip) {
+  gerel::testing::GenOptions gopts;
+  gopts.quoted_constant_prob = 0.4;
+  gopts.annotation_prob = 0.4;
+  for (gerel::testing::GenClass cls : gerel::testing::AllGenClasses()) {
+    SymbolTable syms;
+    gerel::testing::CaseGenerator gen(GetParam() * 977 + 13, &syms, gopts);
+    for (int i = 0; i < 10; ++i) {
+      gerel::testing::GeneratedCase c = gen.Next(cls);
+
+      std::string theory_text = ToString(c.theory, syms);
+      SymbolTable syms2;
+      Result<Theory> theory2 = ParseTheory(theory_text, &syms2);
+      ASSERT_TRUE(theory2.ok())
+          << theory2.status().message() << "\n" << theory_text;
+      EXPECT_EQ(theory_text, ToString(theory2.value(), syms2));
+
+      std::string db_text = ToString(c.database, syms);
+      SymbolTable syms3;
+      Result<Database> db2 = ParseDatabase(db_text, &syms3);
+      ASSERT_TRUE(db2.ok()) << db2.status().message() << "\n" << db_text;
+      EXPECT_EQ(db_text, ToString(db2.value(), syms3));
+
+      std::string query_text = ToString(c.query, syms);
+      SymbolTable syms4;
+      Result<Rule> query2 = ParseRule(query_text, &syms4);
+      ASSERT_TRUE(query2.ok())
+          << query2.status().message() << "\n" << query_text;
+      EXPECT_EQ(query_text, ToString(query2.value(), syms4));
+
+      // The repro rendering's statement part re-parses as a program.
+      SymbolTable syms5;
+      Result<Program> prog = ParseProgram(CaseToString(c, syms), &syms5);
+      ASSERT_TRUE(prog.ok()) << prog.status().message();
+      EXPECT_EQ(prog.value().theory.size(), c.theory.size());
+      EXPECT_EQ(prog.value().database.size(), c.database.size());
+    }
+  }
+}
+
+// Quoted-constant specifics the generator cannot hit: escapes and error
+// paths.
+TEST(QuotedConstantTest, EscapesAndErrors) {
+  SymbolTable syms;
+  Result<Atom> a = ParseAtom(R"(p('it\'s a \\test'))", &syms);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  EXPECT_EQ(syms.TermName(a.value().args[0]), "it's a \\test");
+  // Printing re-escapes, and the quoted form re-parses to the same term.
+  std::string printed = ToString(a.value(), syms);
+  Result<Atom> b = ParseAtom(printed, &syms);
+  ASSERT_TRUE(b.ok()) << printed;
+  EXPECT_EQ(a.value(), b.value());
+
+  EXPECT_FALSE(ParseAtom("p('unterminated)", &syms).ok());
+  EXPECT_FALSE(ParseAtom("p('')", &syms).ok());
+  EXPECT_FALSE(ParseAtom("p('split\nline')", &syms).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0u, 8u));

@@ -17,7 +17,7 @@
 #include "datalog/evaluator.h"
 #include "datalog/magic.h"
 #include "stratified/stratified_chase.h"
-#include "tests/random_theories.h"
+#include "testing/random_theories.h"
 #include "transform/canonical.h"
 #include "transform/fg_to_ng.h"
 #include "transform/saturation.h"

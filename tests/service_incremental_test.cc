@@ -10,7 +10,7 @@
 #include "core/database.h"
 #include "core/parser.h"
 #include "service/prepared_kb.h"
-#include "tests/random_theories.h"
+#include "testing/random_theories.h"
 #include "transform/pipeline.h"
 
 namespace gerel {

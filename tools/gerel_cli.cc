@@ -48,6 +48,7 @@
 #include "transform/annotation.h"
 #include "transform/fg_to_ng.h"
 #include "core/graphviz.h"
+#include "testing/differential.h"
 #include "transform/saturation.h"
 
 namespace {
@@ -340,6 +341,75 @@ int Dot(const ParsedArgs& args) {
   return Fail("unknown dot mode: " + args.mode);
 }
 
+int Usage();
+
+// Differential conformance fuzzing (src/testing/, DESIGN.md §8). Flags
+// accept both "--seed=1" and "--seed 1".
+int Fuzz(int argc, char** argv) {
+  unsigned seed = 1;
+  size_t iters = 100;
+  std::vector<testing::GenClass> classes;  // Empty = all seven.
+  testing::DiffOptions opts;
+  opts.shrink = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.c_str() + prefix.size();
+      if (arg == name && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    const char* v = nullptr;
+    if ((v = value("--seed")) != nullptr) {
+      seed = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--iters")) != nullptr) {
+      iters = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--threads")) != nullptr) {
+      opts.num_threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if ((v = value("--class")) != nullptr) {
+      testing::GenClass cls;
+      if (std::string(v) != "all") {
+        if (!testing::ParseGenClass(v, &cls)) {
+          std::fprintf(stderr,
+                       "gerel fuzz: unknown class '%s' "
+                       "(dlg|g|fg|wg|wfg|ng|nfg|all)\n",
+                       v);
+          return 64;
+        }
+        classes.push_back(cls);
+      }
+    } else if ((v = value("--fault")) != nullptr) {
+      if (!testing::ParseFault(v, &opts.fault)) {
+        std::fprintf(stderr,
+                     "gerel fuzz: unknown fault '%s' (none|drop-acdom-guard|"
+                     "skip-saturation-step|stale-answer-cache)\n",
+                     v);
+        return 64;
+      }
+    } else if (arg == "--shrink") {
+      opts.shrink = true;
+    } else if (arg == "--log-cases") {
+      opts.log_cases = true;
+    } else {
+      return Usage();
+    }
+  }
+  testing::DiffReport report =
+      testing::RunDifferential(seed, iters, classes, opts);
+  if (opts.log_cases) std::printf("%s", report.transcript.c_str());
+  std::printf("fuzz: %zu cases (%zu checked, %zu skipped), %zu failure%s\n",
+              report.iterations, report.checked, report.skipped,
+              report.failures.size(),
+              report.failures.size() == 1 ? "" : "s");
+  for (const testing::DiffFailure& f : report.failures) {
+    std::printf("FAIL class=%s iteration=%zu seed=%u lane=%s\n  %s\n",
+                testing::GenClassTag(f.cls), f.iteration, f.case_seed,
+                f.lane.c_str(), f.detail.c_str());
+    std::printf("repro (%zu rules):\n%s", f.repro_rules, f.repro.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: gerel classify|normalize|chase|tree <program>\n"
@@ -348,6 +418,10 @@ int Usage() {
                "       gerel answer <program> <relation> "
                "[--route=chase|datalog]\n"
                "       gerel serve <program> [--threads=N]\n"
+               "       gerel fuzz [--seed N] [--iters N] [--class "
+               "dlg|g|fg|wg|wfg|ng|nfg|all]\n"
+               "                  [--shrink] [--threads N] [--fault F] "
+               "[--log-cases]\n"
                "       gerel dot preds|positions|tree <program>\n"
                "flags: --max-steps=N --max-atoms=N --max-depth=N "
                "--max-rules=N\n");
@@ -357,6 +431,9 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0) {
+    return Fuzz(argc, argv);
+  }
   if (argc < 3) return Usage();
   ParsedArgs args;
   args.command = argv[1];
