@@ -1,0 +1,778 @@
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/acyclicity.h"
+#include "core/printer.h"
+
+namespace gerel {
+
+namespace {
+
+// --- Shared small helpers ------------------------------------------------
+
+// Distinct argument variables over the positive body (mirrors the
+// classifier's guard universe; annotation variables never need guards).
+std::vector<Term> PositiveBodyArgVars(const Rule& rule) {
+  std::vector<Term> out;
+  for (const Literal& l : rule.body) {
+    if (l.negated) continue;
+    for (Term v : l.atom.ArgVars()) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+// Head argument variables that occur in the body (the frontier, argument
+// positions only).
+std::vector<Term> FrontierArgVars(const Rule& rule) {
+  std::vector<Term> body_vars = rule.UVars();
+  std::vector<Term> out;
+  for (const Atom& a : rule.head) {
+    for (Term v : a.ArgVars()) {
+      if (std::find(body_vars.begin(), body_vars.end(), v) !=
+              body_vars.end() &&
+          std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Term> Intersect(const std::vector<Term>& a,
+                            const std::vector<Term>& b) {
+  std::vector<Term> out;
+  for (Term t : a) {
+    if (std::find(b.begin(), b.end(), t) != b.end()) out.push_back(t);
+  }
+  return out;
+}
+
+std::string VarSetString(const std::vector<Term>& vars,
+                         const SymbolTable& symbols) {
+  std::string out = "{";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols.TermName(vars[i]);
+  }
+  return out + "}";
+}
+
+std::string PositionName(RelationId pred, uint32_t pos,
+                         const SymbolTable& symbols) {
+  return symbols.RelationName(pred) + "[" + std::to_string(pos) + "]";
+}
+
+// Flattened positions of the positive body where `x` occurs, rendered as
+// "pred[i]", deduplicated in occurrence order.
+std::vector<std::string> PositiveOccurrences(const Rule& rule, Term x,
+                                             const SymbolTable& symbols) {
+  std::vector<std::string> out;
+  auto note = [&](RelationId pred, uint32_t pos) {
+    std::string name = PositionName(pred, pos, symbols);
+    if (std::find(out.begin(), out.end(), name) == out.end()) {
+      out.push_back(std::move(name));
+    }
+  };
+  for (const Literal& l : rule.body) {
+    if (l.negated) continue;
+    uint32_t pos = 0;
+    for (Term t : l.atom.args) {
+      if (t == x) note(l.atom.pred, pos);
+      ++pos;
+    }
+    for (Term t : l.atom.annotation) {
+      if (t == x) note(l.atom.pred, pos);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts[i];
+  }
+  return out;
+}
+
+// "X may be bound to a labeled null during the chase: every positive
+// occurrence (e[1]) is an affected position (Def 2)".
+std::string UnsafeWhy(const Rule& rule, Term x, const SymbolTable& symbols) {
+  return symbols.TermName(x) +
+         " may be bound to a labeled null during the chase: every positive "
+         "occurrence (" +
+         JoinStrings(PositiveOccurrences(rule, x, symbols)) +
+         ") is an affected position (Def 2)";
+}
+
+struct SpanLookup {
+  const SourceMap* source = nullptr;
+
+  Span Rule(size_t rule_index) const {
+    if (source == nullptr || rule_index >= source->rules.size()) return {};
+    return source->rules[rule_index].span;
+  }
+  Span BodyAtom(size_t rule_index, size_t literal_index) const {
+    if (source == nullptr || rule_index >= source->rules.size()) return {};
+    const RuleSpans& rs = source->rules[rule_index];
+    if (literal_index >= rs.body.size()) return {};
+    return rs.body[literal_index].span;
+  }
+  Span Fact(size_t fact_index) const {
+    if (source == nullptr || fact_index >= source->facts.size()) return {};
+    return source->facts[fact_index].span;
+  }
+};
+
+// --- GR001 / GR010: guard diagnostics ------------------------------------
+
+void CheckGuards(const Theory& theory, const PositionSet& affected,
+                 const SymbolTable& symbols, const SpanLookup& spans,
+                 std::vector<Diagnostic>* out) {
+  for (size_t i = 0; i < theory.rules().size(); ++i) {
+    const Rule& rule = theory.rules()[i];
+    std::vector<Term> unsafe = UnsafeVars(rule, affected);
+    if (unsafe.empty()) continue;
+    if (!IsWeaklyFrontierGuardedRule(rule, affected)) {
+      std::vector<Term> frontier =
+          Intersect(FrontierArgVars(rule), unsafe);
+      Diagnostic d;
+      d.code = "GR010";
+      d.severity = Severity::kWarning;
+      d.span = spans.Rule(i);
+      d.message = "rule " + std::to_string(i) +
+                  " is not weakly frontier-guarded: no positive body atom "
+                  "contains its unsafe frontier variables " +
+                  VarSetString(frontier, symbols);
+      for (Term x : frontier) d.notes.push_back(UnsafeWhy(rule, x, symbols));
+      d.notes.push_back(
+          "the serving pipeline (Thm 2 + §7) requires a weakly "
+          "frontier-guarded theory");
+      out->push_back(std::move(d));
+    } else if (!IsWeaklyGuardedRule(rule, affected)) {
+      std::vector<Term> uncovered =
+          Intersect(PositiveBodyArgVars(rule), unsafe);
+      Diagnostic d;
+      d.code = "GR001";
+      d.severity = Severity::kWarning;
+      d.span = spans.Rule(i);
+      d.message = "rule " + std::to_string(i) +
+                  " is not weakly guarded: no positive body atom contains "
+                  "its unsafe variables " +
+                  VarSetString(uncovered, symbols);
+      if (!uncovered.empty()) {
+        d.notes.push_back(UnsafeWhy(rule, uncovered[0], symbols));
+      }
+      d.notes.push_back(
+          "the rule is still weakly frontier-guarded, so query answering "
+          "remains supported (Thm 2)");
+      out->push_back(std::move(d));
+    }
+  }
+}
+
+// --- GR020: predicate reachability ---------------------------------------
+
+void CheckReachability(const Theory& theory, const Database& db,
+                       const SymbolTable& symbols, const SpanLookup& spans,
+                       std::vector<Diagnostic>* out) {
+  bool has_fact_rule = false;
+  for (const Rule& r : theory.rules()) {
+    bool positive_body = false;
+    for (const Literal& l : r.body) {
+      if (!l.negated) positive_body = true;
+    }
+    if (!positive_body) has_fact_rule = true;
+  }
+  // A bare theory (no facts anywhere) has no reachability structure to
+  // check — staying silent beats declaring every predicate dead.
+  if (db.empty() && !has_fact_rule) return;
+
+  std::unordered_set<RelationId> populated;
+  for (const Atom& a : db.atoms()) populated.insert(a.pred);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : theory.rules()) {
+      bool fires = true;
+      for (const Literal& l : r.body) {
+        // Negative literals hold vacuously on empty relations; they
+        // never block a rule from firing.
+        if (!l.negated && populated.count(l.atom.pred) == 0) fires = false;
+      }
+      if (!fires) continue;
+      for (const Atom& h : r.head) {
+        if (populated.insert(h.pred).second) changed = true;
+      }
+    }
+  }
+
+  // Predicates occurring in rules, by first occurrence (body, then head).
+  std::vector<RelationId> order;
+  std::unordered_map<RelationId, Span> first_span;
+  std::unordered_map<RelationId, bool> in_head;
+  for (size_t i = 0; i < theory.rules().size(); ++i) {
+    const Rule& r = theory.rules()[i];
+    for (size_t j = 0; j < r.body.size(); ++j) {
+      RelationId p = r.body[j].atom.pred;
+      if (first_span.emplace(p, spans.BodyAtom(i, j)).second) {
+        order.push_back(p);
+      }
+    }
+    for (const Atom& h : r.head) {
+      if (first_span.emplace(h.pred, spans.Rule(i)).second) {
+        order.push_back(h.pred);
+      }
+      in_head[h.pred] = true;
+    }
+  }
+  for (RelationId p : order) {
+    if (populated.count(p) > 0) continue;
+    Diagnostic d;
+    d.code = "GR020";
+    d.severity = Severity::kWarning;
+    d.span = first_span[p];
+    d.message = "predicate '" + symbols.RelationName(p) +
+                "' is unreachable: no fact or applicable rule ever derives "
+                "it";
+    d.notes.push_back(
+        in_head[p]
+            ? "every rule deriving '" + symbols.RelationName(p) +
+                  "' depends on an unreachable predicate"
+            : "'" + symbols.RelationName(p) +
+                  "' never occurs in a rule head and the database has no '" +
+                  symbols.RelationName(p) + "' facts");
+    out->push_back(std::move(d));
+  }
+}
+
+// --- GR021: rule subsumption ---------------------------------------------
+
+// Whether h extends to map `from` onto `onto` position-wise (variables of
+// the subsumer bind consistently; constants and nulls must match).
+bool UnifyAtom(const Atom& from, const Atom& onto,
+               std::map<Term, Term>* binding) {
+  if (from.pred != onto.pred || from.args.size() != onto.args.size() ||
+      from.annotation.size() != onto.annotation.size()) {
+    return false;
+  }
+  std::vector<std::pair<Term, Term>> added;
+  auto match = [&](Term f, Term o) {
+    if (!f.IsVariable()) return f == o;
+    auto it = binding->find(f);
+    if (it != binding->end()) return it->second == o;
+    binding->emplace(f, o);
+    added.emplace_back(f, o);
+    return true;
+  };
+  for (size_t i = 0; i < from.args.size(); ++i) {
+    if (!match(from.args[i], onto.args[i])) {
+      for (const auto& kv : added) binding->erase(kv.first);
+      return false;
+    }
+  }
+  for (size_t i = 0; i < from.annotation.size(); ++i) {
+    if (!match(from.annotation[i], onto.annotation[i])) {
+      for (const auto& kv : added) binding->erase(kv.first);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Whether `subsumer` subsumes `rule`: a substitution h with
+// h(body(subsumer)) ⊆ body(rule) (negation flags preserved) and
+// h(head(subsumer)) ⊇ head(rule). Then whenever `rule` fires, `subsumer`
+// fires too and derives at least the same atoms — `rule` is redundant.
+// Existential rules are skipped (fresh-null heads make set inclusion the
+// wrong criterion).
+// Every head atom of `rule` appears in h(head(subsumer)) under `binding`.
+// Head variables of a Datalog rule are body variables, so they are all
+// bound; UnifyAtom only needs to verify equality (the size check rejects
+// matches that would extend the binding).
+bool HeadCovered(const Rule& subsumer, const Rule& rule,
+                 const std::map<Term, Term>& binding) {
+  for (const Atom& need : rule.head) {
+    bool found = false;
+    for (const Atom& have : subsumer.head) {
+      std::map<Term, Term> attempt = binding;
+      if (UnifyAtom(have, need, &attempt) &&
+          attempt.size() == binding.size()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool Subsumes(const Rule& subsumer, const Rule& rule) {
+  if (!subsumer.EVars().empty() || !rule.EVars().empty()) return false;
+
+  // Backtracking assignment of subsumer body literals to rule body
+  // literals; a complete body assignment only wins if the head check
+  // also passes, so a failed head check resumes the search (bodies are
+  // small; this is at worst |body|^|body|, bounded by the rule cap).
+  std::vector<size_t> choice(subsumer.body.size(), 0);
+  std::vector<std::map<Term, Term>> saved(subsumer.body.size() + 1);
+  size_t k = 0;
+  while (true) {
+    if (k == subsumer.body.size()) {
+      if (HeadCovered(subsumer, rule, saved[k])) return true;
+      if (k == 0) return false;  // Empty body, head mismatch.
+      --k;
+      continue;
+    }
+    bool advanced = false;
+    for (size_t j = choice[k]; j < rule.body.size(); ++j) {
+      const Literal& from = subsumer.body[k];
+      const Literal& onto = rule.body[j];
+      if (from.negated != onto.negated) continue;
+      std::map<Term, Term> attempt = saved[k];
+      if (UnifyAtom(from.atom, onto.atom, &attempt)) {
+        choice[k] = j + 1;
+        saved[k + 1] = std::move(attempt);
+        ++k;
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) continue;
+    choice[k] = 0;
+    if (k == 0) return false;  // Exhausted all assignments.
+    --k;
+  }
+}
+
+void CheckSubsumption(const Theory& theory, const SymbolTable& symbols,
+                      const SpanLookup& spans, size_t max_rules,
+                      std::vector<Diagnostic>* out) {
+  size_t n = theory.rules().size();
+  if (n > max_rules) {
+    Diagnostic d;
+    d.code = "GR021";
+    d.severity = Severity::kNote;
+    d.message = "subsumption analysis skipped: theory has " +
+                std::to_string(n) + " rules (limit " +
+                std::to_string(max_rules) + ")";
+    out->push_back(std::move(d));
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Rule& rule = theory.rules()[i];
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Rule& subsumer = theory.rules()[j];
+      if (!Subsumes(subsumer, rule)) continue;
+      // Mutually subsuming pairs (alpha-variants, duplicates) are
+      // reported once, on the later rule.
+      if (i < j && Subsumes(rule, subsumer)) continue;
+      Diagnostic d;
+      d.code = "GR021";
+      d.severity = Severity::kWarning;
+      d.span = spans.Rule(i);
+      d.message = "rule " + std::to_string(i) + " is subsumed by rule " +
+                  std::to_string(j) + ": whenever it fires, rule " +
+                  std::to_string(j) + " derives the same atoms";
+      d.notes.push_back("subsuming rule: " + ToString(subsumer, symbols));
+      out->push_back(std::move(d));
+      break;  // One diagnostic per redundant rule.
+    }
+  }
+}
+
+// --- GR030: annotation-shape consistency ---------------------------------
+
+void CheckShapes(const Theory& theory, const Database& db,
+                 const SymbolTable& symbols, const SpanLookup& spans,
+                 std::vector<Diagnostic>* out) {
+  struct Shape {
+    size_t args = 0;
+    size_t annotation = 0;
+    Span span;
+  };
+  std::unordered_map<RelationId, Shape> first;
+  std::unordered_set<RelationId> reported;
+  auto check = [&](const Atom& a, Span span) {
+    auto [it, inserted] = first.emplace(
+        a.pred, Shape{a.args.size(), a.annotation.size(), span});
+    if (inserted) return;
+    const Shape& s = it->second;
+    if (s.args == a.args.size() && s.annotation == a.annotation.size()) {
+      return;
+    }
+    if (!reported.insert(a.pred).second) return;
+    Diagnostic d;
+    d.code = "GR030";
+    d.severity = Severity::kError;
+    d.span = span;
+    d.message = "relation '" + symbols.RelationName(a.pred) +
+                "' splits its positions as " +
+                std::to_string(a.annotation.size()) + " annotation(s) + " +
+                std::to_string(a.args.size()) +
+                " argument(s) here, but as " + std::to_string(s.annotation) +
+                " annotation(s) + " + std::to_string(s.args) +
+                " argument(s) at its first use";
+    d.notes.push_back(
+        "the annotation transforms (Defs 17-18) require every use of a "
+        "relation to partition its positions identically");
+    out->push_back(std::move(d));
+  };
+  for (size_t i = 0; i < theory.rules().size(); ++i) {
+    const Rule& r = theory.rules()[i];
+    for (size_t j = 0; j < r.body.size(); ++j) {
+      check(r.body[j].atom, spans.BodyAtom(i, j));
+    }
+    for (const Atom& h : r.head) check(h, spans.Rule(i));
+  }
+  for (size_t i = 0; i < db.size(); ++i) check(db.atom(i), spans.Fact(i));
+}
+
+// --- GR040: stratifiability ----------------------------------------------
+
+void CheckStratification(const Theory& theory, const SymbolTable& symbols,
+                         const SpanLookup& spans,
+                         std::vector<Diagnostic>* out) {
+  if (!theory.HasNegation()) return;
+  // Predicate dependency graph with negation flags.
+  struct Edge {
+    RelationId to;
+    bool negated;
+  };
+  std::map<RelationId, std::vector<Edge>> graph;
+  for (const Rule& r : theory.rules()) {
+    for (const Literal& l : r.body) {
+      for (const Atom& h : r.head) {
+        graph[l.atom.pred].push_back({h.pred, l.negated});
+      }
+    }
+  }
+  // Reachability closure per node (graphs here are tiny): u and v are in
+  // the same SCC iff u reaches v and v reaches u.
+  auto reaches = [&graph](RelationId from, RelationId to) {
+    std::unordered_set<RelationId> seen{from};
+    std::deque<RelationId> queue{from};
+    while (!queue.empty()) {
+      RelationId u = queue.front();
+      queue.pop_front();
+      if (u == to) return true;
+      auto it = graph.find(u);
+      if (it == graph.end()) continue;
+      for (const Edge& e : it->second) {
+        if (seen.insert(e.to).second) queue.push_back(e.to);
+      }
+    }
+    return false;
+  };
+  // Find the first negated edge inside a cycle, scanning rules in order
+  // so the diagnostic is deterministic.
+  for (size_t i = 0; i < theory.rules().size(); ++i) {
+    const Rule& r = theory.rules()[i];
+    for (size_t j = 0; j < r.body.size(); ++j) {
+      const Literal& l = r.body[j];
+      if (!l.negated) continue;
+      for (const Atom& h : r.head) {
+        if (!reaches(h.pred, l.atom.pred)) continue;
+        // Cycle: h.pred ->* l.atom.pred -(not)-> h.pred. Recover a
+        // shortest path for the note via BFS parents.
+        std::unordered_map<RelationId, RelationId> parent;
+        std::deque<RelationId> queue{h.pred};
+        parent[h.pred] = h.pred;
+        while (!queue.empty()) {
+          RelationId u = queue.front();
+          queue.pop_front();
+          if (u == l.atom.pred) break;
+          auto it = graph.find(u);
+          if (it == graph.end()) continue;
+          for (const Edge& e : it->second) {
+            if (parent.emplace(e.to, u).second) queue.push_back(e.to);
+          }
+        }
+        std::vector<RelationId> path{l.atom.pred};
+        while (path.back() != h.pred) {
+          path.push_back(parent[path.back()]);
+        }
+        std::string cycle;
+        for (auto it = path.rbegin(); it != path.rend(); ++it) {
+          cycle += symbols.RelationName(*it) + " -> ";
+        }
+        cycle += symbols.RelationName(h.pred) + " (the step " +
+                 symbols.RelationName(l.atom.pred) + " -> " +
+                 symbols.RelationName(h.pred) + " is through \"not " +
+                 symbols.RelationName(l.atom.pred) + "\")";
+        Diagnostic d;
+        d.code = "GR040";
+        d.severity = Severity::kError;
+        d.span = spans.BodyAtom(i, j);
+        d.message = "the program is not stratifiable: '" +
+                    symbols.RelationName(h.pred) +
+                    "' depends on its own negation";
+        d.notes.push_back("cycle: " + cycle);
+        d.notes.push_back(
+            "stratified evaluation (Def 22) requires every negated "
+            "dependency to point strictly downward");
+        out->push_back(std::move(d));
+        return;  // One witness cycle is enough.
+      }
+    }
+  }
+}
+
+// --- GR050: chase-termination risk ---------------------------------------
+
+void CheckAcyclicity(const Theory& theory, const SpanLookup& spans,
+                     std::vector<Diagnostic>* out) {
+  size_t first_existential = theory.rules().size();
+  for (size_t i = 0; i < theory.rules().size(); ++i) {
+    if (!theory.rules()[i].EVars().empty()) {
+      first_existential = i;
+      break;
+    }
+  }
+  if (first_existential == theory.rules().size()) return;  // Datalog.
+  if (IsWeaklyAcyclic(theory)) return;
+  Diagnostic d;
+  d.code = "GR050";
+  d.span = spans.Rule(first_existential);
+  if (IsJointlyAcyclic(theory)) {
+    d.severity = Severity::kNote;
+    d.message =
+        "theory is not weakly acyclic, but jointly acyclic: the Skolem "
+        "(semi-oblivious) chase terminates; the fully oblivious chase may "
+        "diverge";
+  } else {
+    d.severity = Severity::kWarning;
+    d.message =
+        "theory is neither weakly nor jointly acyclic: the oblivious "
+        "chase may diverge on some database";
+    d.notes.push_back(
+        "guardedness guarantees decidable query answering, not chase "
+        "termination; use the bounded chase (--max-steps) or the Datalog "
+        "translations");
+  }
+  out->push_back(std::move(d));
+}
+
+// --- GR060: declared existentials ----------------------------------------
+
+void CheckDeclaredExistentials(const Theory& theory,
+                               const SymbolTable& symbols,
+                               const SourceMap* source,
+                               std::vector<Diagnostic>* out) {
+  if (source == nullptr) return;
+  size_t n = std::min(theory.rules().size(), source->rules.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Rule& rule = theory.rules()[i];
+    for (const auto& [v, span] : source->rules[i].declared_evars) {
+      bool in_head = false;
+      for (const Atom& h : rule.head) {
+        for (Term t : h.AllTerms()) {
+          if (t == v) in_head = true;
+        }
+      }
+      bool in_body = false;
+      for (const Literal& l : rule.body) {
+        for (Term t : l.atom.AllTerms()) {
+          if (t == v) in_body = true;
+        }
+      }
+      if (in_head && !in_body) continue;  // A genuine existential.
+      Diagnostic d;
+      d.code = "GR060";
+      d.severity = Severity::kWarning;
+      d.span = span;
+      if (in_body) {
+        d.message = "variable " + symbols.TermName(v) +
+                    " is declared existential but occurs in the body; the "
+                    "declaration has no effect (it is universal)";
+      } else {
+        d.message = "existential variable " + symbols.TermName(v) +
+                    " is declared but never used in the head";
+      }
+      d.notes.push_back(
+          "evars(σ) is recomputed from occurrences (§2); this declaration "
+          "is dropped silently");
+      out->push_back(std::move(d));
+    }
+  }
+}
+
+// --- Explain witnesses ---------------------------------------------------
+
+std::string RuleRef(size_t i, const Rule& rule, const SymbolTable& symbols) {
+  return "rule " + std::to_string(i) + " (" + ToString(rule, symbols) + ")";
+}
+
+void FillWitnesses(const Theory& theory, const Classification& c,
+                   const PositionSet& affected, const SymbolTable& symbols,
+                   std::vector<ClassWitness>* out) {
+  const std::vector<Rule>& rules = theory.rules();
+  auto witness = [&](const char* name, bool member,
+                     auto fails) {
+    ClassWitness w;
+    w.class_name = name;
+    w.member = member;
+    if (!member) {
+      for (size_t i = 0; i < rules.size(); ++i) {
+        std::string reason = fails(i, rules[i]);
+        if (!reason.empty()) {
+          w.rule_index = i;
+          w.reason = std::move(reason);
+          break;
+        }
+      }
+    }
+    out->push_back(std::move(w));
+  };
+
+  witness("datalog", c.datalog, [&](size_t i, const Rule& r) -> std::string {
+    if (!r.EVars().empty()) {
+      return RuleRef(i, r, symbols) + " has existential variables " +
+             VarSetString(r.EVars(), symbols);
+    }
+    if (r.HasNegation()) {
+      return RuleRef(i, r, symbols) + " has a negated body literal";
+    }
+    return "";
+  });
+  witness("guarded", c.guarded, [&](size_t i, const Rule& r) -> std::string {
+    if (IsGuardedRule(r)) return "";
+    return RuleRef(i, r, symbols) +
+           ": no positive body atom contains all universal variables " +
+           VarSetString(PositiveBodyArgVars(r), symbols);
+  });
+  witness("frontier-guarded", c.frontier_guarded,
+          [&](size_t i, const Rule& r) -> std::string {
+            if (IsFrontierGuardedRule(r)) return "";
+            return RuleRef(i, r, symbols) +
+                   ": no positive body atom contains all frontier "
+                   "variables " +
+                   VarSetString(FrontierArgVars(r), symbols);
+          });
+  witness("weakly-guarded", c.weakly_guarded,
+          [&](size_t i, const Rule& r) -> std::string {
+            if (IsWeaklyGuardedRule(r, affected)) return "";
+            std::vector<Term> unsafe =
+                Intersect(PositiveBodyArgVars(r), UnsafeVars(r, affected));
+            std::string reason =
+                RuleRef(i, r, symbols) +
+                ": no positive body atom contains all unsafe variables " +
+                VarSetString(unsafe, symbols);
+            if (!unsafe.empty()) {
+              reason += "; " + UnsafeWhy(r, unsafe[0], symbols);
+            }
+            return reason;
+          });
+  witness("weakly-frontier-guarded", c.weakly_frontier_guarded,
+          [&](size_t i, const Rule& r) -> std::string {
+            if (IsWeaklyFrontierGuardedRule(r, affected)) return "";
+            std::vector<Term> unsafe =
+                Intersect(FrontierArgVars(r), UnsafeVars(r, affected));
+            std::string reason =
+                RuleRef(i, r, symbols) +
+                ": no positive body atom contains all unsafe frontier "
+                "variables " +
+                VarSetString(unsafe, symbols);
+            if (!unsafe.empty()) {
+              reason += "; " + UnsafeWhy(r, unsafe[0], symbols);
+            }
+            return reason;
+          });
+  witness("nearly-guarded", c.nearly_guarded,
+          [&](size_t i, const Rule& r) -> std::string {
+            if (IsNearlyGuardedRule(r, affected)) return "";
+            std::string reason = RuleRef(i, r, symbols) + ": not guarded";
+            std::vector<Term> unsafe = UnsafeVars(r, affected);
+            if (!unsafe.empty()) {
+              reason += ", with unsafe variables " +
+                        VarSetString(unsafe, symbols);
+            }
+            if (!r.EVars().empty()) {
+              reason += ", with existential variables " +
+                        VarSetString(r.EVars(), symbols);
+            }
+            return reason + " (Def 3 needs guarded, or safe and "
+                            "existential-free)";
+          });
+  witness("nearly-frontier-guarded", c.nearly_frontier_guarded,
+          [&](size_t i, const Rule& r) -> std::string {
+            if (IsNearlyFrontierGuardedRule(r, affected)) return "";
+            std::string reason =
+                RuleRef(i, r, symbols) + ": not frontier-guarded";
+            std::vector<Term> unsafe = UnsafeVars(r, affected);
+            if (!unsafe.empty()) {
+              reason += ", with unsafe variables " +
+                        VarSetString(unsafe, symbols);
+            }
+            if (!r.EVars().empty()) {
+              reason += ", with existential variables " +
+                        VarSetString(r.EVars(), symbols);
+            }
+            return reason + " (Def 3 needs frontier-guarded, or safe and "
+                            "existential-free)";
+          });
+}
+
+}  // namespace
+
+AnalysisResult Analyze(const Theory& theory, const Database& db,
+                       const SymbolTable& symbols,
+                       const AnalyzeOptions& options) {
+  AnalysisResult result;
+  result.classification = Classify(theory);
+  PositionSet affected = AffectedPositions(theory);
+  SpanLookup spans{options.source};
+
+  CheckGuards(theory, affected, symbols, spans, &result.diagnostics);
+  CheckReachability(theory, db, symbols, spans, &result.diagnostics);
+  CheckSubsumption(theory, symbols, spans, options.max_subsumption_rules,
+                   &result.diagnostics);
+  CheckShapes(theory, db, symbols, spans, &result.diagnostics);
+  CheckStratification(theory, symbols, spans, &result.diagnostics);
+  CheckAcyclicity(theory, spans, &result.diagnostics);
+  CheckDeclaredExistentials(theory, symbols, options.source,
+                            &result.diagnostics);
+
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.begin != b.span.begin) {
+                       return a.span.begin < b.span.begin;
+                     }
+                     if (a.code != b.code) return a.code < b.code;
+                     return a.message < b.message;
+                   });
+  for (const Diagnostic& d : result.diagnostics) {
+    switch (d.severity) {
+      case Severity::kError: ++result.errors; break;
+      case Severity::kWarning: ++result.warnings; break;
+      case Severity::kNote: ++result.notes; break;
+    }
+  }
+  if (options.explain) {
+    FillWitnesses(theory, result.classification, affected, symbols,
+                  &result.witnesses);
+  }
+  return result;
+}
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+}  // namespace gerel

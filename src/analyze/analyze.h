@@ -1,0 +1,68 @@
+// Static analysis of theories: explainable classification plus the
+// GR-coded diagnostics of diagnostic.h (`gerel check`).
+//
+// The analyzers are plain passes over the structures core/classify.h
+// already computes — the affected-position set ap(Σ) (Def 2), the
+// position dependency graph (core/acyclicity.h), and the predicate
+// dependency graph — so analysis costs about as much as classification.
+// Everything is deterministic: same theory, same database, same symbol
+// table => byte-identical diagnostics (the fuzz lint lane pins this
+// down), which makes the output CI-diffable.
+#ifndef GEREL_ANALYZE_ANALYZE_H_
+#define GEREL_ANALYZE_ANALYZE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostic.h"
+#include "core/classify.h"
+#include "core/database.h"
+#include "core/source_map.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+struct AnalyzeOptions {
+  // Fill AnalysisResult::witnesses with a per-class explanation.
+  bool explain = false;
+  // Spans for diagnostics and the GR060 analyzer (which needs the
+  // declared existential lists only the parser sees). May be null.
+  const SourceMap* source = nullptr;
+  // Safety valve for the O(rules^2) subsumption pass; beyond this many
+  // rules GR021 is skipped (a note-level diagnostic says so).
+  size_t max_subsumption_rules = 512;
+};
+
+// Why the theory is (not) in one of the seven Figure 1 classes. When
+// `member` is false, `rule_index`/`reason` name a minimal witness: the
+// rule plus the variable/position that violates the definition.
+struct ClassWitness {
+  const char* class_name = "";
+  bool member = false;
+  size_t rule_index = 0;  // Meaningful when !member.
+  std::string reason;     // Empty when member.
+};
+
+struct AnalysisResult {
+  Classification classification;
+  std::vector<Diagnostic> diagnostics;  // Sorted by (span, code, message).
+  // Seven entries in lattice order (datalog .. nearly frontier-guarded)
+  // when AnalyzeOptions::explain is set; empty otherwise.
+  std::vector<ClassWitness> witnesses;
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t notes = 0;
+};
+
+// Runs every analyzer over (Σ, D). The database feeds the GR020
+// reachability pass; pass an empty database for a bare theory (GR020
+// then stays silent rather than declaring everything dead).
+AnalysisResult Analyze(const Theory& theory, const Database& db,
+                       const SymbolTable& symbols,
+                       const AnalyzeOptions& options = AnalyzeOptions());
+
+}  // namespace gerel
+
+#endif  // GEREL_ANALYZE_ANALYZE_H_

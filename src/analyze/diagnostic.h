@@ -1,0 +1,57 @@
+// The diagnostic model of the static analyzer (`gerel check`).
+//
+// A Diagnostic is a stable machine-readable code, a severity, a source
+// span (empty when the theory was built programmatically), a one-line
+// message, and optional notes. Codes are append-only so CI configs can
+// rely on them:
+//
+//   GR000  parse error (line:col + caret snippet)
+//   GR001  unsafe variable unguarded: the rule is not weakly guarded
+//          (but still weakly frontier-guarded; see GR010)
+//   GR010  unsafe frontier variable unguarded: the rule is not weakly
+//          frontier-guarded — the serving pipeline rejects the theory
+//   GR020  predicate unreachable from any fact/EDB: no rule deriving it
+//          can ever fire over the given database
+//   GR021  rule subsumed by another rule (a homomorphic image of the
+//          subsumer's body lands inside the subsumee's body)
+//   GR030  annotation-shape mismatch: a relation partitions its
+//          positions into args/annotation differently across uses
+//   GR040  negation cycle: the program is not stratifiable (cycle
+//          printed in a note)
+//   GR050  neither weakly nor jointly acyclic: the oblivious chase may
+//          diverge (a note names the class that still terminates, if any)
+//   GR060  existential variable declared in "exists" but unused in the
+//          head (or shadowed by a body occurrence)
+//
+// Severity: errors make `gerel check` exit non-zero; warnings can be
+// promoted per-code with --deny=GRxxx; notes are informational.
+#ifndef GEREL_ANALYZE_DIAGNOSTIC_H_
+#define GEREL_ANALYZE_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/source_map.h"
+
+namespace gerel {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+// Stable lower-case tag ("error", "warning", "note").
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  std::string code;  // "GR001" etc.; stable across releases.
+  Severity severity = Severity::kWarning;
+  Span span;  // Empty (0,0) when no source location is known.
+  std::string message;
+  std::vector<std::string> notes;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_ANALYZE_DIAGNOSTIC_H_

@@ -1,0 +1,47 @@
+// Deterministic text and JSON renderers for analysis results.
+//
+// Both renderers are pure functions of (result, file name, source map):
+// same inputs, byte-identical output. The text form mimics compiler
+// diagnostics ("file:line:col: severity[CODE]: message" plus a caret
+// snippet); the JSON form is a single pretty-printed object suitable
+// for CI tooling.
+#ifndef GEREL_ANALYZE_RENDER_H_
+#define GEREL_ANALYZE_RENDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "analyze/analyze.h"
+#include "core/status.h"
+
+namespace gerel {
+
+// Options shared by both renderers.
+struct RenderOptions {
+  // Reported as the file of every diagnostic ("<input>" by default).
+  std::string file = "<input>";
+  // Source for caret snippets; may be null (locations are then omitted).
+  const SourceMap* source = nullptr;
+};
+
+std::string RenderText(const AnalysisResult& result,
+                       const RenderOptions& options);
+std::string RenderJson(const AnalysisResult& result,
+                       const RenderOptions& options);
+
+// Renders a parser failure as a GR000 diagnostic. Parser statuses carry
+// their own "line L:C:" prefix and caret snippet; this re-anchors them
+// on the file name so `gerel check` and `gerel classify` print
+//   <file>:L:C: error[GR000]: <message>
+//     <offending line>
+//     ^~~~
+// Falls back to "<file>: error[GR000]: <message>" for unlocated errors
+// (e.g. "cannot open file").
+std::string RenderParseError(const Status& status, std::string_view file);
+
+// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace gerel
+
+#endif  // GEREL_ANALYZE_RENDER_H_

@@ -25,8 +25,24 @@ enum class TokenKind {
 struct Token {
   TokenKind kind;
   std::string text;
-  int line;
+  Span span;  // Byte range in the source buffer (quotes included).
 };
+
+// "line L:C: message" plus a caret snippet of the offending line.
+Status LocatedError(std::string_view source, Span span,
+                    const std::string& message) {
+  LineCol lc = OffsetToLineCol(source, span.begin);
+  std::string out = "line " + std::to_string(lc.line) + ":" +
+                    std::to_string(lc.col) + ": " + message;
+  std::string snippet = CaretSnippet(source, span);
+  if (!snippet.empty()) {
+    out += "\n";
+    // Snippet ends with '\n'; strip it so the status message does not.
+    snippet.pop_back();
+    out += snippet;
+  }
+  return Status::Error(out);
+}
 
 class Lexer {
  public:
@@ -36,37 +52,32 @@ class Lexer {
     std::vector<Token> out;
     while (pos_ < text_.size()) {
       char c = text_[pos_];
-      if (c == '\n') {
-        ++line_;
+      uint32_t start = static_cast<uint32_t>(pos_);
+      auto single = [&](TokenKind kind, const char* text) {
+        out.push_back({kind, text, {start, start + 1}});
         ++pos_;
-      } else if (std::isspace(static_cast<unsigned char>(c))) {
+      };
+      if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '%' || c == '#') {
         while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
       } else if (c == '(') {
-        out.push_back({TokenKind::kLParen, "(", line_});
-        ++pos_;
+        single(TokenKind::kLParen, "(");
       } else if (c == ')') {
-        out.push_back({TokenKind::kRParen, ")", line_});
-        ++pos_;
+        single(TokenKind::kRParen, ")");
       } else if (c == '[') {
-        out.push_back({TokenKind::kLBracket, "[", line_});
-        ++pos_;
+        single(TokenKind::kLBracket, "[");
       } else if (c == ']') {
-        out.push_back({TokenKind::kRBracket, "]", line_});
-        ++pos_;
+        single(TokenKind::kRBracket, "]");
       } else if (c == ',') {
-        out.push_back({TokenKind::kComma, ",", line_});
-        ++pos_;
+        single(TokenKind::kComma, ",");
       } else if (c == '.') {
-        out.push_back({TokenKind::kPeriod, ".", line_});
-        ++pos_;
+        single(TokenKind::kPeriod, ".");
       } else if (c == '!') {
-        out.push_back({TokenKind::kBang, "!", line_});
-        ++pos_;
+        single(TokenKind::kBang, "!");
       } else if (c == '-' && pos_ + 1 < text_.size() &&
                  text_[pos_ + 1] == '>') {
-        out.push_back({TokenKind::kArrow, "->", line_});
+        out.push_back({TokenKind::kArrow, "->", {start, start + 2}});
         pos_ += 2;
       } else if (c == '\'') {
         // Quoted constant: any characters up to the closing quote, with
@@ -89,46 +100,48 @@ class Lexer {
             ++pos_;
           }
         }
+        Span span{start, static_cast<uint32_t>(pos_)};
         if (!closed) {
-          return Status::Error("line " + std::to_string(line_) +
-                               ": unterminated quoted constant");
+          return LocatedError(text_, span, "unterminated quoted constant");
         }
         if (text.empty()) {
-          return Status::Error("line " + std::to_string(line_) +
-                               ": empty quoted constant");
+          return LocatedError(text_, span, "empty quoted constant");
         }
-        out.push_back({TokenKind::kQuoted, std::move(text), line_});
+        out.push_back({TokenKind::kQuoted, std::move(text), span});
       } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
-        size_t start = pos_;
         while (pos_ < text_.size() &&
                (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
                 text_[pos_] == '_' || text_[pos_] == '\'' ||
                 text_[pos_] == '#')) {
           ++pos_;
         }
-        out.push_back(
-            {TokenKind::kIdent, std::string(text_.substr(start, pos_ - start)),
-             line_});
+        Span span{start, static_cast<uint32_t>(pos_)};
+        out.push_back({TokenKind::kIdent,
+                       std::string(text_.substr(start, pos_ - start)), span});
       } else {
-        return Status::Error("line " + std::to_string(line_) +
-                             ": unexpected character '" + std::string(1, c) +
-                             "'");
+        return LocatedError(text_, {start, start + 1},
+                            "unexpected character '" + std::string(1, c) +
+                                "'");
       }
     }
-    out.push_back({TokenKind::kEnd, "", line_});
+    uint32_t end = static_cast<uint32_t>(text_.size());
+    out.push_back({TokenKind::kEnd, "", {end, end}});
     return out;
   }
 
  private:
   std::string_view text_;
   size_t pos_ = 0;
-  int line_ = 1;
 };
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, SymbolTable* symbols)
-      : tokens_(std::move(tokens)), symbols_(symbols) {}
+  Parser(std::string_view text, std::vector<Token> tokens,
+         SymbolTable* symbols, SourceMap* source_map)
+      : text_(text),
+        tokens_(std::move(tokens)),
+        symbols_(symbols),
+        map_(source_map) {}
 
   Result<Program> ParseProgram() {
     Program program;
@@ -140,7 +153,7 @@ class Parser {
   }
 
   Result<Rule> ParseSingleRule() {
-    Result<Rule> r = ParseRuleTokens();
+    Result<Rule> r = ParseRuleTokens(nullptr);
     if (!r.ok()) return r;
     if (Peek().kind == TokenKind::kPeriod) Advance();
     if (Peek().kind != TokenKind::kEnd) return Err("trailing input");
@@ -148,7 +161,7 @@ class Parser {
   }
 
   Result<Atom> ParseSingleAtom() {
-    Result<Atom> a = ParseAtomTokens();
+    Result<Atom> a = ParseAtomTokens(nullptr);
     if (!a.ok()) return a;
     if (Peek().kind == TokenKind::kPeriod) Advance();
     if (Peek().kind != TokenKind::kEnd) return Err("trailing input");
@@ -162,12 +175,9 @@ class Parser {
   }
   const Token& Advance() { return tokens_[pos_++]; }
 
-  template <typename T = void*>
-  Status ErrStatus(const std::string& message) const {
-    return Status::Error("line " + std::to_string(Peek().line) + ": " +
-                         message);
+  Status Err(const std::string& message) const {
+    return LocatedError(text_, Peek().span, message);
   }
-  Status Err(const std::string& message) const { return ErrStatus(message); }
 
   // A statement is either a rule (contains "->") or a single ground fact.
   Result<void*> ParseStatement(Program* program) {
@@ -187,24 +197,34 @@ class Parser {
       if (tokens_[i].kind == TokenKind::kEnd) break;
     }
     if (is_rule) {
-      Result<Rule> r = ParseRuleTokens();
+      RuleSpans spans;
+      Result<Rule> r = ParseRuleTokens(map_ != nullptr ? &spans : nullptr);
       if (!r.ok()) return r.status();
       if (Peek().kind != TokenKind::kPeriod) return Err("expected '.'");
       Advance();
       program->theory.AddRule(std::move(r).value());
+      if (map_ != nullptr) map_->rules.push_back(std::move(spans));
       return nullptr;
     }
-    Result<Atom> a = ParseAtomTokens();
+    // Spans are always collected here — the "fact contains variables"
+    // error needs one even without a SourceMap attached.
+    AtomSpans spans;
+    Result<Atom> a = ParseAtomTokens(&spans);
     if (!a.ok()) return a.status();
     if (Peek().kind != TokenKind::kPeriod) return Err("expected '.'");
     Advance();
-    if (!a.value().IsDatabaseAtom()) return Err("fact contains variables");
-    program->database.Insert(a.value());
+    if (!a.value().IsDatabaseAtom()) {
+      return LocatedError(text_, spans.span, "fact contains variables");
+    }
+    if (program->database.Insert(a.value()) && map_ != nullptr) {
+      map_->facts.push_back(std::move(spans));
+    }
     return nullptr;
   }
 
-  Result<Rule> ParseRuleTokens() {
+  Result<Rule> ParseRuleTokens(RuleSpans* spans) {
     Rule rule;
+    Span rule_span = Peek().span;
     if (Peek().kind != TokenKind::kArrow) {
       // Parse body literals.
       while (true) {
@@ -214,9 +234,11 @@ class Parser {
           negated = true;
           Advance();
         }
-        Result<Atom> a = ParseAtomTokens();
+        AtomSpans aspans;
+        Result<Atom> a = ParseAtomTokens(spans != nullptr ? &aspans : nullptr);
         if (!a.ok()) return a.status();
         rule.body.emplace_back(std::move(a).value(), negated);
+        if (spans != nullptr) spans->body.push_back(std::move(aspans));
         if (Peek().kind == TokenKind::kComma) {
           Advance();
           continue;
@@ -231,12 +253,16 @@ class Parser {
       Advance();
       while (true) {
         if (Peek().kind != TokenKind::kIdent) return Err("expected variable");
-        const std::string& name = Advance().text;
+        const Token& tok = Advance();
+        const std::string& name = tok.text;
         if (!std::isupper(static_cast<unsigned char>(name[0]))) {
-          return Err("existential variable must start upper-case: " + name);
+          return LocatedError(
+              text_, tok.span,
+              "existential variable must start upper-case: " + name);
         }
         // Interning suffices; EVars() recomputes the set from occurrences.
-        symbols_->Variable(name);
+        Term v = symbols_->Variable(name);
+        if (spans != nullptr) spans->declared_evars.emplace_back(v, tok.span);
         if (Peek().kind == TokenKind::kComma) {
           Advance();
           continue;
@@ -247,31 +273,46 @@ class Parser {
       Advance();
     }
     while (true) {
-      Result<Atom> a = ParseAtomTokens();
+      AtomSpans aspans;
+      Result<Atom> a = ParseAtomTokens(spans != nullptr ? &aspans : nullptr);
       if (!a.ok()) return a.status();
+      rule_span = Span::Join(rule_span, aspans.span);
       rule.head.push_back(std::move(a).value());
+      if (spans != nullptr) spans->head.push_back(std::move(aspans));
       if (Peek().kind == TokenKind::kComma) {
         Advance();
         continue;
       }
       break;
     }
+    if (spans != nullptr) {
+      for (const AtomSpans& a : spans->head) {
+        rule_span = Span::Join(rule_span, a.span);
+      }
+      spans->span = rule_span;
+    }
     return rule;
   }
 
-  Result<Atom> ParseAtomTokens() {
+  Result<Atom> ParseAtomTokens(AtomSpans* spans) {
     if (Peek().kind != TokenKind::kIdent) return Err("expected relation name");
-    std::string name = Advance().text;
+    const Token& name_tok = Advance();
+    std::string name = name_tok.text;
+    Span atom_span = name_tok.span;
     Atom atom;
     if (Peek().kind == TokenKind::kLBracket) {
       Advance();
-      Result<std::vector<Term>> ts = ParseTermList(TokenKind::kRBracket);
+      Result<std::vector<Term>> ts = ParseTermList(
+          TokenKind::kRBracket, spans != nullptr ? &spans->annotation : nullptr,
+          &atom_span);
       if (!ts.ok()) return ts.status();
       atom.annotation = std::move(ts).value();
     }
     if (Peek().kind == TokenKind::kLParen) {
       Advance();
-      Result<std::vector<Term>> ts = ParseTermList(TokenKind::kRParen);
+      Result<std::vector<Term>> ts = ParseTermList(
+          TokenKind::kRParen, spans != nullptr ? &spans->args : nullptr,
+          &atom_span);
       if (!ts.ok()) return ts.status();
       atom.args = std::move(ts).value();
     }
@@ -280,24 +321,35 @@ class Parser {
       RelationId existing = symbols_->Relation(name);
       int recorded = symbols_->RelationArity(existing);
       if (recorded >= 0 && recorded != static_cast<int>(atom.arity())) {
-        return Err("relation '" + name + "' used with arity " +
-                   std::to_string(atom.arity()) + " but declared with " +
-                   std::to_string(recorded));
+        return LocatedError(
+            text_, atom_span,
+            "relation '" + name + "' used with arity " +
+                std::to_string(atom.arity()) + " but declared with " +
+                std::to_string(recorded));
       }
     }
     atom.pred = symbols_->Relation(name, static_cast<int>(atom.arity()));
+    if (spans != nullptr) spans->span = atom_span;
     return atom;
   }
 
-  Result<std::vector<Term>> ParseTermList(TokenKind closer) {
+  Result<std::vector<Term>> ParseTermList(TokenKind closer,
+                                          std::vector<Span>* term_spans,
+                                          Span* enclosing) {
     std::vector<Term> out;
-    if (Peek().kind == closer) {
+    auto close = [&]() {
+      *enclosing = Span::Join(*enclosing, Peek().span);
       Advance();
+    };
+    if (Peek().kind == closer) {
+      close();
       return out;
     }
     while (true) {
       if (Peek().kind == TokenKind::kQuoted) {
-        out.push_back(symbols_->Constant(Advance().text));
+        const Token& tok = Advance();
+        out.push_back(symbols_->Constant(tok.text));
+        if (term_spans != nullptr) term_spans->push_back(tok.span);
         if (Peek().kind == TokenKind::kComma) {
           Advance();
           continue;
@@ -305,7 +357,8 @@ class Parser {
         break;
       }
       if (Peek().kind != TokenKind::kIdent) return Status(Err("expected term"));
-      const std::string& name = Advance().text;
+      const Token& tok = Advance();
+      const std::string& name = tok.text;
       if (name[0] == '_') {
         out.push_back(symbols_->NamedNull(name));
       } else if (std::isupper(static_cast<unsigned char>(name[0]))) {
@@ -313,6 +366,7 @@ class Parser {
       } else {
         out.push_back(symbols_->Constant(name));
       }
+      if (term_spans != nullptr) term_spans->push_back(tok.span);
       if (Peek().kind == TokenKind::kComma) {
         Advance();
         continue;
@@ -320,26 +374,35 @@ class Parser {
       break;
     }
     if (Peek().kind != closer) return Status(Err("expected closing bracket"));
-    Advance();
+    close();
     return out;
   }
 
+  std::string_view text_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   SymbolTable* symbols_;
+  SourceMap* map_;
 };
 
-Result<Parser> MakeParser(std::string_view text, SymbolTable* symbols) {
+Result<Parser> MakeParser(std::string_view text, SymbolTable* symbols,
+                          SourceMap* source_map) {
   Lexer lexer(text);
   Result<std::vector<Token>> tokens = lexer.Tokenize();
   if (!tokens.ok()) return tokens.status();
-  return Parser(std::move(tokens).value(), symbols);
+  return Parser(text, std::move(tokens).value(), symbols, source_map);
 }
 
 }  // namespace
 
 Result<Program> ParseProgram(std::string_view text, SymbolTable* symbols) {
-  Result<Parser> p = MakeParser(text, symbols);
+  return ParseProgram(text, symbols, nullptr);
+}
+
+Result<Program> ParseProgram(std::string_view text, SymbolTable* symbols,
+                             SourceMap* source_map) {
+  if (source_map != nullptr) source_map->Reset(text);
+  Result<Parser> p = MakeParser(text, symbols, source_map);
   if (!p.ok()) return p.status();
   return p.value().ParseProgram();
 }
@@ -363,13 +426,13 @@ Result<Database> ParseDatabase(std::string_view text, SymbolTable* symbols) {
 }
 
 Result<Rule> ParseRule(std::string_view text, SymbolTable* symbols) {
-  Result<Parser> p = MakeParser(text, symbols);
+  Result<Parser> p = MakeParser(text, symbols, nullptr);
   if (!p.ok()) return p.status();
   return p.value().ParseSingleRule();
 }
 
 Result<Atom> ParseAtom(std::string_view text, SymbolTable* symbols) {
-  Result<Parser> p = MakeParser(text, symbols);
+  Result<Parser> p = MakeParser(text, symbols, nullptr);
   if (!p.ok()) return p.status();
   return p.value().ParseSingleAtom();
 }

@@ -15,6 +15,9 @@
 // starting with "_" are labeled nulls (databases only), everything else
 // (including numbers) is a constant. Comments run from "%" or "#" to end
 // of line.
+//
+// Parse errors carry a "line L:C: message" header followed by a caret
+// snippet of the offending source line (core/source_map.h).
 #ifndef GEREL_CORE_PARSER_H_
 #define GEREL_CORE_PARSER_H_
 
@@ -24,6 +27,7 @@
 
 #include "core/database.h"
 #include "core/rule.h"
+#include "core/source_map.h"
 #include "core/status.h"
 #include "core/symbol_table.h"
 #include "core/theory.h"
@@ -38,6 +42,11 @@ struct Program {
 
 // Parses a full program (rules and facts may be interleaved).
 Result<Program> ParseProgram(std::string_view text, SymbolTable* symbols);
+
+// As above, and records the byte span of every rule, fact, atom, and
+// term into `source_map` (reset first; see core/source_map.h).
+Result<Program> ParseProgram(std::string_view text, SymbolTable* symbols,
+                             SourceMap* source_map);
 
 // Parses rules only; facts ("→ R(c)" normal-form rules are still rules).
 Result<Theory> ParseTheory(std::string_view text, SymbolTable* symbols);

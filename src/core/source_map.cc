@@ -1,0 +1,64 @@
+#include "core/source_map.h"
+
+#include <algorithm>
+
+namespace gerel {
+
+Span Span::Join(Span a, Span b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return Span{std::min(a.begin, b.begin), std::max(a.end, b.end)};
+}
+
+LineCol OffsetToLineCol(std::string_view text, uint32_t offset) {
+  uint32_t clamped =
+      std::min<uint32_t>(offset, static_cast<uint32_t>(text.size()));
+  LineCol out;
+  uint32_t line_start = 0;
+  for (uint32_t i = 0; i < clamped; ++i) {
+    if (text[i] == '\n') {
+      ++out.line;
+      line_start = i + 1;
+    }
+  }
+  out.col = clamped - line_start + 1;
+  return out;
+}
+
+std::string CaretSnippet(std::string_view text, Span span) {
+  if (span.begin >= text.size()) return "";
+  // A span can start on a newline itself (e.g. an error reported at end
+  // of line); anchor the snippet on the line before it so the caret
+  // lands one past its last character instead of underflowing.
+  size_t search = span.begin;
+  if (text[search] == '\n') {
+    if (search == 0) return "";
+    --search;
+  }
+  size_t line_begin = text.rfind('\n', search);
+  line_begin = (line_begin == std::string_view::npos) ? 0 : line_begin + 1;
+  size_t line_end = text.find('\n', span.begin);
+  if (line_end == std::string_view::npos) line_end = text.size();
+  std::string_view line = text.substr(line_begin, line_end - line_begin);
+  size_t caret_at = span.begin - line_begin;
+  size_t caret_len = span.empty()
+                         ? 1
+                         : std::min<size_t>(span.end, line_end) - span.begin;
+  if (caret_len == 0) caret_len = 1;
+  std::string out = "  ";
+  out.append(line);
+  out += "\n  ";
+  out.append(caret_at, ' ');
+  out += '^';
+  out.append(caret_len - 1, '~');
+  out += '\n';
+  return out;
+}
+
+void SourceMap::Reset(std::string_view text) {
+  text_.assign(text);
+  rules.clear();
+  facts.clear();
+}
+
+}  // namespace gerel

@@ -1,0 +1,102 @@
+// Source locations for parsed programs.
+//
+// The parser works over a flat byte buffer; a SourceMap relates the
+// parsed structure back to that buffer so diagnostics can say *where*.
+// Every rule, fact, atom, and term of a program gets a half-open byte
+// span [begin, end); spans resolve to 1-based line:column pairs and
+// render as caret snippets:
+//
+//   e(X, Y), t(Y, Z) -> t(X, Z).
+//            ^~~~~~~
+//
+// The map owns a copy of the source text, so it stays valid after the
+// original buffer is gone. Spans are recorded by ParseProgram's
+// three-argument overload (core/parser.h); everything here is plain
+// data plus offset arithmetic.
+#ifndef GEREL_CORE_SOURCE_MAP_H_
+#define GEREL_CORE_SOURCE_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/term.h"
+
+namespace gerel {
+
+// A half-open byte range of the source buffer.
+struct Span {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  bool empty() const { return end <= begin; }
+  // The smallest span covering both (empty spans are ignored).
+  static Span Join(Span a, Span b);
+};
+
+// 1-based line and column (columns count bytes, tabs are one column).
+struct LineCol {
+  uint32_t line = 1;
+  uint32_t col = 1;
+};
+
+// Spans of one atom: the whole atom plus each argument/annotation term.
+struct AtomSpans {
+  Span span;
+  std::vector<Span> args;
+  std::vector<Span> annotation;
+};
+
+// Spans of one rule, aligned index-for-index with Rule::body/head.
+struct RuleSpans {
+  Span span;
+  std::vector<AtomSpans> body;
+  std::vector<AtomSpans> head;
+  // Variables declared in the "exists X, Y." prefix, in declaration
+  // order. The parser drops unused declarations from evars(σ) (EVars()
+  // recomputes from occurrences), so this list is the only record of
+  // them — the GR060 analyzer reads it.
+  std::vector<std::pair<Term, Span>> declared_evars;
+};
+
+// --- Standalone offset helpers (usable without a SourceMap) -------------
+
+// Resolves a byte offset to 1-based line:col. Offsets past the end
+// resolve to one past the last character.
+LineCol OffsetToLineCol(std::string_view text, uint32_t offset);
+
+// Two-line caret snippet for `span`, clamped to the line containing its
+// start: the source line, then "^~~~" markers, both indented two spaces.
+// Returns "" for spans outside the text.
+std::string CaretSnippet(std::string_view text, Span span);
+
+// --- The map ------------------------------------------------------------
+
+class SourceMap {
+ public:
+  SourceMap() = default;
+
+  // Stores a copy of the source and resets all recorded spans.
+  void Reset(std::string_view text);
+
+  const std::string& text() const { return text_; }
+  LineCol Resolve(uint32_t offset) const {
+    return OffsetToLineCol(text_, offset);
+  }
+  LineCol Resolve(Span span) const { return Resolve(span.begin); }
+  std::string Snippet(Span span) const { return CaretSnippet(text_, span); }
+
+  // Parallel to Program::theory.rules() / the insertion order of
+  // Program::database (duplicate facts keep their first span).
+  std::vector<RuleSpans> rules;
+  std::vector<AtomSpans> facts;
+
+ private:
+  std::string text_;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_CORE_SOURCE_MAP_H_

@@ -39,6 +39,12 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
   if (!c.weakly_frontier_guarded) {
     return Status::Error("knowledge base is not weakly frontier-guarded");
   }
+  // Optional pre-flight: advisory diagnostics over the *input* theory
+  // (pre-normalization — spans and rule indices match what the user
+  // wrote, not the normal form).
+  if (options.preflight) {
+    kb->preflight_ = Analyze(theory, db, *symbols);
+  }
   kb->affected_ = AffectedPositions(kb->normal_);
   for (const Rule& r : kb->normal_.rules()) {
     if (!r.EVars().empty()) kb->theory_has_existentials_ = true;
@@ -75,6 +81,7 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
     kb->stats_.prepare_wall_ms = MsSince(start);
     kb->stats_.model_atoms = kb->model_.size();
     kb->stats_.datalog_rules = kb->program_->theory().size();
+    kb->stats_.diagnostics = kb->preflight_.diagnostics.size();
   }
   return kb;
 }

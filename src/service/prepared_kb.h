@@ -42,6 +42,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analyze/analyze.h"
 #include "core/classify.h"
 #include "core/database.h"
 #include "core/rule.h"
@@ -64,6 +65,12 @@ struct PreparedKbOptions {
   DatalogOptions datalog;
   // Maximum number of cached query answer sets; 0 disables the cache.
   size_t answer_cache_capacity = 1024;
+  // Run the static analyzers (analyze/analyze.h) over (Σ, D) during
+  // Prepare. Diagnostics never fail the prepare — they are advisory
+  // (the wfg membership check is what rejects theories) — but their
+  // count lands in ServiceStats::diagnostics and the full list is kept
+  // on the PreparedKb for callers that want to surface it.
+  bool preflight = true;
 };
 
 struct PreparedQueryResult {
@@ -119,6 +126,9 @@ class PreparedKb {
   ServiceStats stats() const;
 
   Mode mode() const { return mode_; }
+  // Pre-flight analysis of the input (Σ, D); empty when
+  // PreparedKbOptions::preflight was false. Immutable after Prepare.
+  const AnalysisResult& preflight() const { return preflight_; }
   // Whether every prepare stage ran to completion (no cap hit); query
   // results degrade to complete=false otherwise.
   bool prepare_complete() const;
@@ -145,6 +155,7 @@ class PreparedKb {
   Theory weakly_guarded_;  // rew(normal_) (Thm 2), or normal_ itself.
   PositionSet affected_;   // ap(normal_), for the completeness check.
   Mode mode_ = Mode::kDatalog;
+  AnalysisResult preflight_;
   bool rewrite_complete_ = true;
   bool theory_has_existentials_ = false;
   RelationId acdom_ = 0;

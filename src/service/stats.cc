@@ -42,6 +42,8 @@ std::string ServiceStats::ToString() const {
          static_cast<unsigned long long>(model_atoms));
   Append(&out, "datalog rules:       %llu\n",
          static_cast<unsigned long long>(datalog_rules));
+  Append(&out, "diagnostics:         %llu\n",
+         static_cast<unsigned long long>(diagnostics));
   Append(&out, "prepare wall ms:     %.3f\n", prepare_wall_ms);
   Append(&out, "query wall ms:       %.3f\n", query_wall_ms);
   Append(&out, "assert wall ms:      %.3f\n", assert_wall_ms);
@@ -72,6 +74,8 @@ std::string ServiceStats::ToJson() const {
          static_cast<unsigned long long>(model_atoms));
   Append(&out, "\"datalog_rules\": %llu, ",
          static_cast<unsigned long long>(datalog_rules));
+  Append(&out, "\"diagnostics\": %llu, ",
+         static_cast<unsigned long long>(diagnostics));
   Append(&out, "\"prepare_wall_ms\": %.6f, ", prepare_wall_ms);
   Append(&out, "\"query_wall_ms\": %.6f, ", query_wall_ms);
   Append(&out, "\"assert_wall_ms\": %.6f}", assert_wall_ms);

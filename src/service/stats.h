@@ -32,6 +32,9 @@ struct ServiceStats {
   // Current sizes.
   uint64_t model_atoms = 0;
   uint64_t datalog_rules = 0;
+  // Diagnostics reported by the Prepare pre-flight analysis (see
+  // analyze/analyze.h; 0 when the pre-flight is disabled).
+  uint64_t diagnostics = 0;
   // Cumulative wall times per phase.
   double prepare_wall_ms = 0.0;
   double query_wall_ms = 0.0;

@@ -4,6 +4,8 @@
 #include <map>
 #include <utility>
 
+#include "analyze/analyze.h"
+#include "analyze/render.h"
 #include "chase/chase.h"
 #include "core/classify.h"
 #include "core/printer.h"
@@ -170,6 +172,25 @@ CaseVerdict CheckCase(const GeneratedCase& c, SymbolTable* symbols,
     failure->detail = std::move(detail);
     return CaseVerdict::kFail;
   };
+
+  // Lint lane: every generated theory must pass through the static
+  // analyzer without crashing, and the rendered diagnostics must be
+  // byte-identical across runs (Analyze is a pure function of the
+  // case). Runs before the oracle so even skipped cases are linted.
+  {
+    AnalyzeOptions ao;
+    ao.explain = true;
+    RenderOptions ro;
+    ro.file = "<fuzz>";
+    AnalysisResult a1 = Analyze(c.theory, c.database, *symbols, ao);
+    AnalysisResult a2 = Analyze(c.theory, c.database, *symbols, ao);
+    std::string r1 = RenderText(a1, ro) + RenderJson(a1, ro);
+    std::string r2 = RenderText(a2, ro) + RenderJson(a2, ro);
+    if (r1 != r2) {
+      return fail("lint-determinism",
+                  "two Analyze runs rendered different diagnostics");
+    }
+  }
 
   // Ground truth: the naive oracle. Unsaturated instances are skipped
   // (certain-answer comparison needs a terminating chase).

@@ -242,6 +242,154 @@ TEST(CliTest, ServeCompletenessCertificateLines) {
       << r.output;
 }
 
+// Substitutes every "{F}" in `expected` with `file` — byte-for-byte
+// golden outputs stay readable while the data dir stays configurable.
+std::string WithFile(std::string expected, const std::string& file) {
+  size_t at = 0;
+  while ((at = expected.find("{F}", at)) != std::string::npos) {
+    expected.replace(at, 3, file);
+    at += file.size();
+  }
+  return expected;
+}
+
+// Writes a deliberately malformed program and returns its path.
+std::string MalformedFile() {
+  std::string path = "/tmp/gerel_cli_malformed.gerel";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("e(X, Y) -> t(Y.\n", f);
+  fclose(f);
+  return path;
+}
+
+TEST(CliTest, CheckJsonIsByteExact) {
+  std::string file = Data("stratified_sep.gerel");
+  CommandResult r = RunCli("check --json " + file);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, WithFile(
+      "{\n"
+      "  \"file\": \"{F}\",\n"
+      "  \"classification\": {\"datalog\": false, \"guarded\": false, "
+      "\"frontier_guarded\": false, \"weakly_guarded\": true, "
+      "\"weakly_frontier_guarded\": true, \"nearly_guarded\": true, "
+      "\"nearly_frontier_guarded\": true},\n"
+      "  \"diagnostics\": [],\n"
+      "  \"errors\": 0, \"warnings\": 0, \"notes\": 0\n"
+      "}\n",
+      file));
+}
+
+TEST(CliTest, CheckExplainOnDemoIsByteExact) {
+  std::string file = Data("diagnostics_demo.gerel");
+  CommandResult r = RunCli("check --explain " + file);
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // Two errors in the demo.
+  // Spot-check the span-accurate pieces individually for a readable
+  // failure, then pin the whole transcript byte-for-byte.
+  EXPECT_NE(r.output.find(file + ":33:14: error[GR040]"), std::string::npos);
+  std::string expected = WithFile(
+      R"x({F}:6:1: warning[GR050]: theory is neither weakly nor jointly acyclic: the oblivious chase may diverge on some database
+  t(X) -> exists Y. e(X, Y).
+  ^~~~~~~~~~~~~~~~~~~~~~~~~
+  note: guardedness guarantees decidable query answering, not chase termination; use the bounded chase (--max-steps) or the Datalog translations
+{F}:11:1: warning[GR010]: rule 2 is not weakly frontier-guarded: no positive body atom contains its unsafe frontier variables {X, Z}
+  e(X, Y), e(Z, Y) -> t(X), t(Z).
+  ^~~~~~~~~~~~~~~~~~~~~~~~~~~~~~
+  note: X may be bound to a labeled null during the chase: every positive occurrence (e[0]) is an affected position (Def 2)
+  note: Z may be bound to a labeled null during the chase: every positive occurrence (e[0]) is an affected position (Def 2)
+  note: the serving pipeline (Thm 2 + §7) requires a weakly frontier-guarded theory
+{F}:15:1: warning[GR001]: rule 3 is not weakly guarded: no positive body atom contains its unsafe variables {X, Y, Z}
+  e(X, Y), e(Y, Z) -> u(X).
+  ^~~~~~~~~~~~~~~~~~~~~~~~
+  note: X may be bound to a labeled null during the chase: every positive occurrence (e[0]) is an affected position (Def 2)
+  note: the rule is still weakly frontier-guarded, so query answering remains supported (Thm 2)
+{F}:19:1: warning[GR020]: predicate 'dead' is unreachable: no fact or applicable rule ever derives it
+  dead(X) -> s(X).
+  ^~~~~~~
+  note: 'dead' never occurs in a rule head and the database has no 'dead' facts
+{F}:19:1: warning[GR020]: predicate 's' is unreachable: no fact or applicable rule ever derives it
+  dead(X) -> s(X).
+  ^~~~~~~~~~~~~~~
+  note: every rule deriving 's' depends on an unreachable predicate
+{F}:22:19: warning[GR060]: existential variable U is declared but never used in the head
+  p(X) -> exists W, U. q(X, W).
+                    ^
+  note: evars(σ) is recomputed from occurrences (§2); this declaration is dropped silently
+{F}:25:1: warning[GR010]: rule 6 is not weakly frontier-guarded: no positive body atom contains its unsafe frontier variables {X, Z}
+  e(X, Y), e(Z, Y) -> t(X), t(Z).
+  ^~~~~~~~~~~~~~~~~~~~~~~~~~~~~~
+  note: X may be bound to a labeled null during the chase: every positive occurrence (e[0]) is an affected position (Def 2)
+  note: Z may be bound to a labeled null during the chase: every positive occurrence (e[0]) is an affected position (Def 2)
+  note: the serving pipeline (Thm 2 + §7) requires a weakly frontier-guarded theory
+{F}:25:1: warning[GR021]: rule 6 is subsumed by rule 2: whenever it fires, rule 2 derives the same atoms
+  e(X, Y), e(Z, Y) -> t(X), t(Z).
+  ^~~~~~~~~~~~~~~~~~~~~~~~~~~~~~
+  note: subsuming rule: e(X, Y), e(Z, Y) -> t(X), t(Z)
+{F}:29:1: error[GR030]: relation 'ann' splits its positions as 1 annotation(s) + 1 argument(s) here, but as 0 annotation(s) + 2 argument(s) at its first use
+  ann[c](d).
+  ^~~~~~~~~
+  note: the annotation transforms (Defs 17-18) require every use of a relation to partition its positions identically
+{F}:33:14: error[GR040]: the program is not stratifiable: 'even' depends on its own negation
+  node(X), not odd(X) -> even(X).
+               ^~~~~~
+  note: cycle: even -> odd -> even (the step odd -> even is through "not odd")
+  note: stratified evaluation (Def 22) requires every negated dependency to point strictly downward
+{F}: classification: none of the seven classes (Fig. 1)
+{F}: explain:
+  datalog: no: rule 0 (t(X) -> exists Y. e(X, Y)) has existential variables {Y}
+  guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): no positive body atom contains all universal variables {X, Y, Z}
+  frontier-guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): no positive body atom contains all frontier variables {X, Z}
+  weakly-guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): no positive body atom contains all unsafe variables {X, Y, Z}; X may be bound to a labeled null during the chase: every positive occurrence (e[0]) is an affected position (Def 2)
+  weakly-frontier-guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): no positive body atom contains all unsafe frontier variables {X, Z}; X may be bound to a labeled null during the chase: every positive occurrence (e[0]) is an affected position (Def 2)
+  nearly-guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): not guarded, with unsafe variables {X, Y, Z} (Def 3 needs guarded, or safe and existential-free)
+  nearly-frontier-guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): not frontier-guarded, with unsafe variables {X, Y, Z} (Def 3 needs frontier-guarded, or safe and existential-free)
+{F}: 2 error(s), 8 warning(s), 0 note(s)
+)x",
+      file);
+  EXPECT_EQ(r.output, expected);
+}
+
+TEST(CliTest, CheckDenyPromotesWarningsToErrors) {
+  CommandResult clean = RunCli("check " + Data("stratified_sep.gerel") +
+                               " --deny=GR020");
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+  CommandResult r = RunCli("check " + Data("diagnostics_demo.gerel") +
+                           " --deny=GR020");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("error[GR020]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("4 error(s), 6 warning(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, CheckParseErrorRendersGr000) {
+  std::string file = MalformedFile();
+  CommandResult r = RunCli("check " + file);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.output, WithFile(
+      "{F}:1:15: error[GR000]: expected closing bracket\n"
+      "  e(X, Y) -> t(Y.\n"
+      "                ^\n",
+      file));
+}
+
+TEST(CliTest, CheckMissingFileRendersGr000) {
+  CommandResult r = RunCli("check /nonexistent/file.gerel");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("error[GR000]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, ClassifyParseErrorSharesTheDiagnosticRenderer) {
+  std::string file = MalformedFile();
+  CommandResult r = RunCli("classify " + file);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Not the raw status string: the line:col + GR000 + caret form.
+  EXPECT_EQ(r.output, WithFile(
+      "{F}:1:15: error[GR000]: expected closing bracket\n"
+      "  e(X, Y) -> t(Y.\n"
+      "                ^\n",
+      file));
+}
+
 TEST(CliTest, UsageOnBadInvocation) {
   EXPECT_EQ(RunCli("frobnicate nothing").exit_code, 64);
   EXPECT_EQ(RunCli("classify").exit_code, 64);

@@ -166,5 +166,122 @@ TEST(ParserTest, ArityMismatchIsACleanParseError) {
   EXPECT_NE(bad.status().message().find("arity"), std::string::npos);
 }
 
+TEST(ParserTest, ErrorsReportLineColWithCaretSnippet) {
+  SymbolTable syms;
+  Result<Program> p = ParseProgram("e(a, b).\ne(X, Y) -> t(Y.\n", &syms);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().message(),
+            "line 2:15: expected closing bracket\n"
+            "  e(X, Y) -> t(Y.\n"
+            "                ^");
+}
+
+TEST(ParserTest, FactWithVariablesErrorSpansTheFact) {
+  SymbolTable syms;
+  Result<Program> p = ParseProgram("ok(c).\n  bad(X, c).\n", &syms);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().message(),
+            "line 2:3: fact contains variables\n"
+            "    bad(X, c).\n"
+            "    ^~~~~~~~~");
+}
+
+TEST(ParserTest, UnexpectedCharacterReportsLineCol) {
+  SymbolTable syms;
+  Result<Program> p = ParseProgram("r(a) @.", &syms);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().message().rfind("line 1:6: ", 0), 0u)
+      << p.status().message();
+}
+
+TEST(ParserTest, ArityMismatchErrorPointsAtTheAtom) {
+  SymbolTable syms;
+  ASSERT_TRUE(ParseProgram("r(a, b).", &syms).ok());
+  Result<Program> bad = ParseProgram("ok(c).\nr(X) -> r(X, X).", &syms);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message(),
+            "line 2:1: relation 'r' used with arity 1 but declared with 2\n"
+            "  r(X) -> r(X, X).\n"
+            "  ^~~~");
+}
+
+TEST(ParserTest, SourceMapRecordsRuleFactAndTermSpans) {
+  SymbolTable syms;
+  SourceMap map;
+  const std::string text =
+      "e(a, b).\n"
+      "e(X, Y), t(Y, Z) -> t(X, Z).\n";
+  Result<Program> p = ParseProgram(text, &syms, &map);
+  ASSERT_TRUE(p.ok()) << p.status().message();
+  ASSERT_EQ(map.facts.size(), 1u);
+  ASSERT_EQ(map.rules.size(), 1u);
+  auto spanned = [&](Span s) {
+    return std::string(map.text().substr(s.begin, s.end - s.begin));
+  };
+  EXPECT_EQ(spanned(map.facts[0].span), "e(a, b)");
+  EXPECT_EQ(spanned(map.rules[0].span), "e(X, Y), t(Y, Z) -> t(X, Z)");
+  ASSERT_EQ(map.rules[0].body.size(), 2u);
+  EXPECT_EQ(spanned(map.rules[0].body[1].span), "t(Y, Z)");
+  ASSERT_EQ(map.rules[0].body[1].args.size(), 2u);
+  EXPECT_EQ(spanned(map.rules[0].body[1].args[0]), "Y");
+  ASSERT_EQ(map.rules[0].head.size(), 1u);
+  EXPECT_EQ(spanned(map.rules[0].head[0].span), "t(X, Z)");
+  LineCol lc = map.Resolve(map.rules[0].span);
+  EXPECT_EQ(lc.line, 2u);
+  EXPECT_EQ(lc.col, 1u);
+}
+
+TEST(ParserTest, SourceMapRecordsDeclaredExistentials) {
+  SymbolTable syms;
+  SourceMap map;
+  Result<Program> p =
+      ParseProgram("p(X) -> exists Y, Z. q(X, Y).\n", &syms, &map);
+  ASSERT_TRUE(p.ok()) << p.status().message();
+  ASSERT_EQ(map.rules.size(), 1u);
+  const RuleSpans& rs = map.rules[0];
+  ASSERT_EQ(rs.declared_evars.size(), 2u);
+  // Z is declared but unused: EVars() drops it, the map keeps it.
+  EXPECT_EQ(p.value().theory.rules()[0].EVars().size(), 1u);
+  EXPECT_EQ(rs.declared_evars[0].first, syms.Variable("Y"));
+  EXPECT_EQ(rs.declared_evars[1].first, syms.Variable("Z"));
+  auto spanned = [&](Span s) {
+    return std::string(map.text().substr(s.begin, s.end - s.begin));
+  };
+  EXPECT_EQ(spanned(rs.declared_evars[1].second), "Z");
+}
+
+TEST(ParserTest, SourceMapQuotedConstantSpansIncludeQuotes) {
+  SymbolTable syms;
+  SourceMap map;
+  Result<Program> p = ParseProgram("name('Ada L.').\n", &syms, &map);
+  ASSERT_TRUE(p.ok()) << p.status().message();
+  ASSERT_EQ(map.facts.size(), 1u);
+  ASSERT_EQ(map.facts[0].args.size(), 1u);
+  Span s = map.facts[0].args[0];
+  EXPECT_EQ(std::string(map.text().substr(s.begin, s.end - s.begin)),
+            "'Ada L.'");
+}
+
+TEST(ParserTest, SourceMapSkipsDuplicateFacts) {
+  SymbolTable syms;
+  SourceMap map;
+  Result<Program> p = ParseProgram("r(a).\nr(a).\ns(b).\n", &syms, &map);
+  ASSERT_TRUE(p.ok());
+  // The database dedupes; the map stays parallel to insertion order.
+  EXPECT_EQ(p.value().database.size(), 2u);
+  ASSERT_EQ(map.facts.size(), 2u);
+  EXPECT_EQ(map.Resolve(map.facts[0].span).line, 1u);
+  EXPECT_EQ(map.Resolve(map.facts[1].span).line, 3u);
+}
+
+TEST(ParserTest, CaretSnippetHandlesSpanOnNewline) {
+  // Regression: a span starting on the newline itself must not
+  // underflow the caret column (found by the mutation fuzz tests).
+  std::string text = "ab\n\ncd";
+  EXPECT_EQ(CaretSnippet(text, Span{2, 3}), "  ab\n    ^\n");
+  EXPECT_EQ(CaretSnippet(text, Span{3, 4}), "  \n  ^\n");
+  EXPECT_EQ(CaretSnippet(text, Span{6, 7}), "");  // Past the end.
+}
+
 }  // namespace
 }  // namespace gerel

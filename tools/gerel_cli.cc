@@ -1,6 +1,9 @@
 // gerel — command-line front end for the library.
 //
 // Usage:
+//   gerel check <program> [--json] [--explain] [--deny=CODE]
+//                                         static analysis: GR-coded
+//                                         diagnostics with line:col spans
 //   gerel classify  <program>             classify the rules (§3)
 //   gerel normalize <program>             print the Prop 1 normal form
 //   gerel chase     <program> [opts]      run the bounded oblivious chase
@@ -28,6 +31,7 @@
 // Exit codes: 0 success, 1 error, 2 chase hit a cap before saturating,
 // 3 answers are sound but possibly incomplete (a translation stage hit a
 // size cap), 64 usage.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +39,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "analyze/analyze.h"
+#include "analyze/render.h"
 #include "chase/chase.h"
 #include "chase/chase_tree.h"
 #include "core/classify.h"
@@ -86,12 +93,79 @@ bool ParseFlag(const char* arg, const char* name, long* out) {
   return true;
 }
 
+int Usage();
+
+// `gerel check [--json] [--explain] [--deny=CODE] <program>`: run every
+// analyzer and render the diagnostics. Exit 1 when any error-severity
+// diagnostic remains (parse failures are GR000 errors; --deny promotes
+// warning codes to errors).
+int Check(int argc, char** argv) {
+  bool json = false;
+  bool explain = false;
+  std::vector<std::string> deny;
+  std::string file;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg.rfind("--deny=", 0) == 0) {
+      deny.push_back(arg.substr(7));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (file.empty()) return Usage();
+  auto text = ReadFile(file.c_str());
+  if (!text.ok()) {
+    std::fputs(RenderParseError(text.status(), file).c_str(), stderr);
+    return 1;
+  }
+  SymbolTable syms;
+  SourceMap map;
+  auto program = ParseProgram(text.value(), &syms, &map);
+  if (!program.ok()) {
+    std::fputs(RenderParseError(program.status(), file).c_str(), stderr);
+    return 1;
+  }
+  AnalyzeOptions options;
+  options.explain = explain;
+  options.source = &map;
+  AnalysisResult result = Analyze(program.value().theory,
+                                  program.value().database, syms, options);
+  for (Diagnostic& d : result.diagnostics) {
+    if (d.severity == Severity::kWarning &&
+        std::find(deny.begin(), deny.end(), d.code) != deny.end()) {
+      d.severity = Severity::kError;
+      --result.warnings;
+      ++result.errors;
+    }
+  }
+  RenderOptions render;
+  render.file = file;
+  render.source = &map;
+  std::string out =
+      json ? RenderJson(result, render) : RenderText(result, render);
+  std::fputs(out.c_str(), stdout);
+  return result.errors > 0 ? 1 : 0;
+}
+
 int Classify(const ParsedArgs& args) {
   SymbolTable syms;
   auto text = ReadFile(args.file.c_str());
   if (!text.ok()) return Fail(text.status().message());
   auto program = ParseProgram(text.value(), &syms);
-  if (!program.ok()) return Fail(program.status().message());
+  if (!program.ok()) {
+    // Parse failures share the GR000 renderer with `gerel check`.
+    std::fputs(RenderParseError(program.status(), args.file).c_str(),
+               stderr);
+    return 1;
+  }
   const Theory& t = program.value().theory;
   Classification c = gerel::Classify(t);
   std::printf("rules: %zu   max arity: %zu   max vars/rule: %zu\n",
@@ -413,6 +487,8 @@ int Fuzz(int argc, char** argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: gerel classify|normalize|chase|tree <program>\n"
+               "       gerel check <program> [--json] [--explain] "
+               "[--deny=CODE]\n"
                "       gerel translate fg2ng|nfg2ng|wfg2wg|g2dat|ng2dat "
                "<program>\n"
                "       gerel answer <program> <relation> "
@@ -433,6 +509,9 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0) {
     return Fuzz(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "check") == 0) {
+    return Check(argc, argv);
   }
   if (argc < 3) return Usage();
   ParsedArgs args;

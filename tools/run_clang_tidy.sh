@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config in .clang-tidy) over the first-party sources.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [clang-tidy-args...]
+#
+# Needs a build directory with a compile_commands.json; configures one
+# with CMAKE_EXPORT_COMPILE_COMMANDS if the default (build/) lacks it.
+# Exits 0 when clang-tidy is unavailable so CI images without LLVM
+# skip the lane instead of failing it.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+shift || true
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $tidy not found; skipping (install LLVM to enable)" >&2
+  exit 0
+fi
+
+if [ ! -f "$build/compile_commands.json" ]; then
+  cmake -B "$build" -S "$repo" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json in $build" >&2
+  exit 2
+fi
+
+# First-party translation units only — gtest and generated files are
+# not ours to lint.
+mapfile -t files < <(cd "$repo" && ls src/*/*.cc tools/*.cc)
+
+status=0
+for f in "${files[@]}"; do
+  echo "== $f"
+  "$tidy" -p "$build" --quiet "$@" "$repo/$f" || status=1
+done
+exit $status
