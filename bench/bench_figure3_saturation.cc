@@ -6,7 +6,10 @@
 // polynomially, the paper's bound is an upper envelope).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/parser.h"
@@ -90,6 +93,44 @@ void BM_SaturateGuardedChain(benchmark::State& state) {
   state.counters["closure"] = static_cast<double>(closure);
 }
 BENCHMARK(BM_SaturateGuardedChain)->Arg(2)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Thread sweep for parallel saturation: the longest guarded chain swept
+// over worker-lane counts {1, 2, 4, hardware_concurrency}. Closures are
+// byte-identical by construction; only the wall clock may differ. The
+// `lanes` counter lands in BENCH_bench_figure3_saturation.json for
+// tools/bench_diff.py.
+void BM_SaturateParallelSweep(benchmark::State& state) {
+  int len = static_cast<int>(state.range(0));
+  int lanes = static_cast<int>(state.range(1));
+  size_t closure = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SymbolTable syms;
+    Theory t = MustTheory(GuardedChainTheoryText(len).c_str(), &syms);
+    state.ResumeTiming();
+    SaturationOptions opts;
+    opts.num_threads = static_cast<size_t>(lanes);
+    auto sat = Saturate(t, &syms, opts);
+    if (!sat.ok()) {
+      state.SkipWithError(sat.status().message().c_str());
+      return;
+    }
+    closure = sat.value().closure.size();
+  }
+  state.counters["closure"] = static_cast<double>(closure);
+  state.counters["lanes"] = lanes;
+}
+
+void ThreadSweepArgs(benchmark::internal::Benchmark* b) {
+  std::vector<int> sweep = {1, 2, 4};
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 0 && std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) {
+    sweep.push_back(hw);
+  }
+  for (int lanes : sweep) b->Args({8, lanes});
+}
+BENCHMARK(BM_SaturateParallelSweep)->Apply(ThreadSweepArgs)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

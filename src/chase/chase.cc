@@ -1,6 +1,9 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -8,13 +11,19 @@
 #include "core/check.h"
 #include "core/homomorphism.h"
 #include "core/join_plan.h"
+#include "core/parallel.h"
 #include "core/substitution.h"
 
 namespace gerel {
 
 namespace {
 
-// A fired-trigger key: rule index plus the uvars' images, packed.
+// Delta atoms per enumeration unit. Fixed (not derived from the thread
+// count) so unit boundaries — and therefore any per-unit truncation —
+// are identical for every num_threads.
+constexpr size_t kDeltaChunk = 1024;
+
+// A fired-trigger key: rule index plus the key variables' images, packed.
 struct TriggerKey {
   std::vector<uint32_t> data;
   friend bool operator==(const TriggerKey& a, const TriggerKey& b) {
@@ -39,6 +48,9 @@ struct PreparedRule {
   std::vector<Term> uvars;
   std::vector<Term> evars;
   std::vector<Term> fvars;
+  // fvars as indices into uvars (the frontier is a subset of the
+  // universals), for semi-oblivious trigger keys over image records.
+  std::vector<uint32_t> fvar_slots;
   // plans[j] compiles the whole body with atom j pinned as level 0, to
   // be matched only against a delta atom (ExecuteSeeded). Compiled once;
   // the per-round `rest` pattern construction of the interpreted matcher
@@ -46,6 +58,25 @@ struct PreparedRule {
   std::vector<JoinPlan> plans;
 };
 
+// The piece-parallel chase engine. Each round is two phases:
+//
+//  1. Enumeration — the round's triggers are enumerated against the
+//     *immutable* snapshot [0, delta_end) of the database. The work is
+//     split into units (rule, pinned body position, delta chunk); units
+//     run on the worker pool, each recording the universal-variable
+//     images of its matches into a private buffer. Nothing is inserted
+//     and no fresh nulls are minted, so workers share the database and
+//     symbol table read-only.
+//
+//  2. Merge — single-threaded, in deterministic unit order (which is
+//     independent of the thread count): dedup against the fired-trigger
+//     set, the restricted/depth checks, fresh-null creation, and head
+//     insertion. Postings for the round's new atoms are then built (in
+//     parallel, shard-per-lane) before the next round reads them.
+//
+// Because the merge consumes an identical trigger stream for every
+// num_threads, the result — atom order, null names, derivation, step
+// count — is byte-identical to the sequential run.
 class ChaseEngine {
  public:
   ChaseEngine(const Theory& theory, const Database& input,
@@ -59,6 +90,12 @@ class ChaseEngine {
       p.uvars = r.UVars();
       p.evars = r.EVars();
       p.fvars = r.FVars();
+      for (Term f : p.fvars) {
+        auto it = std::find(p.uvars.begin(), p.uvars.end(), f);
+        GEREL_CHECK(it != p.uvars.end());
+        p.fvar_slots.push_back(
+            static_cast<uint32_t>(it - p.uvars.begin()));
+      }
       p.plans.reserve(p.body.size());
       for (size_t j = 0; j < p.body.size(); ++j) {
         p.plans.emplace_back(p.body, std::vector<Term>(),
@@ -66,6 +103,10 @@ class ChaseEngine {
       }
       rules_.push_back(std::move(p));
     }
+    if (options_.num_threads > 1) {
+      pool_ = std::make_unique<WorkerPool>(options_.num_threads);
+    }
+    lanes_.resize(pool_ ? pool_->num_threads() : 1);
     result_.database = input;
     if (options.populate_acdom) {
       PopulateAcdom(theory, symbols, &result_.database);
@@ -77,39 +118,14 @@ class ChaseEngine {
     bool first_round = true;
     while (true) {
       size_t delta_end = result_.database.size();
-      for (uint32_t ri = 0; ri < rules_.size(); ++ri) {
-        const PreparedRule& rule = rules_[ri];
-        if (rule.body.empty()) {
-          if (first_round) Fire(ri, Substitution());
-          continue;
-        }
-        // Semi-naive enumeration: some body atom must match an atom of the
-        // delta window [delta_begin, delta_end); in the first round the
-        // delta is the whole input database. Plan level 0 is the pinned
-        // body atom, matched only against the delta atom; Fire() inserts
-        // mid-enumeration, so candidate postings are snapshotted
-        // (db_grows) exactly like the interpreted matcher did.
-        auto fire = [&](const JoinExecutor& e) {
-          Substitution h;
-          e.AppendBindings(&h);
-          Fire(ri, h);
-          return !LimitReached();
-        };
-        for (size_t j = 0; j < rule.body.size(); ++j) {
-          RelationId pred = rule.body[j].pred;
-          for (size_t ai = delta_begin; ai < delta_end; ++ai) {
-            if (result_.database.atom(ai).pred != pred) continue;
-            exec_.ExecuteSeeded(rule.plans[j], result_.database,
-                                result_.database.atom(ai), fire,
-                                /*db_grows=*/true);
-            if (LimitReached()) break;
-          }
-          if (LimitReached()) break;
-        }
-        if (LimitReached()) break;
-      }
+      BuildUnits(delta_begin, delta_end);
+      Enumerate();
+      bool limited = MergeRound(first_round);
+      // Build postings for the atoms this round's merge appended; the
+      // next round's enumeration (and any post-run AtomsOf) reads them.
+      result_.database.IndexNewAtoms(pool_.get());
       first_round = false;
-      if (LimitReached()) {
+      if (limited) {
         result_.saturated = false;
         break;
       }
@@ -127,6 +143,97 @@ class ChaseEngine {
   }
 
  private:
+  // One enumeration unit: body atom `j` of rule `ri`, seeded from the
+  // delta atoms [begin, end).
+  struct Unit {
+    uint32_t ri = 0;
+    uint32_t j = 0;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+  // One trigger record: the images of the rule's uvars, in uvar order.
+  struct TriggerRec {
+    std::vector<Term> images;
+  };
+
+  void BuildUnits(size_t delta_begin, size_t delta_end) {
+    units_.clear();
+    for (uint32_t ri = 0; ri < rules_.size(); ++ri) {
+      const PreparedRule& rule = rules_[ri];
+      for (uint32_t j = 0; j < rule.body.size(); ++j) {
+        for (size_t b = delta_begin; b < delta_end; b += kDeltaChunk) {
+          units_.push_back(Unit{ri, j, static_cast<uint32_t>(b),
+                                static_cast<uint32_t>(
+                                    std::min(b + kDeltaChunk, delta_end))});
+        }
+      }
+    }
+    unit_triggers_.clear();
+    unit_triggers_.resize(units_.size());
+  }
+
+  void Enumerate() {
+    // Per-unit emission cap: with a step bound, no unit can contribute
+    // more firings than the bound allows, so runaway joins stop early.
+    // The cap is per *unit* (whose boundaries are thread-count
+    // independent), keeping truncation deterministic.
+    size_t cap = options_.max_steps != 0
+                     ? options_.max_steps + 1
+                     : std::numeric_limits<size_t>::max();
+    auto run_unit = [&](size_t ui, size_t lane) {
+      const Unit& u = units_[ui];
+      const PreparedRule& rule = rules_[u.ri];
+      const Database& db = result_.database;
+      std::vector<TriggerRec>& out = unit_triggers_[ui];
+      auto fire = [&](const JoinExecutor& e) {
+        TriggerRec rec;
+        rec.images.reserve(rule.uvars.size());
+        for (Term v : rule.uvars) rec.images.push_back(e.Value(v));
+        out.push_back(std::move(rec));
+        return out.size() < cap;
+      };
+      RelationId pred = rule.body[u.j].pred;
+      for (size_t ai = u.begin; ai < u.end && out.size() < cap; ++ai) {
+        if (db.atom(ai).pred != pred) continue;
+        lanes_[lane].ExecuteSeeded(rule.plans[u.j], db, db.atom(ai), fire,
+                                   /*db_grows=*/false);
+      }
+      if (out.size() >= cap)
+        truncated_units_.store(true, std::memory_order_relaxed);
+    };
+    if (pool_) {
+      pool_->RunIndexed(units_.size(), run_unit);
+    } else {
+      for (size_t ui = 0; ui < units_.size(); ++ui) run_unit(ui, 0);
+    }
+  }
+
+  // Replays the round's trigger stream in deterministic order. Returns
+  // true iff a limit stopped the merge (or truncated enumeration made
+  // the stream incomplete).
+  bool MergeRound(bool first_round) {
+    size_t ui = 0;
+    for (uint32_t ri = 0; ri < rules_.size(); ++ri) {
+      const PreparedRule& rule = rules_[ri];
+      if (rule.body.empty()) {
+        if (first_round) {
+          if (LimitReached()) return true;
+          Fire(ri, {});
+        }
+        continue;
+      }
+      for (; ui < units_.size() && units_[ui].ri == ri; ++ui) {
+        for (const TriggerRec& rec : unit_triggers_[ui]) {
+          if (LimitReached()) return true;
+          Fire(ri, rec.images);
+        }
+      }
+    }
+    // A truncated unit means some of the round's triggers were never
+    // recorded; the result is a bounded prefix, not a fixpoint.
+    return LimitReached() || truncated_units_.load(std::memory_order_relaxed);
+  }
+
   bool LimitReached() const {
     if (options_.max_steps != 0 && result_.steps >= options_.max_steps)
       return true;
@@ -142,17 +249,25 @@ class ChaseEngine {
     return it == null_depth_.end() ? 0 : it->second;
   }
 
-  // Fires the trigger (rule ri, h) if it has not fired before. Returns
-  // true iff it fired.
-  bool Fire(uint32_t ri, const Substitution& h) {
+  // Fires the trigger (rule ri, uvars ↦ images) if it has not fired
+  // before. Returns true iff it fired.
+  bool Fire(uint32_t ri, const std::vector<Term>& images) {
     const PreparedRule& rule = rules_[ri];
     TriggerKey key;
-    const std::vector<Term>& key_vars =
-        options_.semi_oblivious ? rule.fvars : rule.uvars;
-    key.data.reserve(key_vars.size() + 1);
-    key.data.push_back(ri);
-    for (Term v : key_vars) key.data.push_back(h.Apply(v).bits());
+    if (options_.semi_oblivious) {
+      key.data.reserve(rule.fvar_slots.size() + 1);
+      key.data.push_back(ri);
+      for (uint32_t s : rule.fvar_slots) key.data.push_back(images[s].bits());
+    } else {
+      key.data.reserve(images.size() + 1);
+      key.data.push_back(ri);
+      for (Term t : images) key.data.push_back(t.bits());
+    }
     if (!fired_.insert(key).second) return false;
+    Substitution h;
+    for (size_t i = 0; i < rule.uvars.size(); ++i) {
+      h.Bind(rule.uvars[i], images[i]);
+    }
     if (options_.restricted) {
       // Restricted chase: skip satisfied triggers. The trigger stays in
       // the fired set — if it is satisfied now, it stays satisfied (the
@@ -162,7 +277,7 @@ class ChaseEngine {
     // Null-depth bound: skip triggers that would create too-deep nulls.
     if (!rule.evars.empty() && options_.max_null_depth != 0) {
       uint32_t depth = 0;
-      for (Term v : rule.uvars) depth = std::max(depth, TermDepth(h.Apply(v)));
+      for (Term t : images) depth = std::max(depth, TermDepth(t));
       if (depth + 1 > options_.max_null_depth) {
         fired_.erase(key);  // The real chase still owes this trigger.
         skipped_depth_limited_ = true;
@@ -171,8 +286,8 @@ class ChaseEngine {
     }
     Substitution full = h;
     uint32_t new_depth = 1;
-    for (Term v : rule.uvars) {
-      new_depth = std::max(new_depth, TermDepth(h.Apply(v)) + 1);
+    for (Term t : images) {
+      new_depth = std::max(new_depth, TermDepth(t) + 1);
     }
     for (Term e : rule.evars) {
       Term null = symbols_->FreshNull();
@@ -181,11 +296,17 @@ class ChaseEngine {
     }
     ++result_.steps;
     std::vector<Term> frontier_image;
-    frontier_image.reserve(rule.fvars.size());
-    for (Term v : rule.fvars) frontier_image.push_back(h.Apply(v));
+    frontier_image.reserve(rule.fvar_slots.size());
+    for (uint32_t s : rule.fvar_slots) frontier_image.push_back(images[s]);
     for (const Atom& ha : rule.head) {
       Atom derived = full.Apply(ha);
-      if (result_.database.Insert(derived)) {
+      // The restricted chase reads the database (HasHomomorphism) while
+      // merging, so its postings must stay current; the oblivious merge
+      // defers them to the round boundary.
+      bool inserted = options_.restricted
+                          ? result_.database.Insert(derived)
+                          : result_.database.InsertDeferIndex(derived);
+      if (inserted) {
         result_.derivation.push_back(
             ChaseStep{ri, std::move(derived), frontier_image});
       }
@@ -196,11 +317,15 @@ class ChaseEngine {
   SymbolTable* symbols_;
   ChaseOptions options_;
   std::vector<PreparedRule> rules_;
-  JoinExecutor exec_;  // Reused across triggers; state reset per seed.
+  std::unique_ptr<WorkerPool> pool_;  // Null when num_threads <= 1.
+  std::vector<JoinExecutor> lanes_;   // One executor per pool lane.
+  std::vector<Unit> units_;
+  std::vector<std::vector<TriggerRec>> unit_triggers_;
   ChaseResult result_;
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
   std::unordered_map<uint32_t, uint32_t> null_depth_;
   bool skipped_depth_limited_ = false;
+  std::atomic<bool> truncated_units_{false};
 };
 
 }  // namespace

@@ -51,6 +51,12 @@ struct ChaseOptions {
   // terminating semi-oblivious chases, while only weakly acyclic ones
   // are guaranteed for the fully oblivious chase.
   bool semi_oblivious = false;
+  // Lanes for the piece-parallel trigger enumeration (including the
+  // calling thread); 1 is fully sequential. Any value produces
+  // byte-identical results — trigger batches are enumerated against the
+  // immutable round snapshot and merged in a deterministic order, so
+  // labeled-null naming and the derivation never depend on thread count.
+  size_t num_threads = 1;
 };
 
 // Provenance of one derived atom: which rule fired and the image of its

@@ -3,56 +3,219 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "core/theory.h"
 
 namespace gerel {
 
 namespace {
 const std::vector<uint32_t> kEmptyPostings;
+// Below this many pending atoms the parallel index build is not worth
+// the task dispatch.
+constexpr size_t kParallelIndexThreshold = 256;
 }  // namespace
 
-bool Database::Insert(const Atom& atom) {
-  GEREL_CHECK(atom.IsDatabaseAtom());
-  auto [it, inserted] = set_.insert(atom);
-  if (!inserted) return false;
-  uint32_t index = static_cast<uint32_t>(atoms_.size());
-  atoms_.push_back(atom);
-  by_relation_[atom.pred].push_back(index);
+void Database::CopyFrom(const Database& other) {
+  size_t n = other.size();
+  segments_.clear();
+  segments_.reserve(other.segments_.size());
+  for (const auto& seg : other.segments_) {
+    segments_.push_back(seg ? std::make_unique<Segment>(*seg) : nullptr);
+  }
+  size_.store(n, std::memory_order_relaxed);
+  for (size_t s = 0; s < kSetShards; ++s) {
+    set_shards_[s].set = other.set_shards_[s].set;
+  }
+  by_relation_ = other.by_relation_;
+  by_position_ = other.by_position_;
+  indexed_upto_ = other.indexed_upto_;
+  position_index_enabled_ = other.position_index_enabled_;
+}
+
+void Database::MoveFrom(Database* other) {
+  segments_ = std::move(other->segments_);
+  size_.store(other->size_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  for (size_t s = 0; s < kSetShards; ++s) {
+    set_shards_[s].set = std::move(other->set_shards_[s].set);
+  }
+  by_relation_ = std::move(other->by_relation_);
+  by_position_ = std::move(other->by_position_);
+  indexed_upto_ = other->indexed_upto_;
+  position_index_enabled_ = other->position_index_enabled_;
+  other->segments_.clear();
+  other->size_.store(0, std::memory_order_relaxed);
+  other->indexed_upto_ = 0;
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this != &other) CopyFrom(other);
+  return *this;
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this != &other) MoveFrom(&other);
+  return *this;
+}
+
+uint32_t Database::Append(const Atom& atom, bool allow_grow) {
+  size_t index = size_.load(std::memory_order_relaxed);
+  size_t seg = index >> kSegmentBits;
+  if (seg >= segments_.size()) {
+    // Growing the directory moves its slots; forbidden while concurrent
+    // readers may be traversing it (ReserveConcurrent pre-sizes it).
+    GEREL_CHECK(allow_grow);
+    segments_.push_back(std::make_unique<Segment>());
+  } else if (!segments_[seg]) {
+    segments_[seg] = std::make_unique<Segment>();
+  }
+  (*segments_[seg])[index & kSegmentMask] = atom;
+  size_.store(index + 1, std::memory_order_release);
+  return static_cast<uint32_t>(index);
+}
+
+void Database::IndexAtom(const Atom& atom, uint32_t index) {
+  by_relation_[RelationShardOf(atom.pred)][atom.pred].push_back(index);
   if (position_index_enabled_) {
     uint32_t pos = 0;
-    for (Term t : atom.args)
-      by_position_[PositionKey(atom.pred, pos++, t)].push_back(index);
-    for (Term t : atom.annotation)
-      by_position_[PositionKey(atom.pred, pos++, t)].push_back(index);
+    for (Term t : atom.args) {
+      PositionKey key(atom.pred, pos++, t);
+      by_position_[PositionShardOf(key)][key].push_back(index);
+    }
+    for (Term t : atom.annotation) {
+      PositionKey key(atom.pred, pos++, t);
+      by_position_[PositionShardOf(key)][key].push_back(index);
+    }
   }
+}
+
+void Database::IndexShardRange(size_t shard, size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    const Atom& a = atom(i);
+    uint32_t index = static_cast<uint32_t>(i);
+    if (RelationShardOf(a.pred) == shard) {
+      by_relation_[shard][a.pred].push_back(index);
+    }
+    if (position_index_enabled_) {
+      uint32_t pos = 0;
+      for (Term t : a.args) {
+        PositionKey key(a.pred, pos++, t);
+        if (PositionShardOf(key) == shard) {
+          by_position_[shard][key].push_back(index);
+        }
+      }
+      for (Term t : a.annotation) {
+        PositionKey key(a.pred, pos++, t);
+        if (PositionShardOf(key) == shard) {
+          by_position_[shard][key].push_back(index);
+        }
+      }
+    }
+  }
+}
+
+bool Database::Insert(const Atom& atom) {
+  if (!InsertDeferIndex(atom)) return false;
+  IndexNewAtoms(nullptr);
   return true;
 }
 
+bool Database::InsertDeferIndex(const Atom& atom) {
+  GEREL_CHECK(atom.IsDatabaseAtom());
+  if (!set_shards_[SetShardOf(atom)].set.insert(atom).second) return false;
+  Append(atom, /*allow_grow=*/true);
+  return true;
+}
+
+void Database::IndexNewAtoms(WorkerPool* pool) {
+  size_t end = size();
+  if (indexed_upto_ >= end) return;
+  size_t begin = indexed_upto_;
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      end - begin >= kParallelIndexThreshold) {
+    // Shard ownership makes the parallel build deterministic: each shard
+    // is written by exactly one lane, scanning atoms in index order, so
+    // every postings list ends up byte-identical to a sequential build.
+    pool->Run(kIndexShards,
+              [&](size_t shard) { IndexShardRange(shard, begin, end); });
+  } else {
+    for (size_t i = begin; i < end; ++i) {
+      IndexAtom(atom(i), static_cast<uint32_t>(i));
+    }
+  }
+  indexed_upto_ = end;
+}
+
 bool Database::Contains(const Atom& atom) const {
-  return set_.count(atom) > 0;
+  return set_shards_[SetShardOf(atom)].set.count(atom) > 0;
+}
+
+void Database::ReserveConcurrent(size_t max_atoms) {
+  size_t slots = (max_atoms + kSegmentSize - 1) >> kSegmentBits;
+  if (slots > segments_.size()) segments_.resize(slots);
+}
+
+bool Database::InsertConcurrent(const Atom& atom) {
+  GEREL_CHECK(atom.IsDatabaseAtom());
+  SetShard& shard = set_shards_[SetShardOf(atom)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.set.insert(atom).second) return false;
+  }
+  std::lock_guard<std::mutex> lock(append_mu_);
+  uint32_t index = Append(atom, /*allow_grow=*/false);
+  IndexAtom(atom, index);
+  indexed_upto_ = index + 1;
+  return true;
+}
+
+bool Database::ContainsConcurrent(const Atom& atom) const {
+  const SetShard& shard = set_shards_[SetShardOf(atom)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.set.count(atom) > 0;
+}
+
+std::vector<uint32_t> Database::CopyAtomsOf(RelationId pred) const {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  auto& shard = by_relation_[RelationShardOf(pred)];
+  auto it = shard.find(pred);
+  return it == shard.end() ? std::vector<uint32_t>() : it->second;
+}
+
+std::vector<Atom> Database::AtomsVector() const {
+  std::vector<Atom> out;
+  size_t n = size();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(atom(i));
+  return out;
 }
 
 const std::vector<uint32_t>& Database::AtomsOf(RelationId pred) const {
-  auto it = by_relation_.find(pred);
-  return it == by_relation_.end() ? kEmptyPostings : it->second;
+  GEREL_CHECK(indexed_upto_ == size());  // IndexNewAtoms owed first.
+  const auto& shard = by_relation_[RelationShardOf(pred)];
+  auto it = shard.find(pred);
+  return it == shard.end() ? kEmptyPostings : it->second;
 }
 
 const std::vector<uint32_t>& Database::AtomsAt(RelationId pred, uint32_t pos,
                                                Term term) const {
   GEREL_CHECK(position_index_enabled_);
-  auto it = by_position_.find(PositionKey(pred, pos, term));
-  return it == by_position_.end() ? kEmptyPostings : it->second;
+  GEREL_CHECK(indexed_upto_ == size());  // IndexNewAtoms owed first.
+  PositionKey key(pred, pos, term);
+  const auto& shard = by_position_[PositionShardOf(key)];
+  auto it = shard.find(key);
+  return it == shard.end() ? kEmptyPostings : it->second;
 }
 
 void Database::set_position_index_enabled(bool enabled) {
-  GEREL_CHECK(atoms_.empty());  // Must be configured before inserts.
+  GEREL_CHECK(empty());  // Must be configured before inserts.
   position_index_enabled_ = enabled;
 }
 
 std::vector<Term> Database::ActiveTerms(RelationId except) const {
   std::vector<Term> out;
   std::unordered_set<uint32_t> seen;
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : atoms()) {
     if (a.pred == except) continue;
     for (Term t : a.AllTerms()) {
       if (seen.insert(t.bits()).second) out.push_back(t);
@@ -68,7 +231,7 @@ std::vector<Term> Database::ActiveTerms() const {
 std::vector<Term> Database::ActiveConstants() const {
   std::vector<Term> out;
   std::unordered_set<uint32_t> seen;
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : atoms()) {
     for (Term t : a.AllTerms()) {
       if (t.IsConstant() && seen.insert(t.bits()).second) out.push_back(t);
     }
@@ -78,7 +241,7 @@ std::vector<Term> Database::ActiveConstants() const {
 
 Database Database::Restrict(const std::vector<RelationId>& preds) const {
   Database out;
-  for (const Atom& a : atoms_) {
+  for (const Atom& a : atoms()) {
     if (std::find(preds.begin(), preds.end(), a.pred) != preds.end())
       out.Insert(a);
   }
@@ -87,7 +250,7 @@ Database Database::Restrict(const std::vector<RelationId>& preds) const {
 
 bool operator==(const Database& a, const Database& b) {
   if (a.size() != b.size()) return false;
-  for (const Atom& atom : a.atoms_) {
+  for (const Atom& atom : a.atoms()) {
     if (!b.Contains(atom)) return false;
   }
   return true;

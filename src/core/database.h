@@ -1,10 +1,30 @@
 // Databases: sets of atoms over constants and labeled nulls (paper §2),
 // with per-relation and per-(relation, position, term) indexes used by the
 // homomorphism matcher, the chase, and the Datalog engine.
+//
+// Storage layout (concurrent fact store): atoms live in fixed-size
+// segments behind a slot directory, so a published atom never moves and
+// readers need no lock. The dedup set and both postings indexes are
+// sharded; shards let (a) the deterministic parallel index build of the
+// piece-parallel chase assign each shard to one worker, and (b) the
+// finely-locked concurrent append path stripe its dedup locking.
+//
+// Threading contract — a Database is in exactly one mode at a time:
+//  * Owner mode (default): all mutation through one thread via Insert /
+//    InsertDeferIndex; no locks are taken. Concurrent *readers* are safe
+//    while the owner is idle (the chase's enumeration phase).
+//  * Concurrent mode: after ReserveConcurrent, any number of threads may
+//    call InsertConcurrent / ContainsConcurrent / CopyAtomsOf while
+//    others read SnapshotSize() and atom(i) for i < SnapshotSize().
 #ifndef GEREL_CORE_DATABASE_H_
 #define GEREL_CORE_DATABASE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <iterator>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -16,6 +36,7 @@
 namespace gerel {
 
 class Theory;
+class WorkerPool;
 
 // An append-only set of database atoms (ground over constants/nulls).
 // Atom identities are dense indices [0, size()); insertion order is
@@ -23,20 +44,100 @@ class Theory;
 class Database {
  public:
   Database() = default;
+  Database(const Database& other) { CopyFrom(other); }
+  Database& operator=(const Database& other);
+  Database(Database&& other) noexcept { MoveFrom(&other); }
+  Database& operator=(Database&& other) noexcept;
 
   // Inserts `atom`; returns true if it was new. CHECK-fails on atoms
-  // containing variables.
+  // containing variables. Owner mode only.
   bool Insert(const Atom& atom);
+  // Like Insert, but postings-index maintenance is deferred; call
+  // IndexNewAtoms before the next AtomsOf/AtomsAt. Lets the chase merge
+  // append a whole round cheaply and build the postings in parallel.
+  bool InsertDeferIndex(const Atom& atom);
+  // Builds postings for all atoms inserted since the last build. With a
+  // pool of >1 lanes the shards are built in parallel; the result is
+  // identical to the sequential build (each shard's postings are
+  // appended in atom-index order by a single lane).
+  void IndexNewAtoms(WorkerPool* pool = nullptr);
+
   bool Contains(const Atom& atom) const;
 
-  size_t size() const { return atoms_.size(); }
-  bool empty() const { return atoms_.empty(); }
-  const Atom& atom(size_t i) const { return atoms_[i]; }
+  // ---- Concurrent mode ----
+  // Pre-sizes the segment directory for up to `max_atoms` atoms so the
+  // directory never reallocates under concurrent appenders. Owner mode
+  // call; must precede the first InsertConcurrent.
+  void ReserveConcurrent(size_t max_atoms);
+  // Thread-safe insert (striped dedup lock + append lock). Returns true
+  // if the atom was new. CHECK-fails if ReserveConcurrent capacity is
+  // exceeded. Postings are maintained under the append lock; concurrent
+  // readers must use CopyAtomsOf, not AtomsOf.
+  bool InsertConcurrent(const Atom& atom);
+  bool ContainsConcurrent(const Atom& atom) const;
+  // Number of atoms published to concurrent readers: every i <
+  // SnapshotSize() is safe to pass to atom(i) from any thread.
+  size_t SnapshotSize() const { return size_.load(std::memory_order_acquire); }
+  // Locked copy of AtomsOf for readers racing InsertConcurrent.
+  std::vector<uint32_t> CopyAtomsOf(RelationId pred) const;
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
+  const Atom& atom(size_t i) const {
+    return (*segments_[i >> kSegmentBits])[i & kSegmentMask];
+  }
+
+  // A lightweight view over the atoms in insertion order (the segmented
+  // store has no single contiguous vector to expose).
+  class AtomIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Atom;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Atom*;
+    using reference = const Atom&;
+
+    AtomIterator(const Database* db, size_t i) : db_(db), i_(i) {}
+    reference operator*() const { return db_->atom(i_); }
+    pointer operator->() const { return &db_->atom(i_); }
+    AtomIterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    AtomIterator operator++(int) {
+      AtomIterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    friend bool operator==(const AtomIterator& a, const AtomIterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const AtomIterator& a, const AtomIterator& b) {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    const Database* db_;
+    size_t i_;
+  };
+  class AtomRange {
+   public:
+    AtomRange(const Database* db, size_t n) : db_(db), n_(n) {}
+    AtomIterator begin() const { return AtomIterator(db_, 0); }
+    AtomIterator end() const { return AtomIterator(db_, n_); }
+    size_t size() const { return n_; }
+
+   private:
+    const Database* db_;
+    size_t n_;
+  };
   // Lvalue-only: iterating the atoms of a *temporary* database would
   // dangle (the classic range-for-over-member pitfall), so it is a
   // compile error.
-  const std::vector<Atom>& atoms() const& { return atoms_; }
-  const std::vector<Atom>& atoms() const&& = delete;
+  AtomRange atoms() const& { return AtomRange(this, size()); }
+  AtomRange atoms() const&& = delete;
+  // Materialized copy, for callers that need a real vector.
+  std::vector<Atom> AtomsVector() const;
 
   // Indices of atoms with the given relation.
   const std::vector<uint32_t>& AtomsOf(RelationId pred) const;
@@ -62,6 +163,14 @@ class Database {
   friend bool operator==(const Database& a, const Database& b);
 
  private:
+  static constexpr size_t kSegmentBits = 9;  // 512 atoms per segment.
+  static constexpr size_t kSegmentSize = size_t{1} << kSegmentBits;
+  static constexpr size_t kSegmentMask = kSegmentSize - 1;
+  static constexpr size_t kSetShards = 16;
+  static constexpr size_t kIndexShards = 8;
+
+  using Segment = std::array<Atom, kSegmentSize>;
+
   // A (relation, position, term) index key. The seed packed all three
   // into 64 bits as (pred << 40) ^ (pos << 32) ^ term.bits(), which let
   // any position >= 256 bleed into the relation bits (a high-arity atom
@@ -83,17 +192,56 @@ class Database {
   struct PositionKeyHash {
     size_t operator()(const PositionKey& k) const {
       uint64_t h = (k.pred_pos + 0x9E3779B97F4A7C15ull) * 0xBF58476D1CE4E5B9ull;
-      h ^= (static_cast<uint64_t>(k.term) + 0x94D049BB133111EBull) * 0xC2B2AE3D27D4EB4Full;
+      h ^= (static_cast<uint64_t>(k.term) + 0x94D049BB133111EBull) *
+           0xC2B2AE3D27D4EB4Full;
       return static_cast<size_t>(h ^ (h >> 31));
     }
   };
 
-  std::vector<Atom> atoms_;
-  std::unordered_set<Atom, AtomHash> set_;
-  std::unordered_map<RelationId, std::vector<uint32_t>> by_relation_;
-  std::unordered_map<PositionKey, std::vector<uint32_t>, PositionKeyHash>
+  struct SetShard {
+    std::unordered_set<Atom, AtomHash> set;
+    mutable std::mutex mu;  // Locked by the Concurrent entry points only.
+  };
+
+  static size_t SetShardOf(const Atom& atom) {
+    return AtomHash()(atom) % kSetShards;
+  }
+  static size_t RelationShardOf(RelationId pred) {
+    return static_cast<size_t>(pred) % kIndexShards;
+  }
+  size_t PositionShardOf(const PositionKey& key) const {
+    return PositionKeyHash()(key) % kIndexShards;
+  }
+
+  void CopyFrom(const Database& other);
+  void MoveFrom(Database* other);
+  // Appends the atom to segment storage (allocating the next segment if
+  // needed) and publishes the new size. Returns the atom's index. With
+  // allow_grow false the segment directory must already have a slot
+  // (ReserveConcurrent), so concurrent readers never race a directory
+  // reallocation.
+  uint32_t Append(const Atom& atom, bool allow_grow);
+  // Appends the postings of one atom to its shards.
+  void IndexAtom(const Atom& atom, uint32_t index);
+  // Builds the postings of shard `shard` for atom indices [begin, end).
+  void IndexShardRange(size_t shard, size_t begin, size_t end);
+
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::atomic<size_t> size_{0};
+  std::array<SetShard, kSetShards> set_shards_;
+  std::array<std::unordered_map<RelationId, std::vector<uint32_t>>,
+             kIndexShards>
+      by_relation_;
+  std::array<
+      std::unordered_map<PositionKey, std::vector<uint32_t>, PositionKeyHash>,
+      kIndexShards>
       by_position_;
+  // Atoms [0, indexed_upto_) have postings; InsertDeferIndex leaves the
+  // tail unindexed until IndexNewAtoms.
+  size_t indexed_upto_ = 0;
   bool position_index_enabled_ = true;
+  // Serializes concurrent appends (segment allocation, postings).
+  mutable std::mutex append_mu_;
 };
 
 // The name of the built-in active-constant-domain relation (paper §2,

@@ -1,4 +1,4 @@
-#include "datalog/parallel.h"
+#include "core/parallel.h"
 
 namespace gerel {
 
@@ -6,7 +6,7 @@ WorkerPool::WorkerPool(size_t num_threads) {
   size_t workers = num_threads > 1 ? num_threads - 1 : 0;
   threads_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -19,18 +19,23 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void WorkerPool::Drain() {
+void WorkerPool::Drain(size_t lane) {
   for (;;) {
     size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= num_tasks_) return;
-    (*fn_)(i);
+    (*fn_)(i, lane);
   }
 }
 
 void WorkerPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
+  RunIndexed(num_tasks, [&fn](size_t task, size_t) { fn(task); });
+}
+
+void WorkerPool::RunIndexed(size_t num_tasks,
+                            const std::function<void(size_t, size_t)>& fn) {
   if (num_tasks == 0) return;
   if (threads_.empty()) {
-    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    for (size_t i = 0; i < num_tasks; ++i) fn(i, 0);
     return;
   }
   {
@@ -42,13 +47,13 @@ void WorkerPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
     ++generation_;
   }
   start_cv_.notify_all();
-  Drain();  // The calling thread is one of the pool's lanes.
+  Drain(0);  // The calling thread is lane 0 of the pool.
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return active_ == 0; });
   fn_ = nullptr;
 }
 
-void WorkerPool::WorkerLoop() {
+void WorkerPool::WorkerLoop(size_t lane) {
   uint64_t seen = 0;
   for (;;) {
     {
@@ -58,7 +63,7 @@ void WorkerPool::WorkerLoop() {
       if (stop_) return;
       seen = generation_;
     }
-    Drain();
+    Drain(lane);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--active_ == 0) done_cv_.notify_all();

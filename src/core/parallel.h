@@ -1,12 +1,13 @@
-// A small persistent worker pool for intra-round rule parallelism.
+// A small persistent worker pool for intra-round parallelism.
 //
-// Semi-naive evaluation has a natural barrier per round: every rule of a
-// stratum matches against the same immutable database snapshot, and the
-// derived atoms only become visible at the round boundary. The pool runs
-// one task per rule; the caller's thread participates, so a pool built
-// for `num_threads` spawns num_threads - 1 workers.
-#ifndef GEREL_DATALOG_PARALLEL_H_
-#define GEREL_DATALOG_PARALLEL_H_
+// Round-based fixpoint engines (semi-naive Datalog, the piece-parallel
+// chase, parallel saturation) share a natural barrier per round: every
+// task matches against the same immutable snapshot, and derived results
+// only become visible at the round boundary. The pool runs one task per
+// unit of work; the caller's thread participates, so a pool built for
+// `num_threads` spawns num_threads - 1 workers.
+#ifndef GEREL_CORE_PARALLEL_H_
+#define GEREL_CORE_PARALLEL_H_
 
 #include <atomic>
 #include <condition_variable>
@@ -33,18 +34,25 @@ class WorkerPool {
   // be safe to invoke concurrently for distinct i. Not reentrant.
   void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
 
+  // Like Run, but fn also receives the executing lane index in
+  // [0, num_threads()); the calling thread is lane 0. Each lane runs at
+  // most one task at a time, so per-lane scratch needs no locking.
+  void RunIndexed(size_t num_tasks,
+                  const std::function<void(size_t, size_t)>& fn);
+
   size_t num_threads() const { return threads_.size() + 1; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t lane);
   // Claims tasks off next_ until the batch is exhausted.
-  void Drain();
+  void Drain(size_t lane);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(size_t)>* fn_ = nullptr;  // Current batch.
+  // Current batch (task index, lane index).
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;
   size_t num_tasks_ = 0;
   std::atomic<size_t> next_{0};
   size_t active_ = 0;        // Workers still draining the current batch.
@@ -54,4 +62,4 @@ class WorkerPool {
 
 }  // namespace gerel
 
-#endif  // GEREL_DATALOG_PARALLEL_H_
+#endif  // GEREL_CORE_PARALLEL_H_

@@ -4,7 +4,7 @@
 
 #include "core/check.h"
 #include "core/join_plan.h"
-#include "datalog/parallel.h"
+#include "core/parallel.h"
 
 namespace gerel {
 

@@ -49,6 +49,8 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
   for (const Rule& r : kb->normal_.rules()) {
     if (!r.EVars().empty()) kb->theory_has_existentials_ = true;
   }
+  double classify_ms = MsSince(start);
+  Clock::time_point transform_start = Clock::now();
   // Step 1: rew(Σ) (Thm 2), unless the theory is already weakly guarded.
   // This stage is both query- and data-independent, so it never reruns.
   if (c.weakly_guarded) {
@@ -73,12 +75,17 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
   kb->edb_ = db;
   Status s = kb->CompileProgram();
   if (!s.ok()) return s;
+  double transform_ms = MsSince(transform_start);
+  Clock::time_point materialize_start = Clock::now();
   s = kb->MaterializeModel();
   if (!s.ok()) return s;
   {
     std::lock_guard<std::mutex> lock(kb->stats_mu_);
     kb->stats_.prepares = 1;
     kb->stats_.prepare_wall_ms = MsSince(start);
+    kb->stats_.prepare_classify_wall_ms = classify_ms;
+    kb->stats_.prepare_transform_wall_ms = transform_ms;
+    kb->stats_.prepare_materialize_wall_ms = MsSince(materialize_start);
     kb->stats_.model_atoms = kb->model_.size();
     kb->stats_.datalog_rules = kb->program_->theory().size();
     kb->stats_.diagnostics = kb->preflight_.diagnostics.size();
@@ -244,15 +251,21 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
     }
   }
   bool rematerialize = recompile || program_->has_negation();
+  double transform_ms = 0.0;
+  double materialize_ms = 0.0;
   if (recompile) {
     // A constant outside the grounded domain: pg(Σ, D) must be re-run
     // over the grown domain before the model can be trusted.
+    Clock::time_point transform_start = Clock::now();
     Status s = CompileProgram();
     if (!s.ok()) return s;
+    transform_ms = MsSince(transform_start);
   }
   if (rematerialize) {
+    Clock::time_point materialize_start = Clock::now();
     Status s = MaterializeModel();
     if (!s.ok()) return s;
+    materialize_ms = MsSince(materialize_start);
     out.delta = false;
   } else {
     // Delta path: seed the semi-naive evaluator with exactly the new
@@ -282,6 +295,8 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
   } else {
     ++stats_.rematerializations;
     if (recompile) ++stats_.prepares;
+    stats_.prepare_transform_wall_ms += transform_ms;
+    stats_.prepare_materialize_wall_ms += materialize_ms;
   }
   stats_.model_atoms = model_.size();
   stats_.datalog_rules = program_->theory().size();

@@ -103,7 +103,7 @@ ServiceSession::Response ServiceSession::Assert(std::string_view text) {
     r.text = std::string("error: ") + facts.status().message() + "\n";
     return r;
   }
-  Result<AssertResult> out = kb_->Assert(facts.value().atoms());
+  Result<AssertResult> out = kb_->Assert(facts.value().AtomsVector());
   if (!out.ok()) {
     r.error = true;
     saw_error_ = true;

@@ -45,6 +45,9 @@ std::string ServiceStats::ToString() const {
   Append(&out, "diagnostics:         %llu\n",
          static_cast<unsigned long long>(diagnostics));
   Append(&out, "prepare wall ms:     %.3f\n", prepare_wall_ms);
+  Append(&out, "  classify ms:       %.3f\n", prepare_classify_wall_ms);
+  Append(&out, "  transform ms:      %.3f\n", prepare_transform_wall_ms);
+  Append(&out, "  materialize ms:    %.3f\n", prepare_materialize_wall_ms);
   Append(&out, "query wall ms:       %.3f\n", query_wall_ms);
   Append(&out, "assert wall ms:      %.3f\n", assert_wall_ms);
   return out;
@@ -77,6 +80,11 @@ std::string ServiceStats::ToJson() const {
   Append(&out, "\"diagnostics\": %llu, ",
          static_cast<unsigned long long>(diagnostics));
   Append(&out, "\"prepare_wall_ms\": %.6f, ", prepare_wall_ms);
+  Append(&out, "\"prepare_classify_wall_ms\": %.6f, ", prepare_classify_wall_ms);
+  Append(&out, "\"prepare_transform_wall_ms\": %.6f, ",
+         prepare_transform_wall_ms);
+  Append(&out, "\"prepare_materialize_wall_ms\": %.6f, ",
+         prepare_materialize_wall_ms);
   Append(&out, "\"query_wall_ms\": %.6f, ", query_wall_ms);
   Append(&out, "\"assert_wall_ms\": %.6f}", assert_wall_ms);
   return out;

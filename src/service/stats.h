@@ -39,6 +39,14 @@ struct ServiceStats {
   double prepare_wall_ms = 0.0;
   double query_wall_ms = 0.0;
   double assert_wall_ms = 0.0;
+  // Prepare-phase breakdown (cumulative across recompiles): classify =
+  // normalize + classification + pre-flight analysis; transform = the §5–§7
+  // pipeline (expansion, grounding, saturation, Datalog compilation);
+  // materialize = model materialization. Makes chase/saturation speedups
+  // (e.g. from num_threads) observable from `gerel serve stats`.
+  double prepare_classify_wall_ms = 0.0;
+  double prepare_transform_wall_ms = 0.0;
+  double prepare_materialize_wall_ms = 0.0;
 
   // Human-readable block, one "name: value" per line.
   std::string ToString() const;

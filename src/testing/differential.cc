@@ -220,6 +220,35 @@ CaseVerdict CheckCase(const GeneratedCase& c, SymbolTable* symbols,
                 DescribeFactDiff(facts_expect, facts_chase));
   }
 
+  // Lane: piece-parallel chase determinism. The chase at 2 and 4 worker
+  // lanes must be byte-identical to the sequential run — same atoms in
+  // the same order, same labeled-null names, same step count. Each run
+  // gets its own copy of the symbol table so fresh-null interning cannot
+  // leak between runs and mask (or fake) a divergence.
+  {
+    SymbolTable seq_syms = *symbols;
+    ChaseOptions seq_opts = chase_opts;
+    seq_opts.num_threads = 1;
+    ChaseResult seq = Chase(c.theory, c.database, &seq_syms, seq_opts);
+    std::string seq_text = ToString(seq.database, seq_syms);
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+      SymbolTable par_syms = *symbols;
+      ChaseOptions par_opts = chase_opts;
+      par_opts.num_threads = threads;
+      ChaseResult par = Chase(c.theory, c.database, &par_syms, par_opts);
+      if (par.saturated != seq.saturated || par.steps != seq.steps ||
+          ToString(par.database, par_syms) != seq_text) {
+        return fail("chase-parallel-determinism",
+                    "chase with num_threads=" + std::to_string(threads) +
+                        " diverged from the sequential run (" +
+                        std::to_string(par.database.size()) + " vs " +
+                        std::to_string(seq.database.size()) + " atoms, " +
+                        std::to_string(par.steps) + " vs " +
+                        std::to_string(seq.steps) + " steps)");
+      }
+    }
+  }
+
   // Lane: oracle vs. chase CQ answers.
   bool sat = false;
   AnswerSet chase_ans =
@@ -232,7 +261,7 @@ CaseVerdict CheckCase(const GeneratedCase& c, SymbolTable* symbols,
   // Metamorphic: fact-order permutation (reverse the database).
   if (sat) {
     Database reversed;
-    const std::vector<Atom>& atoms = c.database.atoms();
+    std::vector<Atom> atoms = c.database.AtomsVector();
     for (auto it = atoms.rbegin(); it != atoms.rend(); ++it) {
       reversed.Insert(*it);
     }
@@ -406,7 +435,7 @@ CaseVerdict CheckCase(const GeneratedCase& c, SymbolTable* symbols,
     // final answers must match the fresh full prepare. Also checks
     // assert-order independence (reversed second half).
     if (have_fresh && c.database.size() >= 2) {
-      const std::vector<Atom>& atoms = c.database.atoms();
+      std::vector<Atom> atoms = c.database.AtomsVector();
       size_t half = atoms.size() / 2;
       Database d1;
       for (size_t i = 0; i < half; ++i) d1.Insert(atoms[i]);

@@ -66,7 +66,7 @@ GeneratedCase ShrinkCase(const GeneratedCase& failing,
     }
 
     // 2. Drop facts, one at a time (databases are small).
-    std::vector<Atom> facts = best.database.atoms();
+    std::vector<Atom> facts = best.database.AtomsVector();
     for (size_t i = 0; i < facts.size();) {
       std::vector<Atom> kept(facts.begin(), facts.begin() + i);
       kept.insert(kept.end(), facts.begin() + i + 1, facts.end());

@@ -38,6 +38,11 @@ struct SaturationOptions {
   bool enable_projection = true;
   bool enable_composition = true;
   bool enable_renaming = true;
+  // Lanes for the rule-pair frontier (including the calling thread); 1
+  // is fully sequential. Any value produces byte-identical closures:
+  // each round derives against an immutable snapshot of the closure and
+  // merges in deterministic frontier order.
+  size_t num_threads = 1;
 };
 
 struct SaturationResult {

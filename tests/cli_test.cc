@@ -2,6 +2,8 @@
 // programs in data/. The binary and data paths come from CMake.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <string>
@@ -253,9 +255,12 @@ std::string WithFile(std::string expected, const std::string& file) {
   return expected;
 }
 
-// Writes a deliberately malformed program and returns its path.
+// Writes a deliberately malformed program and returns its path. The
+// path is per-process: ctest runs these cases as separate parallel
+// processes, and a shared fixed path races (truncate-while-read).
 std::string MalformedFile() {
-  std::string path = "/tmp/gerel_cli_malformed.gerel";
+  std::string path = "/tmp/gerel_cli_malformed_" +
+                     std::to_string(getpid()) + ".gerel";
   FILE* f = fopen(path.c_str(), "w");
   fputs("e(X, Y) -> t(Y.\n", f);
   fclose(f);

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json dumps and fail on regressions.
+
+Every bench binary writes a machine-readable BENCH_<binary>.json next to
+its console table (see bench/bench_util.h). This tool compares a
+committed baseline directory (bench/baseline/) against a directory of
+fresh dumps and exits non-zero if any benchmark regressed by more than
+the threshold (default 15% wall time), implementing the perf trend
+tracking item from ROADMAP.md.
+
+Usage:
+  tools/bench_diff.py BASELINE_DIR CURRENT_DIR [--threshold 0.15]
+                      [--min-ms 0.5]
+
+Matching is by (binary, benchmark name). Benchmarks present only in the
+baseline are reported as missing (a warning, not a failure: binaries and
+cases come and go); benchmarks present only in the current run are new
+and ignored. Runs faster than --min-ms in the baseline are skipped —
+sub-noise-floor timings regress by 15% from scheduler jitter alone.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_dir(path):
+    """Returns {(binary, name): wall_ms} over every BENCH_*.json in path."""
+    out = {}
+    root = pathlib.Path(path)
+    files = sorted(root.glob("BENCH_*.json"))
+    if not files:
+        sys.exit(f"bench_diff: no BENCH_*.json files in {path}")
+    for f in files:
+        try:
+            doc = json.loads(f.read_text())
+        except json.JSONDecodeError as e:
+            sys.exit(f"bench_diff: {f}: {e}")
+        binary = doc.get("binary", f.stem)
+        for run in doc.get("benchmarks", []):
+            out[(binary, run["name"])] = float(run["wall_ms"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="directory of committed BENCH_*.json")
+    ap.add_argument("current", help="directory of freshly produced BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative wall-time regression that fails (0.15 = 15%%)")
+    ap.add_argument("--min-ms", type=float, default=0.5,
+                    help="skip benchmarks whose baseline is below this "
+                         "noise floor in milliseconds")
+    args = ap.parse_args()
+
+    base = load_dir(args.baseline)
+    cur = load_dir(args.current)
+
+    regressions = []
+    improved = 0
+    compared = 0
+    skipped = 0
+    missing = []
+    for key, base_ms in sorted(base.items()):
+        if key not in cur:
+            missing.append(key)
+            continue
+        if base_ms < args.min_ms:
+            skipped += 1
+            continue
+        cur_ms = cur[key]
+        compared += 1
+        rel = (cur_ms - base_ms) / base_ms
+        tag = ""
+        if rel > args.threshold:
+            regressions.append((key, base_ms, cur_ms, rel))
+            tag = "  << REGRESSION"
+        elif rel < -args.threshold:
+            improved += 1
+            tag = "  (improved)"
+        print(f"{key[0]}:{key[1]}: {base_ms:.3f} ms -> {cur_ms:.3f} ms "
+              f"({rel:+.1%}){tag}")
+
+    for key in missing:
+        print(f"warning: {key[0]}:{key[1]} missing from current run")
+    print(f"\nbench_diff: {compared} compared, {improved} improved, "
+          f"{skipped} below noise floor ({args.min_ms} ms), "
+          f"{len(missing)} missing, {len(regressions)} regressed "
+          f"(threshold {args.threshold:.0%})")
+    if regressions:
+        print("\nFAIL: wall-time regressions over threshold:")
+        for (binary, name), base_ms, cur_ms, rel in regressions:
+            print(f"  {binary}:{name}: {base_ms:.3f} ms -> {cur_ms:.3f} ms "
+                  f"({rel:+.1%})")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

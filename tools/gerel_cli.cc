@@ -26,7 +26,8 @@
 //   --max-steps=N --max-atoms=N --max-depth=N
 // Translation/serving options:
 //   --max-rules=N (cap the rewrite/grounding/saturation stages)
-//   --threads=N   (parallel Datalog evaluation in serve)
+//   --threads=N   (worker lanes for the chase, saturation, and Datalog
+//                  evaluation; results are byte-identical for any value)
 //
 // Exit codes: 0 success, 1 error, 2 chase hit a cap before saturating,
 // 3 answers are sound but possibly incomplete (a translation stage hit a
@@ -83,7 +84,9 @@ struct ParsedArgs {
   std::string route = "datalog";
   ChaseOptions chase;
   size_t max_rules = 0;  // 0 = library defaults.
-  size_t threads = 1;    // For serve.
+  // Worker lanes for chase/tree/translate/answer/serve (chase
+  // enumeration, saturation frontier, Datalog evaluation).
+  size_t threads = 1;
 };
 
 bool ParseFlag(const char* arg, const char* name, long* out) {
@@ -271,7 +274,10 @@ int Translate(const ParsedArgs& args) {
     return 0;
   }
   if (args.mode == "g2dat") {
-    auto sat = Saturate(t, &syms);
+    SaturationOptions sopts;
+    if (args.max_rules > 0) sopts.max_rules = args.max_rules;
+    sopts.num_threads = args.threads;
+    auto sat = Saturate(t, &syms, sopts);
     if (!sat.ok()) return Fail(sat.status().message());
     std::fprintf(stderr, "closure %zu, datalog %zu, complete=%d\n",
                  sat.value().closure.size(), sat.value().datalog.size(),
@@ -280,7 +286,10 @@ int Translate(const ParsedArgs& args) {
     return 0;
   }
   if (args.mode == "ng2dat") {
-    auto dat = NearlyGuardedToDatalog(t, &syms);
+    SaturationOptions sopts;
+    if (args.max_rules > 0) sopts.max_rules = args.max_rules;
+    sopts.num_threads = args.threads;
+    auto dat = NearlyGuardedToDatalog(t, &syms, sopts);
     if (!dat.ok()) return Fail(dat.status().message());
     std::fprintf(stderr, "%zu datalog rules, complete=%d\n",
                  dat.value().datalog.size(), dat.value().complete);
@@ -313,6 +322,7 @@ int Answer(const ParsedArgs& args) {
       expansion.max_rules = args.max_rules;
       saturation.max_rules = args.max_rules;
     }
+    saturation.num_threads = args.threads;
     Theory normal = gerel::Normalize(program.value().theory, &syms);
     auto rew = RewriteNfgToNearlyGuarded(normal, &syms, expansion);
     if (!rew.ok()) return Fail(rew.status().message() +
@@ -366,6 +376,7 @@ int Serve(const ParsedArgs& args) {
     options.pipeline.grounding.max_rules = args.max_rules;
   }
   options.datalog.num_threads = args.threads;
+  options.pipeline.saturation.num_threads = args.threads;
   auto kb = PreparedKb::Prepare(program.value().theory,
                                 program.value().database, &syms, options);
   if (!kb.ok()) return Fail(kb.status().message());
@@ -500,7 +511,7 @@ int Usage() {
                "[--log-cases]\n"
                "       gerel dot preds|positions|tree <program>\n"
                "flags: --max-steps=N --max-atoms=N --max-depth=N "
-               "--max-rules=N\n");
+               "--max-rules=N --threads=N\n");
   return 64;
 }
 
@@ -538,6 +549,7 @@ int main(int argc, char** argv) {
       args.max_rules = static_cast<size_t>(value);
     } else if (ParseFlag(argv[i], "--threads", &value)) {
       args.threads = static_cast<size_t>(value);
+      args.chase.num_threads = args.threads;
     } else if (std::strncmp(argv[i], "--route=", 8) == 0) {
       args.route = argv[i] + 8;
     } else {
