@@ -1,0 +1,86 @@
+// Governance overhead: the resource budget (DESIGN.md §9) is polled at
+// every chase round boundary and, amortized, inside tight loops — this
+// bench pins the cost of an armed-but-never-tripping budget against the
+// ungoverned baseline, plus the raw price of the two poll primitives.
+// The governed/ungoverned pair share a workload so BENCH_*.json rows are
+// directly comparable in tools/bench_diff.py.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "core/budget.h"
+
+namespace {
+
+using namespace gerel;         // NOLINT
+using namespace gerel::bench;  // NOLINT
+
+void BM_ChaseUngoverned(benchmark::State& state) {
+  int pubs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SymbolTable syms;
+    Theory t = MustTheory(kRunningExample, &syms);
+    Database db = PublicationDatabase(pubs, &syms);
+    state.ResumeTiming();
+    ChaseResult r = Chase(t, db, &syms);
+    benchmark::DoNotOptimize(r.database.size());
+    state.counters["atoms"] = static_cast<double>(r.database.size());
+  }
+}
+BENCHMARK(BM_ChaseUngoverned)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Same workload under a budget generous enough to never trip: the delta
+// against BM_ChaseUngoverned is the whole governance tax (clock samples
+// at round boundaries, amortized CheckPoint ticks, ExhaustedFast polls
+// in the worker lanes).
+void BM_ChaseGoverned(benchmark::State& state) {
+  int pubs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SymbolTable syms;
+    Theory t = MustTheory(kRunningExample, &syms);
+    Database db = PublicationDatabase(pubs, &syms);
+    BudgetLimits limits;
+    limits.timeout_ms = 3600 * 1000.0;
+    limits.max_atoms = 1ull << 40;
+    ExecutionBudget budget(limits);
+    ChaseOptions opts;
+    opts.budget = &budget;
+    state.ResumeTiming();
+    ChaseResult r = Chase(t, db, &syms, opts);
+    benchmark::DoNotOptimize(r.database.size());
+    state.counters["atoms"] = static_cast<double>(r.database.size());
+  }
+}
+BENCHMARK(BM_ChaseGoverned)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// The poll primitives themselves, per call: ExhaustedFast is two relaxed
+// loads, CheckPoint samples the clock once per 1024 ticks.
+void BM_BudgetExhaustedFast(benchmark::State& state) {
+  BudgetLimits limits;
+  limits.timeout_ms = 3600 * 1000.0;
+  ExecutionBudget budget(limits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(budget.ExhaustedFast());
+  }
+}
+BENCHMARK(BM_BudgetExhaustedFast);
+
+void BM_BudgetCheckPoint(benchmark::State& state) {
+  BudgetLimits limits;
+  limits.timeout_ms = 3600 * 1000.0;
+  ExecutionBudget budget(limits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(budget.CheckPoint(GovernedStage::kChase));
+  }
+}
+BENCHMARK(BM_BudgetCheckPoint);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return gerel::bench::RunBenchmarks(argc, argv, "bench_budget_overhead");
+}

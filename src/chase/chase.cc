@@ -116,7 +116,18 @@ class ChaseEngine {
   ChaseResult Run() {
     size_t delta_begin = 0;
     bool first_round = true;
+    uint64_t round = 0;
     while (true) {
+      ++round;
+      // Round-boundary budget check: deterministic for a given fault
+      // plan / atom ceiling, so forced exhaustion truncates every
+      // thread-count's run at the same round.
+      if (options_.budget != nullptr &&
+          !options_.budget->CheckRound(GovernedStage::kChase, round,
+                                       result_.database.size())) {
+        result_.saturated = false;
+        break;
+      }
       size_t delta_end = result_.database.size();
       BuildUnits(delta_begin, delta_end);
       Enumerate();
@@ -138,6 +149,19 @@ class ChaseEngine {
       }
       // The next round's delta is everything added this round.
       delta_begin = delta_end;
+    }
+    if (!result_.saturated) {
+      if (options_.budget != nullptr && options_.budget->exhausted()) {
+        result_.degradation = options_.budget->reason();
+      } else {
+        // Engine-local caps (max_steps/max_atoms/max_null_depth or a
+        // truncated enumeration unit) stopped the run.
+        result_.degradation.stage = GovernedStage::kChase;
+        result_.degradation.limit = cap_limit_ != BudgetLimit::kNone
+                                        ? cap_limit_
+                                        : BudgetLimit::kSteps;
+        result_.degradation.round = round;
+      }
     }
     return std::move(result_);
   }
@@ -180,12 +204,28 @@ class ChaseEngine {
     size_t cap = options_.max_steps != 0
                      ? options_.max_steps + 1
                      : std::numeric_limits<size_t>::max();
+    ExecutionBudget* budget = options_.budget;
+    const FaultPlan* fault = budget != nullptr ? budget->fault_plan() : nullptr;
     auto run_unit = [&](size_t ui, size_t lane) {
+      // Workers observe the shared cancel/exhaustion flag between units,
+      // so a tripped budget stops all lanes promptly; the deterministic
+      // merge then replays only what was recorded.
+      if (budget != nullptr && budget->ExhaustedFast()) {
+        truncated_units_.store(true, std::memory_order_relaxed);
+        return;
+      }
+      MaybeInjectWorkerDelay(fault, ui);
       const Unit& u = units_[ui];
       const PreparedRule& rule = rules_[u.ri];
       const Database& db = result_.database;
       std::vector<TriggerRec>& out = unit_triggers_[ui];
+      bool stopped = false;
       auto fire = [&](const JoinExecutor& e) {
+        if (budget != nullptr &&
+            !budget->CheckPoint(GovernedStage::kChase)) {
+          stopped = true;
+          return false;
+        }
         TriggerRec rec;
         rec.images.reserve(rule.uvars.size());
         for (Term v : rule.uvars) rec.images.push_back(e.Value(v));
@@ -193,12 +233,13 @@ class ChaseEngine {
         return out.size() < cap;
       };
       RelationId pred = rule.body[u.j].pred;
-      for (size_t ai = u.begin; ai < u.end && out.size() < cap; ++ai) {
+      for (size_t ai = u.begin; ai < u.end && out.size() < cap && !stopped;
+           ++ai) {
         if (db.atom(ai).pred != pred) continue;
         lanes_[lane].ExecuteSeeded(rule.plans[u.j], db, db.atom(ai), fire,
                                    /*db_grows=*/false);
       }
-      if (out.size() >= cap)
+      if (out.size() >= cap || stopped)
         truncated_units_.store(true, std::memory_order_relaxed);
     };
     if (pool_) {
@@ -234,11 +275,20 @@ class ChaseEngine {
     return LimitReached() || truncated_units_.load(std::memory_order_relaxed);
   }
 
-  bool LimitReached() const {
-    if (options_.max_steps != 0 && result_.steps >= options_.max_steps)
+  bool LimitReached() {
+    if (options_.max_steps != 0 && result_.steps >= options_.max_steps) {
+      cap_limit_ = BudgetLimit::kSteps;
       return true;
+    }
     if (options_.max_atoms != 0 &&
-        result_.database.size() >= options_.max_atoms)
+        result_.database.size() >= options_.max_atoms) {
+      cap_limit_ = BudgetLimit::kAtoms;
+      return true;
+    }
+    // Amortized deadline/cancel check while the single-threaded merge
+    // replays a (possibly huge) trigger stream.
+    if (options_.budget != nullptr &&
+        !options_.budget->CheckPoint(GovernedStage::kChase))
       return true;
     return false;
   }
@@ -325,6 +375,9 @@ class ChaseEngine {
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
   std::unordered_map<uint32_t, uint32_t> null_depth_;
   bool skipped_depth_limited_ = false;
+  // Which engine-local cap (steps/atoms) tripped, for the degradation
+  // record; kNone when only the budget or a truncated unit stopped us.
+  BudgetLimit cap_limit_ = BudgetLimit::kNone;
   std::atomic<bool> truncated_units_{false};
 };
 

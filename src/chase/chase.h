@@ -18,6 +18,7 @@
 #include <set>
 #include <vector>
 
+#include "core/budget.h"
 #include "core/database.h"
 #include "core/symbol_table.h"
 #include "core/theory.h"
@@ -57,6 +58,11 @@ struct ChaseOptions {
   // immutable round snapshot and merged in a deterministic order, so
   // labeled-null naming and the derivation never depend on thread count.
   size_t num_threads = 1;
+  // Optional execution budget (wall-clock deadline, atom ceiling,
+  // cooperative cancellation, fault injection). Checked at round
+  // boundaries and, amortized, inside trigger enumeration; not owned.
+  // Exhaustion stops the run cleanly with ChaseResult::degradation set.
+  ExecutionBudget* budget = nullptr;
 };
 
 // Provenance of one derived atom: which rule fired and the image of its
@@ -77,6 +83,10 @@ struct ChaseResult {
   size_t steps = 0;
   // Newly derived atoms in derivation order (input atoms excluded).
   std::vector<ChaseStep> derivation;
+  // Why the run stopped short of a fixpoint (limit kNone when
+  // saturated). The bounded database is still sound: every atom in it is
+  // a certain consequence of the input.
+  DegradationReason degradation;
 };
 
 // Runs the oblivious chase of `input` w.r.t. `theory` (which must be

@@ -1,0 +1,192 @@
+#include "core/fault.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace gerel {
+namespace {
+
+struct StageName {
+  GovernedStage stage;
+  const char* name;
+};
+
+constexpr StageName kStageNames[] = {
+    {GovernedStage::kNone, "none"},
+    {GovernedStage::kChase, "chase"},
+    {GovernedStage::kRewrite, "rewrite"},
+    {GovernedStage::kGrounding, "grounding"},
+    {GovernedStage::kSaturation, "saturation"},
+    {GovernedStage::kDatalog, "datalog"},
+    {GovernedStage::kQuery, "query"},
+    {GovernedStage::kSnapshot, "snapshot"},
+};
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const char* GovernedStageName(GovernedStage stage) {
+  for (const auto& entry : kStageNames) {
+    if (entry.stage == stage) return entry.name;
+  }
+  return "unknown";
+}
+
+bool ParseGovernedStage(std::string_view name, GovernedStage* out) {
+  for (const auto& entry : kStageNames) {
+    if (name == entry.name) {
+      *out = entry.stage;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  while (!spec.empty()) {
+    size_t comma = spec.find(',');
+    std::string_view item = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view()
+                                           : spec.substr(comma + 1);
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Error("fault plan item '" + std::string(item) +
+                           "' is not key=value");
+    }
+    std::string_view key = item.substr(0, eq);
+    std::string_view value = item.substr(eq + 1);
+    uint64_t number = 0;
+    if (key == "exhaust") {
+      // stage@round, e.g. exhaust=chase@3.
+      size_t at = value.find('@');
+      std::string_view stage_name = value.substr(0, at);
+      if (!ParseGovernedStage(stage_name, &plan.exhaust_stage)) {
+        return Status::Error("fault plan: unknown stage '" +
+                             std::string(stage_name) + "'");
+      }
+      if (at == std::string_view::npos) {
+        plan.exhaust_round = 1;
+      } else if (!ParseU64(value.substr(at + 1), &plan.exhaust_round) ||
+                 plan.exhaust_round == 0) {
+        return Status::Error("fault plan: bad round in '" + std::string(item) +
+                             "'");
+      }
+    } else if (key == "delay-us") {
+      if (!ParseU64(value, &number)) {
+        return Status::Error("fault plan: bad delay-us value");
+      }
+      plan.worker_delay_us = static_cast<uint32_t>(number);
+      if (plan.worker_delay_every == 0) plan.worker_delay_every = 1;
+    } else if (key == "delay-every") {
+      if (!ParseU64(value, &number) || number == 0) {
+        return Status::Error("fault plan: bad delay-every value");
+      }
+      plan.worker_delay_every = static_cast<uint32_t>(number);
+    } else if (key == "snap-truncate") {
+      if (!ParseU64(value, &number)) {
+        return Status::Error("fault plan: bad snap-truncate value");
+      }
+      plan.snapshot_truncate_at = static_cast<int64_t>(number);
+    } else if (key == "snap-flip") {
+      if (!ParseU64(value, &number)) {
+        return Status::Error("fault plan: bad snap-flip value");
+      }
+      plan.snapshot_flip_byte = static_cast<int64_t>(number);
+    } else {
+      return Status::Error("fault plan: unknown key '" + std::string(key) +
+                           "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  auto append = [&out](const std::string& item) {
+    if (!out.empty()) out += ',';
+    out += item;
+  };
+  if (exhaust_round != 0) {
+    append(std::string("exhaust=") + GovernedStageName(exhaust_stage) + "@" +
+           std::to_string(exhaust_round));
+  }
+  if (worker_delay_every != 0) {
+    append("delay-us=" + std::to_string(worker_delay_us));
+    append("delay-every=" + std::to_string(worker_delay_every));
+  }
+  if (snapshot_truncate_at >= 0) {
+    append("snap-truncate=" + std::to_string(snapshot_truncate_at));
+  }
+  if (snapshot_flip_byte >= 0) {
+    append("snap-flip=" + std::to_string(snapshot_flip_byte));
+  }
+  return out;
+}
+
+namespace {
+
+const FaultPlan* EnvFaultPlan() {
+  static const FaultPlan* plan = []() -> const FaultPlan* {
+    const char* spec = std::getenv("GEREL_FAULT");
+    if (spec == nullptr || spec[0] == '\0') return nullptr;
+    Result<FaultPlan> parsed = FaultPlan::Parse(spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "gerel: ignoring GEREL_FAULT: %s\n",
+                   parsed.status().message().c_str());
+      return nullptr;
+    }
+    static FaultPlan storage;
+    storage = parsed.value();
+    return &storage;
+  }();
+  return plan;
+}
+
+std::atomic<const FaultPlan*> g_test_override{nullptr};
+std::atomic<bool> g_test_override_set{false};
+
+}  // namespace
+
+const FaultPlan* GlobalFaultPlan() {
+  if (g_test_override_set.load(std::memory_order_acquire)) {
+    return g_test_override.load(std::memory_order_acquire);
+  }
+  return EnvFaultPlan();
+}
+
+void SetFaultPlanForTest(const FaultPlan* plan) {
+  if (plan == nullptr) {
+    g_test_override_set.store(false, std::memory_order_release);
+    g_test_override.store(nullptr, std::memory_order_release);
+  } else {
+    g_test_override.store(plan, std::memory_order_release);
+    g_test_override_set.store(true, std::memory_order_release);
+  }
+}
+
+void MaybeInjectWorkerDelay(const FaultPlan* plan, uint64_t unit) {
+  if (plan == nullptr || plan->worker_delay_every == 0) return;
+  if (unit % plan->worker_delay_every != 0) return;
+  if (plan->worker_delay_us == 0) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(plan->worker_delay_us));
+}
+
+}  // namespace gerel

@@ -64,6 +64,11 @@ class SymbolTable {
   // Interns a named null appearing in an input database file.
   Term NamedNull(std::string_view name);
   uint32_t NumNulls() const { return next_null_; }
+  // Raises the null counter to at least `n`, so nulls with ids < n loaded
+  // from a persisted snapshot never collide with future FreshNull calls.
+  void RestoreNullCounter(uint32_t n) {
+    if (n > next_null_) next_null_ = n;
+  }
 
   // Human-readable rendering of any ground or non-ground term.
   std::string TermName(Term t) const;

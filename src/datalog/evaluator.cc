@@ -20,6 +20,8 @@ Result<DatalogResult> EvaluateDatalog(const Theory& theory,
   if (!pass.ok()) return pass.status();
   result.rounds = pass.value().rounds;
   result.derived_atoms = pass.value().derived_atoms;
+  result.complete = pass.value().complete;
+  result.degradation = pass.value().degradation;
   result.rule_stats = program.value().rule_stats();
   return result;
 }

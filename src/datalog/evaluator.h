@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "core/budget.h"
 #include "core/database.h"
 #include "core/status.h"
 #include "core/symbol_table.h"
@@ -33,6 +34,12 @@ struct DatalogOptions {
   // lane count; the round count may differ from the sequential engine's,
   // because buffered derivations only become visible next round.
   size_t num_threads = 1;
+  // Optional execution budget; checked at round boundaries and,
+  // amortized, inside rule evaluation. Not owned. Exhaustion stops the
+  // pass cleanly with complete = false: the partial fixpoint is sound
+  // (every derived atom is a consequence; negated literals read only
+  // fully-computed lower strata).
+  ExecutionBudget* budget = nullptr;
 };
 
 // Per-rule evaluation counters, indexed like Theory::rules().
@@ -46,6 +53,9 @@ struct DatalogResult {
   size_t rounds = 0;
   size_t derived_atoms = 0;
   std::vector<RuleStats> rule_stats;
+  // False when a budget stopped evaluation before the fixpoint.
+  bool complete = true;
+  DegradationReason degradation;
 };
 
 // Evaluates `theory` (all rules Datalog, i.e. no existential variables;

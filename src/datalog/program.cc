@@ -38,11 +38,19 @@ class RuleEvaluator {
   // heads are emitted for the caller to merge at the round barrier.
   // Returns the number of new atoms inserted (0 in buffered mode).
   size_t Evaluate(Database* db, size_t delta_begin, size_t delta_end,
-                  bool restrict_to_delta, std::vector<Atom>* buffer) {
+                  bool restrict_to_delta, std::vector<Atom>* buffer,
+                  ExecutionBudget* budget = nullptr) {
     size_t added = 0;
     const bool db_grows = buffer == nullptr;
     const CompiledRule* firing = nullptr;
     auto fire = [&](const JoinExecutor& e) {
+      // Amortized deadline/cancel check inside (possibly huge) joins.
+      // Stopping mid-rule is sound: everything inserted so far is a
+      // certain consequence.
+      if (budget != nullptr &&
+          !budget->CheckPoint(GovernedStage::kDatalog)) {
+        return false;
+      }
       ++stats_.matches;
       for (const CompiledAtom& neg : firing->negatives) {
         Atom ground = e.Apply(neg);
@@ -155,12 +163,22 @@ Result<EvalPassStats> DatalogProgram::Rep::RunPass(Database* db,
   EvalPassStats pass;
   size_t initial = db->size();
   size_t num_threads = std::max<size_t>(1, options.num_threads);
-  for (size_t si = 0; si < strat.strata.size(); ++si) {
+  ExecutionBudget* budget = options.budget;
+  const FaultPlan* fault = budget != nullptr ? budget->fault_plan() : nullptr;
+  for (size_t si = 0; si < strat.strata.size() && pass.complete; ++si) {
     const std::vector<uint32_t>& stratum = strat.strata[si];
     std::vector<RuleEvaluator>& evaluators = strata[si];
     size_t win_begin = incremental ? delta_begin : 0;
     bool first_round = true;
     while (true) {
+      // Round-boundary budget check (pass-global round index, so a
+      // fault plan's "exhaust at round r" is stratum-independent).
+      if (budget != nullptr &&
+          !budget->CheckRound(GovernedStage::kDatalog, pass.rounds + 1,
+                              db->size())) {
+        pass.complete = false;
+        break;
+      }
       size_t delta_end = db->size();
       size_t added = 0;
       bool restrict =
@@ -172,7 +190,7 @@ Result<EvalPassStats> DatalogProgram::Rep::RunPass(Database* db,
       if (num_threads == 1) {
         for (RuleEvaluator& ev : evaluators) {
           added += ev.Evaluate(db, begin, delta_end, restrict,
-                               /*buffer=*/nullptr);
+                               /*buffer=*/nullptr, budget);
         }
       } else {
         // Parallel round: the database is immutable while the rules
@@ -181,12 +199,23 @@ Result<EvalPassStats> DatalogProgram::Rep::RunPass(Database* db,
         // Insert calls, so the resulting database is independent of
         // thread scheduling.
         buffers.resize(evaluators.size());
+        std::vector<char> unit_done(evaluators.size(), 0);
         pool->Run(evaluators.size(), [&](size_t k) {
           buffers[k].clear();
+          // Workers observe the shared exhaustion flag between units;
+          // a skipped unit leaves unit_done unset so the merge applies
+          // only completed units.
+          if (budget != nullptr && budget->ExhaustedFast()) return;
+          MaybeInjectWorkerDelay(fault, k);
           evaluators[k].Evaluate(db, begin, delta_end, restrict,
-                                 &buffers[k]);
+                                 &buffers[k], budget);
+          unit_done[k] = 1;
         });
         for (size_t k = 0; k < evaluators.size(); ++k) {
+          if (!unit_done[k]) {
+            pass.complete = false;
+            continue;
+          }
           for (Atom& atom : buffers[k]) {
             if (db->Insert(std::move(atom))) {
               ++added;
@@ -197,7 +226,8 @@ Result<EvalPassStats> DatalogProgram::Rep::RunPass(Database* db,
       }
       ++pass.rounds;
       first_round = false;
-      if (added == 0) break;
+      if (budget != nullptr && budget->exhausted()) pass.complete = false;
+      if (!pass.complete || added == 0) break;
       win_begin = delta_end;
       if (options.max_rounds != 0 && pass.rounds >= options.max_rounds) {
         return Status::Error("max_rounds exceeded");
@@ -209,6 +239,9 @@ Result<EvalPassStats> DatalogProgram::Rep::RunPass(Database* db,
       out.matches += taken.matches;
       if (num_threads == 1) out.derived += taken.derived;
     }
+  }
+  if (!pass.complete && budget != nullptr) {
+    pass.degradation = budget->reason();
   }
   pass.derived_atoms = db->size() - initial;
   return pass;

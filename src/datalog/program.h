@@ -29,6 +29,10 @@ struct EvalPassStats {
   // Atoms appended to the database by this pass (beyond any atoms the
   // caller inserted before invoking it).
   size_t derived_atoms = 0;
+  // False when the pass stopped short of the fixpoint because the
+  // options' budget was exhausted. The partial database is sound.
+  bool complete = true;
+  DegradationReason degradation;
 };
 
 class DatalogProgram {

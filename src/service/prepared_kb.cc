@@ -34,6 +34,8 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
     const PreparedKbOptions& options) {
   Clock::time_point start = Clock::now();
   std::unique_ptr<PreparedKb> kb(new PreparedKb(symbols, options));
+  kb->budget_ = std::make_unique<ExecutionBudget>();
+  kb->budget_->Arm(options.budget, GlobalFaultPlan());
   kb->normal_ = Normalize(theory, symbols);
   Classification c = Classify(kb->normal_);
   if (!c.weakly_frontier_guarded) {
@@ -56,10 +58,13 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
   if (c.weakly_guarded) {
     kb->weakly_guarded_ = kb->normal_;
   } else {
-    Result<WfgRewriteResult> rew = RewriteWfgToWeaklyGuarded(
-        kb->normal_, symbols, options.pipeline.expansion);
+    ExpansionOptions exp = options.pipeline.expansion;
+    exp.budget = kb->budget_.get();
+    Result<WfgRewriteResult> rew =
+        RewriteWfgToWeaklyGuarded(kb->normal_, symbols, exp);
     if (!rew.ok()) return rew.status();
     kb->rewrite_complete_ = rew.value().complete;
+    kb->rewrite_degradation_ = rew.value().degradation;
     kb->weakly_guarded_ = std::move(rew.value().theory);
   }
   Classification wc = Classify(kb->weakly_guarded_);
@@ -89,6 +94,11 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
     kb->stats_.model_atoms = kb->model_.size();
     kb->stats_.datalog_rules = kb->program_->theory().size();
     kb->stats_.diagnostics = kb->preflight_.diagnostics.size();
+    DegradationReason reason = kb->DegradationLocked();
+    if (reason.degraded()) {
+      kb->stats_.degraded_prepares = 1;
+      kb->stats_.last_degradation = reason;
+    }
   }
   return kb;
 }
@@ -96,6 +106,9 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
 Status PreparedKb::CompileProgram() {
   Theory program_rules;
   bool complete = true;
+  DegradationReason degradation;
+  SaturationOptions sat_opts = options_.pipeline.saturation;
+  sat_opts.budget = budget_.get();
   switch (mode_) {
     case Mode::kDatalog:
       // The theory is its own Datalog translation; its least model over
@@ -107,9 +120,10 @@ Status PreparedKb::CompileProgram() {
       // consequences as Σ over *every* database, so the translation
       // survives any sequence of asserts.
       Result<SaturationResult> sat =
-          Saturate(weakly_guarded_, symbols_, options_.pipeline.saturation);
+          Saturate(weakly_guarded_, symbols_, sat_opts);
       if (!sat.ok()) return sat.status();
       complete = sat.value().complete;
+      degradation = sat.value().degradation;
       program_rules = std::move(sat.value().datalog);
       break;
     }
@@ -117,14 +131,18 @@ Status PreparedKb::CompileProgram() {
       // Steps 2–3: pg(Σ, D) then dat(·) (§7). The grounding depends on
       // the constant domain of the EDB; Assert re-runs this stage when a
       // genuinely new constant arrives.
-      Result<GroundingResult> pg = PartialGrounding(
-          weakly_guarded_, edb_, options_.pipeline.grounding);
+      GroundingOptions pg_opts = options_.pipeline.grounding;
+      pg_opts.budget = budget_.get();
+      Result<GroundingResult> pg =
+          PartialGrounding(weakly_guarded_, edb_, pg_opts);
       if (!pg.ok()) return pg.status();
       complete = pg.value().complete;
-      Result<SaturationResult> sat = Saturate(
-          pg.value().theory, symbols_, options_.pipeline.saturation);
+      degradation = pg.value().degradation;
+      Result<SaturationResult> sat =
+          Saturate(pg.value().theory, symbols_, sat_opts);
       if (!sat.ok()) return sat.status();
       complete = complete && sat.value().complete;
+      if (!degradation.degraded()) degradation = sat.value().degradation;
       program_rules = std::move(sat.value().datalog);
       grounded_constants_.clear();
       for (Term t : edb_.ActiveConstants()) {
@@ -136,11 +154,16 @@ Status PreparedKb::CompileProgram() {
       break;
     }
   }
-  Result<DatalogProgram> program = DatalogProgram::Compile(
-      std::move(program_rules), symbols_, options_.datalog);
+  // The compiled program evaluates under the shared prepare/assert
+  // budget (budget_ outlives program_).
+  DatalogOptions dopts = options_.datalog;
+  dopts.budget = budget_.get();
+  Result<DatalogProgram> program =
+      DatalogProgram::Compile(std::move(program_rules), symbols_, dopts);
   if (!program.ok()) return program.status();
   program_ = std::make_unique<DatalogProgram>(std::move(program).value());
   compile_complete_ = complete;
+  compile_degradation_ = degradation;
   return Status::Ok();
 }
 
@@ -148,6 +171,8 @@ Status PreparedKb::MaterializeModel() {
   model_ = edb_;
   Result<EvalPassStats> pass = program_->Materialize(&model_);
   if (!pass.ok()) return pass.status();
+  materialize_complete_ = pass.value().complete;
+  materialize_degradation_ = pass.value().degradation;
   return Status::Ok();
 }
 
@@ -162,6 +187,13 @@ bool PreparedKb::QueryCannotHaveNullWitnesses(const Rule& cq) const {
 }
 
 Result<PreparedQueryResult> PreparedKb::Query(const Rule& cq) const {
+  if (options_.budget.unlimited()) return Query(cq, nullptr);
+  ExecutionBudget budget(options_.budget, GlobalFaultPlan());
+  return Query(cq, &budget);
+}
+
+Result<PreparedQueryResult> PreparedKb::Query(const Rule& cq,
+                                              ExecutionBudget* budget) const {
   if (cq.head.size() != 1) {
     return Status::Error("conjunctive query must have a single head atom");
   }
@@ -196,33 +228,68 @@ Result<PreparedQueryResult> PreparedKb::Query(const Rule& cq) const {
     result.answers = std::move(entry.answers);
     result.complete = entry.complete;
     result.cache_hit = true;
+    if (!result.complete) result.degradation = DegradationLocked();
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.queries;
     ++stats_.cache_hits;
+    if (!result.complete) ++stats_.degraded_queries;
     stats_.query_wall_ms += MsSince(start);
     return result;
   }
   // The model contains every certain ground atom, so matching the body
   // join against it yields only certain answers; tuples touching labeled
   // nulls of the input database are filtered like the one-shot pipeline.
-  JoinPlan plan(positives);
-  CompiledAtom head = plan.Compile(cq.head[0]);
-  JoinExecutor exec;
-  exec.Reset(plan);
-  exec.Execute(
-      plan, model_,
-      [&](const JoinExecutor& e) {
-        Atom a = e.Apply(head);
-        if (a.IsGroundOverConstants()) result.answers.insert(a.args);
-        return true;
-      },
-      /*db_grows=*/false);
+  bool truncated = false;
+  // Deterministic fault/budget hook before the join starts.
+  if (budget != nullptr &&
+      !budget->CheckRound(GovernedStage::kQuery, 1, model_.size())) {
+    truncated = true;
+  }
+  if (!truncated) {
+    JoinPlan plan(positives);
+    CompiledAtom head = plan.Compile(cq.head[0]);
+    JoinExecutor exec;
+    exec.Reset(plan);
+    exec.Execute(
+        plan, model_,
+        [&](const JoinExecutor& e) {
+          if (budget != nullptr &&
+              !budget->CheckPoint(GovernedStage::kQuery)) {
+            truncated = true;
+            return false;
+          }
+          Atom a = e.Apply(head);
+          if (a.IsGroundOverConstants()) result.answers.insert(a.args);
+          return true;
+        },
+        /*db_grows=*/false);
+  }
   result.complete = rewrite_complete_ && compile_complete_ &&
+                    materialize_complete_ && !truncated &&
                     QueryCannotHaveNullWitnesses(cq);
-  cache_.Insert(key, {result.answers, result.complete});
+  if (truncated) {
+    result.degradation = budget->reason();
+    if (!result.degradation.degraded()) {
+      result.degradation.stage = GovernedStage::kQuery;
+      result.degradation.limit = BudgetLimit::kDeadline;
+    }
+  } else if (!result.complete) {
+    result.degradation = DegradationLocked();
+  }
+  // A budget-truncated answer set is transient (a retry with a fresh
+  // deadline may do better); only deterministic results are cached.
+  if (!truncated) {
+    cache_.Insert(key, {result.answers, result.complete});
+  }
   std::lock_guard<std::mutex> slock(stats_mu_);
   ++stats_.queries;
   ++stats_.cache_misses;
+  if (!result.complete) {
+    ++stats_.degraded_queries;
+    if (result.degradation.degraded()) {
+      stats_.last_degradation = result.degradation;
+    }
+  }
   stats_.query_wall_ms += MsSince(start);
   return result;
 }
@@ -235,6 +302,9 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
   }
   Clock::time_point start = Clock::now();
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // Fresh deadline for this operation's recompile/rematerialize/delta
+  // work (the compiled program's options point at budget_).
+  budget_->Arm(options_.budget, GlobalFaultPlan());
   AssertResult out;
   for (const Atom& f : facts) {
     if (edb_.Insert(f)) ++out.new_atoms;
@@ -284,10 +354,19 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
     Result<EvalPassStats> pass = program_->ExtendWithDelta(&model_, begin);
     if (!pass.ok()) return pass.status();
     out.derived_atoms = pass.value().derived_atoms;
+    if (!pass.value().complete) {
+      materialize_complete_ = false;
+      materialize_degradation_ = pass.value().degradation;
+    }
   }
   cache_.Clear();
+  DegradationReason reason = DegradationLocked();
   std::lock_guard<std::mutex> slock(stats_mu_);
   ++stats_.asserts;
+  if (reason.degraded()) {
+    ++stats_.degraded_prepares;
+    stats_.last_degradation = reason;
+  }
   stats_.asserted_atoms += out.new_atoms;
   if (out.delta) {
     ++stats_.delta_asserts;
@@ -311,7 +390,18 @@ ServiceStats PreparedKb::stats() const {
 
 bool PreparedKb::prepare_complete() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return rewrite_complete_ && compile_complete_;
+  return rewrite_complete_ && compile_complete_ && materialize_complete_;
+}
+
+DegradationReason PreparedKb::DegradationLocked() const {
+  if (rewrite_degradation_.degraded()) return rewrite_degradation_;
+  if (compile_degradation_.degraded()) return compile_degradation_;
+  return materialize_degradation_;
+}
+
+DegradationReason PreparedKb::degradation() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return DegradationLocked();
 }
 
 size_t PreparedKb::model_size() const {

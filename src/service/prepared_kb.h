@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "analyze/analyze.h"
+#include "core/budget.h"
 #include "core/classify.h"
 #include "core/database.h"
 #include "core/rule.h"
@@ -71,6 +72,12 @@ struct PreparedKbOptions {
   // count lands in ServiceStats::diagnostics and the full list is kept
   // on the PreparedKb for callers that want to surface it.
   bool preflight = true;
+  // Resource budget applied to Prepare, to every Assert, and (by
+  // default) to every Query. Exhaustion never fails the operation: the
+  // pipeline degrades to a sound-but-possibly-incomplete model and the
+  // reason is recorded (degradation(), ServiceStats). Unlimited by
+  // default.
+  BudgetLimits budget;
 };
 
 struct PreparedQueryResult {
@@ -84,6 +91,9 @@ struct PreparedQueryResult {
   // rule into the theory and can see null witnesses; see DESIGN.md §7).
   bool complete = true;
   bool cache_hit = false;
+  // Why the result is possibly incomplete: the first prepare-stage
+  // degradation, or a per-query budget trip. limit kNone when complete.
+  DegradationReason degradation;
 };
 
 struct AssertResult {
@@ -114,8 +124,15 @@ class PreparedKb {
 
   // Answers the conjunctive query `cq` (a Datalog rule with a single
   // head atom and a positive, non-empty body) against the materialized
-  // model. Thread-safe: takes a shared lock.
+  // model. Thread-safe: takes a shared lock. Governed by a per-query
+  // budget armed from PreparedKbOptions::budget.
   Result<PreparedQueryResult> Query(const Rule& cq) const;
+  // As above under an explicit per-query budget (may be null). The
+  // budget only bounds this query's join enumeration; a trip yields the
+  // sound partial answer set with complete = false. Budget-truncated
+  // answers are never cached.
+  Result<PreparedQueryResult> Query(const Rule& cq,
+                                    ExecutionBudget* budget) const;
 
   // Adds ground facts to the knowledge base and re-derives their
   // consequences. Thread-safe: takes an exclusive lock and invalidates
@@ -124,6 +141,35 @@ class PreparedKb {
 
   // Consistent snapshot of the serving counters.
   ServiceStats stats() const;
+
+  // --- Crash-safe persistence (implemented in snapshot.cc) ---
+  //
+  // Binary format: magic + version + payload size + payload + FNV-1a
+  // checksum, where the payload serializes the symbol table, theories,
+  // mode, EDB, materialized model, and degradation certificate. Written
+  // to `path` via temp file + atomic rename, so a crash mid-save leaves
+  // any previous snapshot intact. The active fault plan (GEREL_FAULT /
+  // SetFaultPlanForTest) can truncate or bit-flip the written image for
+  // recovery drills.
+  Status SaveSnapshot(const std::string& path) const;
+  // Loads a snapshot into a PreparedKb over `symbols` (which must be
+  // freshly constructed — names are re-interned at their original ids).
+  // Returns an error on truncation, corruption, version/magic skew, or
+  // fingerprint mismatch; callers recover by falling back to a fresh
+  // Prepare (re-materialization).
+  static Result<std::unique_ptr<PreparedKb>> LoadSnapshot(
+      const std::string& path, SymbolTable* symbols,
+      const PreparedKbOptions& options = PreparedKbOptions(),
+      uint64_t expected_fingerprint = 0);
+  // Caller-provided hash of the source program (0 = unchecked); stored
+  // in snapshots and verified by LoadSnapshot so a snapshot is never
+  // applied to a different theory's program file.
+  void set_snapshot_fingerprint(uint64_t fp) { snapshot_fingerprint_ = fp; }
+  uint64_t snapshot_fingerprint() const { return snapshot_fingerprint_; }
+
+  // The first degradation recorded by the prepare/assert pipeline
+  // stages (limit kNone when none).
+  DegradationReason degradation() const;
 
   Mode mode() const { return mode_; }
   // Pre-flight analysis of the input (Σ, D); empty when
@@ -146,6 +192,9 @@ class PreparedKb {
   // Completeness certificate for a query: no body relation of `cq` can
   // hold a labeled null in the chase.
   bool QueryCannotHaveNullWitnesses(const Rule& cq) const;
+  // First recorded stage degradation (rewrite, then compile, then
+  // materialize). Caller holds mu_.
+  DegradationReason DegradationLocked() const;
 
   SymbolTable* const symbols_;
   const PreparedKbOptions options_;
@@ -159,6 +208,15 @@ class PreparedKb {
   bool rewrite_complete_ = true;
   bool theory_has_existentials_ = false;
   RelationId acdom_ = 0;
+  DegradationReason rewrite_degradation_;
+  uint64_t snapshot_fingerprint_ = 0;
+
+  // Budget shared by Prepare/Assert pipelines; re-armed per operation
+  // under the exclusive lock. Owned here because the compiled
+  // DatalogProgram's options hold a pointer into it for the lifetime of
+  // the program. Queries use local budgets instead (shared-lock
+  // concurrency).
+  std::unique_ptr<ExecutionBudget> budget_;
 
   // Everything below is guarded by mu_ (shared for Query, exclusive for
   // Assert and the prepare phase).
@@ -167,6 +225,9 @@ class PreparedKb {
   Database model_;  // edb_ plus every derived consequence (and acdom).
   std::unique_ptr<DatalogProgram> program_;
   bool compile_complete_ = true;
+  bool materialize_complete_ = true;
+  DegradationReason compile_degradation_;
+  DegradationReason materialize_degradation_;
   // kWeaklyGuarded only: constants the current grounding covers.
   std::unordered_set<uint32_t> grounded_constants_;
 

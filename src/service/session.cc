@@ -48,10 +48,11 @@ ServiceSession::Response ServiceSession::HandleLine(std::string_view line) {
   }
   if (cmd == "query") return Query(rest);
   if (cmd == "assert") return Assert(rest);
+  if (cmd == "save") return Save(rest);
   r.error = true;
   saw_error_ = true;
   r.text = "error: unknown command \"" + std::string(cmd) +
-           "\" (expected query, assert, stats, quit)\n";
+           "\" (expected query, assert, stats, save, quit)\n";
   return r;
 }
 
@@ -89,6 +90,10 @@ ServiceSession::Response ServiceSession::Query(std::string_view text) {
                   answers.value().cache_hit ? " [cached]" : "");
   }
   r.text += line;
+  const DegradationReason& deg = answers.value().degradation;
+  if (deg.degraded()) {
+    r.text += "degradation: " + deg.ToString() + "\n";
+  }
   return r;
 }
 
@@ -115,6 +120,26 @@ ServiceSession::Response ServiceSession::Assert(std::string_view text) {
                 out.value().new_atoms, out.value().derived_atoms,
                 out.value().delta ? "delta" : "rematerialized");
   r.text = line;
+  return r;
+}
+
+ServiceSession::Response ServiceSession::Save(std::string_view text) {
+  Response r;
+  std::string path(Trim(text));
+  if (path.empty()) {
+    r.error = true;
+    saw_error_ = true;
+    r.text = "error: save requires a path\n";
+    return r;
+  }
+  Status s = kb_->SaveSnapshot(path);
+  if (!s.ok()) {
+    r.error = true;
+    saw_error_ = true;
+    r.text = std::string("error: ") + s.message() + "\n";
+    return r;
+  }
+  r.text = "snapshot saved to " + path + "\n";
   return r;
 }
 

@@ -8,6 +8,7 @@
 //   assert <facts>    add ground facts (e.g. "assert e(a, b). e(b, c).";
 //                     the final period may be omitted)
 //   stats             print the serving counters
+//   save <path>       persist a crash-safe snapshot of the prepared KB
 //   quit | exit       end the session
 //
 // Blank lines and lines starting with "%" or "#" are skipped. The
@@ -51,6 +52,7 @@ class ServiceSession {
  private:
   Response Query(std::string_view text);
   Response Assert(std::string_view text);
+  Response Save(std::string_view text);
 
   PreparedKb* const kb_;
   SymbolTable* const symbols_;

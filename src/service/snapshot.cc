@@ -1,0 +1,459 @@
+// Crash-safe persistence for PreparedKb (DESIGN.md §9).
+//
+// On-disk layout:
+//
+//   u64  magic       "GRELSNAP" (0x4752454C534E4150)
+//   u32  version     kSnapshotVersion
+//   u64  payload_size
+//   ...  payload     (see Serialize below)
+//   u64  checksum    FNV-1a over the payload bytes
+//
+// The payload carries everything Prepare computed that is expensive to
+// rebuild: the symbol table (names re-interned at their original dense
+// ids), the normalized and weakly guarded theories, the compiled Datalog
+// program's rule set (so LoadSnapshot skips rewrite/grounding/saturation
+// and only re-runs the cheap join-plan compilation), the EDB, the
+// materialized model, and the degradation certificate. Every read is
+// bounds-checked; truncation, bit-flips, magic/version skew, and
+// fingerprint mismatches all surface as errors so callers can fall back
+// to a fresh Prepare.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/database.h"
+#include "core/fault.h"
+#include "service/prepared_kb.h"
+
+namespace gerel {
+
+namespace {
+
+constexpr uint64_t kSnapshotMagic = 0x4752454C534E4150ull;  // "GRELSNAP"
+constexpr uint32_t kSnapshotVersion = 1;
+
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---- Writer -------------------------------------------------------------
+
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void TermBits(Term t) { U32(t.bits()); }
+  void Terms(const std::vector<Term>& ts) {
+    U32(static_cast<uint32_t>(ts.size()));
+    for (Term t : ts) TermBits(t);
+  }
+  void AtomRec(const Atom& a) {
+    U32(a.pred);
+    Terms(a.args);
+    Terms(a.annotation);
+  }
+  void RuleRec(const Rule& r) {
+    U32(static_cast<uint32_t>(r.body.size()));
+    for (const Literal& l : r.body) {
+      U8(l.negated ? 1 : 0);
+      AtomRec(l.atom);
+    }
+    U32(static_cast<uint32_t>(r.head.size()));
+    for (const Atom& a : r.head) AtomRec(a);
+  }
+  void TheoryRec(const Theory& t) {
+    U32(static_cast<uint32_t>(t.size()));
+    for (const Rule& r : t.rules()) RuleRec(r);
+  }
+  void DatabaseRec(const Database& db) {
+    U64(db.size());
+    for (const Atom& a : db.atoms()) AtomRec(a);
+  }
+  void Degradation(const DegradationReason& d) {
+    U8(static_cast<uint8_t>(d.stage));
+    U8(static_cast<uint8_t>(d.limit));
+    U64(d.round);
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// ---- Reader -------------------------------------------------------------
+
+// Bounds-checked cursor over the payload. Every primitive read sets
+// ok() = false instead of running past the end, and all composite reads
+// bail out early once !ok().
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t n) : data_(data), n_(n) {}
+
+  bool ok() const { return ok_; }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::string Str() {
+    uint32_t len = U32();
+    if (!Need(len)) return "";
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  Term TermBits() {
+    uint32_t bits = U32();
+    switch (static_cast<TermKind>(bits >> 30)) {
+      case TermKind::kConstant:
+        return Term::Constant(bits & 0x3FFFFFFFu);
+      case TermKind::kVariable:
+        return Term::Variable(bits & 0x3FFFFFFFu);
+      case TermKind::kNull:
+        return Term::Null(bits & 0x3FFFFFFFu);
+      default:
+        ok_ = false;
+        return Term();
+    }
+  }
+  std::vector<Term> Terms() {
+    uint32_t n = U32();
+    if (!CheckCount(n, 4)) return {};
+    std::vector<Term> out;
+    out.reserve(n);
+    for (uint32_t i = 0; i < n && ok_; ++i) out.push_back(TermBits());
+    return out;
+  }
+  Atom AtomRec() {
+    Atom a;
+    a.pred = U32();
+    a.args = Terms();
+    a.annotation = Terms();
+    return a;
+  }
+  Rule RuleRec() {
+    Rule r;
+    uint32_t nb = U32();
+    if (!CheckCount(nb, 9)) return r;
+    r.body.reserve(nb);
+    for (uint32_t i = 0; i < nb && ok_; ++i) {
+      Literal l;
+      l.negated = U8() != 0;
+      l.atom = AtomRec();
+      r.body.push_back(std::move(l));
+    }
+    uint32_t nh = U32();
+    if (!CheckCount(nh, 8)) return r;
+    r.head.reserve(nh);
+    for (uint32_t i = 0; i < nh && ok_; ++i) r.head.push_back(AtomRec());
+    return r;
+  }
+  Theory TheoryRec() {
+    Theory t;
+    uint32_t n = U32();
+    if (!CheckCount(n, 8)) return t;
+    for (uint32_t i = 0; i < n && ok_; ++i) t.AddRule(RuleRec());
+    return t;
+  }
+  DegradationReason Degradation() {
+    DegradationReason d;
+    uint8_t stage = U8();
+    uint8_t limit = U8();
+    d.round = U64();
+    if (stage > static_cast<uint8_t>(GovernedStage::kSnapshot) ||
+        limit > static_cast<uint8_t>(BudgetLimit::kFault)) {
+      ok_ = false;
+      return d;
+    }
+    d.stage = static_cast<GovernedStage>(stage);
+    d.limit = static_cast<BudgetLimit>(limit);
+    return d;
+  }
+  bool AtEnd() const { return ok_ && pos_ == n_; }
+
+ private:
+  bool Need(size_t k) {
+    if (!ok_ || n_ - pos_ < k) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  // A declared element count cannot exceed the bytes remaining (each
+  // element is at least `min_bytes` long); rejects counts forged by
+  // corruption before any multi-gigabyte reserve().
+  bool CheckCount(uint64_t count, size_t min_bytes) {
+    if (!ok_ || count > (n_ - pos_) / min_bytes + 1) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t n_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status CorruptError(const std::string& path, const char* what) {
+  return Status::Error("snapshot " + path + ": " + what);
+}
+
+}  // namespace
+
+Status PreparedKb::SaveSnapshot(const std::string& path) const {
+  Writer w;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    w.U64(snapshot_fingerprint_);
+    w.U8(static_cast<uint8_t>(mode_));
+    uint8_t flags = 0;
+    if (rewrite_complete_) flags |= 1;
+    if (compile_complete_) flags |= 2;
+    if (materialize_complete_) flags |= 4;
+    if (theory_has_existentials_) flags |= 8;
+    w.U8(flags);
+    w.Degradation(rewrite_degradation_);
+    w.Degradation(compile_degradation_);
+    w.Degradation(materialize_degradation_);
+    // Symbol table, in dense-id order so re-interning reproduces ids.
+    w.U32(static_cast<uint32_t>(symbols_->NumRelations()));
+    for (RelationId id = 0; id < symbols_->NumRelations(); ++id) {
+      w.Str(symbols_->RelationName(id));
+      w.U32(static_cast<uint32_t>(symbols_->RelationArity(id)));
+    }
+    w.U32(static_cast<uint32_t>(symbols_->NumConstants()));
+    for (uint32_t id = 0; id < symbols_->NumConstants(); ++id) {
+      w.Str(symbols_->ConstantName(Term::Constant(id)));
+    }
+    w.U32(static_cast<uint32_t>(symbols_->NumVariables()));
+    for (uint32_t id = 0; id < symbols_->NumVariables(); ++id) {
+      w.Str(symbols_->VariableName(Term::Variable(id)));
+    }
+    w.U32(symbols_->NumNulls());
+    w.TheoryRec(normal_);
+    w.TheoryRec(weakly_guarded_);
+    w.TheoryRec(program_->theory());
+    w.DatabaseRec(edb_);
+    w.DatabaseRec(model_);
+    // Sorted for byte-stable images (the set iterates in hash order).
+    std::vector<uint32_t> grounded(grounded_constants_.begin(),
+                                   grounded_constants_.end());
+    std::sort(grounded.begin(), grounded.end());
+    w.U32(static_cast<uint32_t>(grounded.size()));
+    for (uint32_t bits : grounded) w.U32(bits);
+  }
+  const std::vector<uint8_t>& payload = w.bytes();
+
+  Writer image;
+  image.U64(kSnapshotMagic);
+  image.U32(kSnapshotVersion);
+  image.U64(payload.size());
+  std::vector<uint8_t> out = image.bytes();
+  out.insert(out.end(), payload.begin(), payload.end());
+  uint64_t checksum = Fnv1a(payload.data(), payload.size());
+  for (int i = 0; i < 8; ++i) out.push_back((checksum >> (8 * i)) & 0xFF);
+
+  // Fault injection: corrupt the image in memory so the *write* path is
+  // exercised end to end (temp file, rename) and only the load detects it.
+  const FaultPlan* fault = GlobalFaultPlan();
+  if (fault != nullptr && !out.empty()) {
+    // Offsets are clamped into the image (per core/fault.h) so any seeded
+    // offset yields a valid corruption; the flip XORs a single bit to
+    // model the weakest detectable damage.
+    if (fault->snapshot_truncate_at >= 0) {
+      size_t at = std::min(static_cast<size_t>(fault->snapshot_truncate_at),
+                           out.size() - 1);
+      out.resize(at);
+    }
+    if (fault->snapshot_flip_byte >= 0 && !out.empty()) {
+      size_t at = std::min(static_cast<size_t>(fault->snapshot_flip_byte),
+                           out.size() - 1);
+      out[at] ^= 0x01;
+    }
+  }
+
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("snapshot: cannot open " + tmp + " for writing");
+  }
+  size_t written = out.empty() ? 0 : std::fwrite(out.data(), 1, out.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != out.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Error("snapshot: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Error("snapshot: cannot rename " + tmp + " to " + path);
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.snapshot_saves;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<PreparedKb>> PreparedKb::LoadSnapshot(
+    const std::string& path, SymbolTable* symbols,
+    const PreparedKbOptions& options, uint64_t expected_fingerprint) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return CorruptError(path, "cannot open");
+  std::vector<uint8_t> image;
+  uint8_t chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    image.insert(image.end(), chunk, chunk + n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return CorruptError(path, "read error");
+
+  // Envelope checks: header present, magic/version match, payload not
+  // truncated, checksum intact.
+  constexpr size_t kHeader = 8 + 4 + 8;
+  if (image.size() < kHeader + 8) return CorruptError(path, "truncated header");
+  Reader header(image.data(), kHeader);
+  if (header.U64() != kSnapshotMagic) return CorruptError(path, "bad magic");
+  uint32_t version = header.U32();
+  if (version != kSnapshotVersion) {
+    return CorruptError(path, "unsupported version");
+  }
+  uint64_t payload_size = header.U64();
+  if (image.size() != kHeader + payload_size + 8) {
+    return CorruptError(path, "truncated payload");
+  }
+  const uint8_t* payload = image.data() + kHeader;
+  Reader trailer(payload + payload_size, 8);
+  if (trailer.U64() != Fnv1a(payload, payload_size)) {
+    return CorruptError(path, "checksum mismatch");
+  }
+
+  Reader r(payload, payload_size);
+  uint64_t fingerprint = r.U64();
+  if (expected_fingerprint != 0 && fingerprint != 0 &&
+      fingerprint != expected_fingerprint) {
+    return CorruptError(path, "fingerprint mismatch (stale snapshot)");
+  }
+  uint8_t mode_byte = r.U8();
+  if (mode_byte > static_cast<uint8_t>(Mode::kWeaklyGuarded)) {
+    return CorruptError(path, "corrupt payload");
+  }
+  uint8_t flags = r.U8();
+  DegradationReason rewrite_deg = r.Degradation();
+  DegradationReason compile_deg = r.Degradation();
+  DegradationReason materialize_deg = r.Degradation();
+
+  // Re-intern names in dense-id order; `symbols` must be fresh so the
+  // ids assigned here equal the ids baked into the serialized terms.
+  if (symbols->NumRelations() != 0 || symbols->NumConstants() != 0 ||
+      symbols->NumVariables() != 0) {
+    return Status::Error("snapshot: symbol table must be empty before load");
+  }
+  uint32_t num_relations = r.U32();
+  for (uint32_t i = 0; i < num_relations && r.ok(); ++i) {
+    std::string name = r.Str();
+    int arity = static_cast<int>(r.U32());
+    if (!r.ok()) break;
+    symbols->Relation(name, arity);
+  }
+  uint32_t num_constants = r.U32();
+  for (uint32_t i = 0; i < num_constants && r.ok(); ++i) {
+    symbols->Constant(r.Str());
+  }
+  uint32_t num_variables = r.U32();
+  for (uint32_t i = 0; i < num_variables && r.ok(); ++i) {
+    symbols->Variable(r.Str());
+  }
+  symbols->RestoreNullCounter(r.U32());
+
+  Theory normal = r.TheoryRec();
+  Theory weakly_guarded = r.TheoryRec();
+  Theory program_rules = r.TheoryRec();
+  uint64_t edb_atoms = r.U64();
+  Database edb;
+  for (uint64_t i = 0; i < edb_atoms && r.ok(); ++i) edb.Insert(r.AtomRec());
+  uint64_t model_atoms = r.U64();
+  Database model;
+  for (uint64_t i = 0; i < model_atoms && r.ok(); ++i) {
+    model.Insert(r.AtomRec());
+  }
+  uint32_t num_grounded = r.U32();
+  std::unordered_set<uint32_t> grounded;
+  for (uint32_t i = 0; i < num_grounded && r.ok(); ++i) grounded.insert(r.U32());
+  if (!r.AtEnd()) return CorruptError(path, "corrupt payload");
+
+  std::unique_ptr<PreparedKb> kb(new PreparedKb(symbols, options));
+  kb->budget_ = std::make_unique<ExecutionBudget>();
+  kb->budget_->Arm(options.budget, GlobalFaultPlan());
+  kb->snapshot_fingerprint_ = fingerprint;
+  kb->mode_ = static_cast<Mode>(mode_byte);
+  kb->rewrite_complete_ = (flags & 1) != 0;
+  kb->compile_complete_ = (flags & 2) != 0;
+  kb->materialize_complete_ = (flags & 4) != 0;
+  kb->theory_has_existentials_ = (flags & 8) != 0;
+  kb->rewrite_degradation_ = rewrite_deg;
+  kb->compile_degradation_ = compile_deg;
+  kb->materialize_degradation_ = materialize_deg;
+  kb->normal_ = std::move(normal);
+  kb->weakly_guarded_ = std::move(weakly_guarded);
+  kb->affected_ = AffectedPositions(kb->normal_);
+  kb->acdom_ = AcdomRelation(symbols);
+  kb->edb_ = std::move(edb);
+  kb->model_ = std::move(model);
+  kb->grounded_constants_ = std::move(grounded);
+  // Only the join-plan compilation re-runs; rewrite, grounding, and
+  // saturation artifacts are all baked into the stored rule set.
+  DatalogOptions dopts = options.datalog;
+  dopts.budget = kb->budget_.get();
+  Result<DatalogProgram> program =
+      DatalogProgram::Compile(std::move(program_rules), symbols, dopts);
+  if (!program.ok()) return program.status();
+  kb->program_ = std::make_unique<DatalogProgram>(std::move(program).value());
+  {
+    std::lock_guard<std::mutex> slock(kb->stats_mu_);
+    kb->stats_.snapshot_loads = 1;
+    kb->stats_.model_atoms = kb->model_.size();
+    kb->stats_.datalog_rules = kb->program_->theory().size();
+    DegradationReason reason = kb->DegradationLocked();
+    if (reason.degraded()) kb->stats_.last_degradation = reason;
+  }
+  return kb;
+}
+
+}  // namespace gerel

@@ -44,6 +44,18 @@ std::string ServiceStats::ToString() const {
          static_cast<unsigned long long>(datalog_rules));
   Append(&out, "diagnostics:         %llu\n",
          static_cast<unsigned long long>(diagnostics));
+  Append(&out, "degraded prepares:   %llu\n",
+         static_cast<unsigned long long>(degraded_prepares));
+  Append(&out, "degraded queries:    %llu\n",
+         static_cast<unsigned long long>(degraded_queries));
+  Append(&out, "snapshot saves:      %llu\n",
+         static_cast<unsigned long long>(snapshot_saves));
+  Append(&out, "snapshot loads:      %llu\n",
+         static_cast<unsigned long long>(snapshot_loads));
+  Append(&out, "snapshot load fails: %llu\n",
+         static_cast<unsigned long long>(snapshot_load_failures));
+  Append(&out, "last degradation:    %s\n",
+         last_degradation.ToString().c_str());
   Append(&out, "prepare wall ms:     %.3f\n", prepare_wall_ms);
   Append(&out, "  classify ms:       %.3f\n", prepare_classify_wall_ms);
   Append(&out, "  transform ms:      %.3f\n", prepare_transform_wall_ms);
@@ -79,6 +91,17 @@ std::string ServiceStats::ToJson() const {
          static_cast<unsigned long long>(datalog_rules));
   Append(&out, "\"diagnostics\": %llu, ",
          static_cast<unsigned long long>(diagnostics));
+  Append(&out, "\"degraded_prepares\": %llu, ",
+         static_cast<unsigned long long>(degraded_prepares));
+  Append(&out, "\"degraded_queries\": %llu, ",
+         static_cast<unsigned long long>(degraded_queries));
+  Append(&out, "\"snapshot_saves\": %llu, ",
+         static_cast<unsigned long long>(snapshot_saves));
+  Append(&out, "\"snapshot_loads\": %llu, ",
+         static_cast<unsigned long long>(snapshot_loads));
+  Append(&out, "\"snapshot_load_failures\": %llu, ",
+         static_cast<unsigned long long>(snapshot_load_failures));
+  out += "\"degradation\": " + last_degradation.ToJson() + ", ";
   Append(&out, "\"prepare_wall_ms\": %.6f, ", prepare_wall_ms);
   Append(&out, "\"prepare_classify_wall_ms\": %.6f, ", prepare_classify_wall_ms);
   Append(&out, "\"prepare_transform_wall_ms\": %.6f, ",

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/budget.h"
+
 namespace gerel {
 
 struct ServiceStats {
@@ -35,6 +37,18 @@ struct ServiceStats {
   // Diagnostics reported by the Prepare pre-flight analysis (see
   // analyze/analyze.h; 0 when the pre-flight is disabled).
   uint64_t diagnostics = 0;
+  // Graceful-degradation counters: prepares/asserts whose pipeline hit a
+  // budget or cap (the model is sound but possibly incomplete), and
+  // queries answered with complete = false for any reason.
+  uint64_t degraded_prepares = 0;
+  uint64_t degraded_queries = 0;
+  // Snapshot persistence counters (PreparedKb::SaveSnapshot/LoadSnapshot).
+  uint64_t snapshot_saves = 0;
+  uint64_t snapshot_loads = 0;
+  uint64_t snapshot_load_failures = 0;
+  // The most recent degradation (stage + limit + round); limit kNone when
+  // nothing has degraded.
+  DegradationReason last_degradation;
   // Cumulative wall times per phase.
   double prepare_wall_ms = 0.0;
   double query_wall_ms = 0.0;

@@ -1,13 +1,17 @@
 #include "testing/differential.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <utility>
 
 #include "analyze/analyze.h"
 #include "analyze/render.h"
 #include "chase/chase.h"
+#include "core/budget.h"
 #include "core/classify.h"
+#include "core/fault.h"
 #include "core/printer.h"
 #include "datalog/evaluator.h"
 #include "service/prepared_kb.h"
@@ -520,6 +524,304 @@ CaseVerdict CheckCase(const GeneratedCase& c, SymbolTable* symbols,
   }
 
   return CaseVerdict::kOk;
+}
+
+namespace {
+
+// One fault-recovery case: every faulted run must be byte-identical to
+// the clean run or degrade cleanly (subset + populated reason). See the
+// header comment on RunFaultRecovery for the lane list.
+CaseVerdict CheckFaultRecoveryCase(const GeneratedCase& c,
+                                   SymbolTable* symbols,
+                                   const DiffOptions& options,
+                                   DiffFailure* failure) {
+  failure->cls = c.cls;
+  failure->case_seed = c.seed;
+  auto fail = [&](const char* lane, std::string detail) {
+    failure->lane = lane;
+    failure->detail = std::move(detail);
+    return CaseVerdict::kFail;
+  };
+
+  ChaseOptions chase_opts;
+  chase_opts.max_steps = options.oracle.max_steps * 20;
+  chase_opts.max_atoms = options.oracle.max_atoms * 20;
+
+  // Clean sequential chase: the reference for every faulted run.
+  SymbolTable clean_syms = *symbols;
+  ChaseResult clean = Chase(c.theory, c.database, &clean_syms, chase_opts);
+  std::string clean_text = ToString(clean.database, clean_syms);
+  std::set<std::string> clean_facts =
+      GroundFactSet(clean.database, c.theory, clean_syms);
+
+  // Lane: forced budget exhaustion at a seeded round. The trip happens
+  // in CheckRound on the coordinating thread at a round boundary, so the
+  // truncated chase must be byte-identical for any worker-lane count and
+  // a prefix of the clean run (facts ⊆ clean facts).
+  {
+    FaultPlan plan;
+    plan.exhaust_stage = GovernedStage::kChase;
+    plan.exhaust_round = 1 + c.seed % 3;
+    std::string first_text;
+    size_t first_steps = 0;
+    bool first_saturated = false;
+    bool have_first = false;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      SymbolTable fsyms = *symbols;
+      ExecutionBudget budget(BudgetLimits{}, &plan);
+      ChaseOptions fopts = chase_opts;
+      fopts.num_threads = threads;
+      fopts.budget = &budget;
+      ChaseResult faulted = Chase(c.theory, c.database, &fsyms, fopts);
+      if (!faulted.saturated) {
+        if (!faulted.degradation.degraded()) {
+          return fail("fault-chase-reason",
+                      "budget-exhausted chase reported no DegradationReason");
+        }
+        if (faulted.degradation.limit != BudgetLimit::kFault) {
+          return fail("fault-chase-reason",
+                      "expected a kFault degradation, got " +
+                          faulted.degradation.ToString());
+        }
+      }
+      std::set<std::string> faulted_facts =
+          GroundFactSet(faulted.database, c.theory, fsyms);
+      if (!std::includes(clean_facts.begin(), clean_facts.end(),
+                         faulted_facts.begin(), faulted_facts.end())) {
+        return fail("fault-chase-unsound",
+                    "budget-exhausted chase derived facts outside the "
+                    "clean chase");
+      }
+      std::string text = ToString(faulted.database, fsyms);
+      if (!have_first) {
+        have_first = true;
+        first_text = text;
+        first_steps = faulted.steps;
+        first_saturated = faulted.saturated;
+      } else if (text != first_text || faulted.steps != first_steps ||
+                 faulted.saturated != first_saturated) {
+        return fail("fault-chase-determinism",
+                    "budget-exhausted chase diverged at num_threads=" +
+                        std::to_string(threads));
+      }
+    }
+  }
+
+  // Lane: worker-delay injection must never change a single byte. The
+  // delay is 0µs (= thread yield): timed sleeps cost ~1ms of timer
+  // granularity per call on small hosts, while a yield perturbs lane
+  // interleaving nearly for free.
+  {
+    FaultPlan plan;
+    plan.worker_delay_us = 0;
+    plan.worker_delay_every = 7;
+    ExecutionBudget budget(BudgetLimits{}, &plan);
+    SymbolTable dsyms = *symbols;
+    ChaseOptions dopts = chase_opts;
+    dopts.num_threads = 2;
+    dopts.budget = &budget;
+    ChaseResult delayed = Chase(c.theory, c.database, &dsyms, dopts);
+    if (delayed.saturated != clean.saturated ||
+        delayed.steps != clean.steps ||
+        ToString(delayed.database, dsyms) != clean_text) {
+      return fail("fault-worker-delay",
+                  "worker-delay injection changed the chase result");
+    }
+  }
+
+  // The service lanes need a weakly frontier-guarded theory.
+  Classification cls = Classify(c.theory);
+  if (!cls.weakly_frontier_guarded) return CaseVerdict::kOk;
+  KbQueryOptions pipeline_opts;
+  pipeline_opts.saturation.max_rules = 400;
+  pipeline_opts.saturation.max_body_atoms = 6;
+  pipeline_opts.expansion.max_rules = 2000;
+  pipeline_opts.grounding.max_rules = 2000;
+  PreparedKbOptions po;
+  po.pipeline = pipeline_opts;
+
+  Result<std::unique_ptr<PreparedKb>> kb =
+      PreparedKb::Prepare(c.theory, c.database, symbols, po);
+  if (!kb.ok()) return CaseVerdict::kSkip;
+  Result<PreparedQueryResult> clean_q = kb.value()->Query(c.query);
+  if (!clean_q.ok()) return CaseVerdict::kSkip;
+  const AnswerSet& clean_ans = clean_q.value().answers;
+
+  // Lane: forced exhaustion during materialization. Answers must stay
+  // sound (⊆ clean), carry complete=false plus a populated reason, and
+  // agree across thread counts (round-boundary trips are deterministic).
+  {
+    FaultPlan plan;
+    plan.exhaust_stage = GovernedStage::kDatalog;
+    plan.exhaust_round = 1;
+    SetFaultPlanForTest(&plan);
+    AnswerSet first_ans;
+    bool have_first = false;
+    for (int threads : {1, options.num_threads}) {
+      PreparedKbOptions pf = po;
+      pf.datalog.num_threads = threads;
+      Result<std::unique_ptr<PreparedKb>> kbf =
+          PreparedKb::Prepare(c.theory, c.database, symbols, pf);
+      if (!kbf.ok()) {
+        SetFaultPlanForTest(nullptr);
+        return fail("fault-prepared-error",
+                    "forced exhaustion failed the prepare instead of "
+                    "degrading: " + std::string(kbf.status().message()));
+      }
+      Result<PreparedQueryResult> qf = kbf.value()->Query(c.query);
+      if (!qf.ok()) {
+        SetFaultPlanForTest(nullptr);
+        return fail("fault-prepared-error",
+                    "query on a degraded KB failed: " +
+                        std::string(qf.status().message()));
+      }
+      if (!IsSubset(qf.value().answers, clean_ans)) {
+        SetFaultPlanForTest(nullptr);
+        return fail("fault-prepared-unsound",
+                    DescribeAnswerDiff(clean_ans, qf.value().answers,
+                                       *symbols));
+      }
+      if (!kbf.value()->prepare_complete() &&
+          !kbf.value()->degradation().degraded()) {
+        SetFaultPlanForTest(nullptr);
+        return fail("fault-prepared-reason",
+                    "degraded prepare reported no DegradationReason");
+      }
+      if (!have_first) {
+        have_first = true;
+        first_ans = qf.value().answers;
+      } else if (qf.value().answers != first_ans) {
+        SetFaultPlanForTest(nullptr);
+        return fail("fault-prepared-determinism",
+                    "degraded prepare diverged across thread counts");
+      }
+    }
+    SetFaultPlanForTest(nullptr);
+  }
+
+  // Snapshot lanes need a writable scratch path.
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                     "/gerel-frec-" + std::to_string(c.seed) + ".snap";
+
+  // Lane: clean snapshot round trip — identical answers and model size.
+  {
+    Status s = kb.value()->SaveSnapshot(path);
+    if (!s.ok()) {
+      return fail("fault-snapshot-save", std::string(s.message()));
+    }
+    SymbolTable load_syms;
+    Result<std::unique_ptr<PreparedKb>> loaded =
+        PreparedKb::LoadSnapshot(path, &load_syms, po);
+    if (!loaded.ok()) {
+      std::remove(path.c_str());
+      return fail("fault-snapshot-load",
+                  "clean snapshot failed to load: " +
+                      std::string(loaded.status().message()));
+    }
+    if (loaded.value()->model_size() != kb.value()->model_size()) {
+      std::remove(path.c_str());
+      return fail("fault-snapshot-roundtrip", "model size changed");
+    }
+    Result<PreparedQueryResult> ql = loaded.value()->Query(c.query);
+    if (!ql.ok() || ql.value().answers != clean_ans) {
+      std::remove(path.c_str());
+      return fail("fault-snapshot-roundtrip",
+                  ql.ok() ? DescribeAnswerDiff(clean_ans,
+                                               ql.value().answers, load_syms)
+                          : std::string(ql.status().message()));
+    }
+  }
+
+  // Lane: seeded truncation and bit-flips are always detected at load,
+  // and a fresh Prepare (re-materialization) recovers the clean answers.
+  {
+    FaultPlan truncate;
+    truncate.snapshot_truncate_at = 10 + static_cast<int64_t>(c.seed % 8);
+    FaultPlan flip_header;
+    flip_header.snapshot_flip_byte = 2;
+    FaultPlan flip_payload;
+    flip_payload.snapshot_flip_byte = 21 + static_cast<int64_t>(c.seed % 4);
+    for (const FaultPlan* plan : {&truncate, &flip_header, &flip_payload}) {
+      SetFaultPlanForTest(plan);
+      Status s = kb.value()->SaveSnapshot(path);
+      SetFaultPlanForTest(nullptr);
+      if (!s.ok()) {
+        std::remove(path.c_str());
+        return fail("fault-snapshot-save", std::string(s.message()));
+      }
+      SymbolTable load_syms;
+      Result<std::unique_ptr<PreparedKb>> loaded =
+          PreparedKb::LoadSnapshot(path, &load_syms, po);
+      if (loaded.ok()) {
+        std::remove(path.c_str());
+        return fail("fault-snapshot-corruption",
+                    "corrupted snapshot loaded without an error");
+      }
+    }
+    std::remove(path.c_str());
+    SymbolTable rsyms = *symbols;
+    Result<std::unique_ptr<PreparedKb>> rkb =
+        PreparedKb::Prepare(c.theory, c.database, &rsyms, po);
+    if (!rkb.ok()) {
+      return fail("fault-snapshot-recovery",
+                  std::string(rkb.status().message()));
+    }
+    Result<PreparedQueryResult> qr = rkb.value()->Query(c.query);
+    if (!qr.ok() || qr.value().answers != clean_ans) {
+      return fail("fault-snapshot-recovery",
+                  "re-materialization after corruption diverged from the "
+                  "clean run");
+    }
+  }
+
+  return CaseVerdict::kOk;
+}
+
+}  // namespace
+
+DiffReport RunFaultRecovery(unsigned seed, size_t iters,
+                            const std::vector<GenClass>& classes,
+                            const DiffOptions& options) {
+  const std::vector<GenClass>& run_classes =
+      classes.empty() ? AllGenClasses() : classes;
+  DiffReport report;
+  for (GenClass cls : run_classes) {
+    unsigned cls_index = static_cast<unsigned>(cls);
+    for (size_t iter = 0; iter < iters; ++iter) {
+      unsigned cseed = CaseSeed(seed, cls_index, static_cast<unsigned>(iter));
+      SymbolTable symbols;
+      CaseGenerator gen(cseed, &symbols, options.gen);
+      GeneratedCase c = gen.Next(cls);
+      ++report.iterations;
+      if (options.log_cases) report.transcript += CaseToString(c, symbols);
+      DiffFailure f;
+      CaseVerdict verdict = CheckFaultRecoveryCase(c, &symbols, options, &f);
+      std::string line = std::string(GenClassTag(cls)) + " " +
+                         std::to_string(iter) + " seed=" +
+                         std::to_string(cseed);
+      switch (verdict) {
+        case CaseVerdict::kOk:
+          ++report.checked;
+          report.transcript += line + " ok\n";
+          break;
+        case CaseVerdict::kSkip:
+          ++report.skipped;
+          report.transcript += line + " skip\n";
+          break;
+        case CaseVerdict::kFail:
+          ++report.checked;
+          report.transcript += line + " FAIL(" + f.lane + ")\n";
+          f.iteration = iter;
+          f.repro = CaseToString(c, symbols);
+          f.repro_rules = c.theory.size();
+          report.failures.push_back(std::move(f));
+          if (options.stop_on_failure) return report;
+          break;
+      }
+    }
+  }
+  return report;
 }
 
 DiffReport RunDifferential(unsigned seed, size_t iters,

@@ -114,6 +114,23 @@ DiffReport RunDifferential(unsigned seed, size_t iters,
                            const std::vector<GenClass>& classes,
                            const DiffOptions& options = DiffOptions());
 
+// Fault-recovery lane (`gerel fuzz --lane fault-recovery`). For each
+// seeded case, asserts that resource-governed execution degrades
+// cleanly instead of crashing, hanging, or lying:
+//   - a chase forced to exhaust its budget (seeded FaultPlan) yields a
+//     subset of the clean chase's facts, reports a populated
+//     DegradationReason, and is byte-identical across 1/2/4 worker
+//     lanes (budget trips happen at deterministic round boundaries);
+//   - worker-delay injection never changes any result byte;
+//   - a PreparedKb forced to exhaust during materialization serves
+//     sound answers (⊆ clean) with complete=false across thread counts;
+//   - a clean snapshot save/load round-trips to identical answers, and
+//     seeded truncation/bit-flip corruption is always detected at load,
+//     with recovery-by-re-Prepare matching the clean run.
+DiffReport RunFaultRecovery(unsigned seed, size_t iters,
+                            const std::vector<GenClass>& classes,
+                            const DiffOptions& options = DiffOptions());
+
 }  // namespace gerel::testing
 
 #endif  // GEREL_TESTING_DIFFERENTIAL_H_

@@ -92,6 +92,7 @@ Result<WfgRewriteResult> RewriteWfgToWeaklyGuarded(
       RewriteFgToNearlyGuarded(renormalized, symbols, options);
   if (!rewritten.ok()) return rewritten.status();
   out.complete = rewritten.value().complete;
+  out.degradation = rewritten.value().degradation;
   out.expansion_stats = std::move(rewritten.value().expansion_stats);
   // Step (c): reconstruct original atoms from annotations (Def 18), then
   // fold the Def 16 reordering back so the result runs on the original

@@ -29,6 +29,7 @@ Theory Deannotate(const Theory& theory);
 struct WfgRewriteResult {
   Theory theory;
   bool complete = true;
+  DegradationReason degradation;
   // The reordering applied to make the input proper; apply it to the
   // database before querying and invert on answers (its permutation is
   // identity for relations whose affected positions already form a

@@ -68,10 +68,28 @@ class Expander {
   }
 
   ExpansionResult Run() {
+    uint64_t round = 0;
+    ExecutionBudget* budget = options_.budget;
     while (!worklist_.empty() && result_.complete) {
+      ++round;
+      if (budget != nullptr &&
+          !budget->CheckRound(GovernedStage::kRewrite, round,
+                              rules_.size())) {
+        result_.complete = false;
+        break;
+      }
       size_t idx = worklist_.front();
       worklist_.pop_front();
       ProcessRule(idx);
+    }
+    if (!result_.complete) {
+      if (budget != nullptr && budget->exhausted()) {
+        result_.degradation = budget->reason();
+      } else {
+        result_.degradation.stage = GovernedStage::kRewrite;
+        result_.degradation.limit = BudgetLimit::kRules;
+        result_.degradation.round = round;
+      }
     }
     result_.theory = Theory(rules_);
     return std::move(result_);
@@ -86,6 +104,12 @@ class Expander {
         rule, sig_.max_arity, options_.idempotent_selections_only,
         options_.max_selections_per_rule, [&](const SelectionParts& sel) {
           ++result_.selections_tried;
+          // Amortized deadline/cancel check inside the (worst-case
+          // exponential) selection enumeration.
+          if (options_.budget != nullptr &&
+              !options_.budget->CheckPoint(GovernedStage::kRewrite)) {
+            return false;
+          }
           HandleSelection(rule, sel, /*rc=*/true);
           HandleSelection(rule, sel, /*rc=*/false);
           return result_.complete;
@@ -201,6 +225,7 @@ Result<RewriteResult> RewriteFgToNearlyGuarded(
   if (!ex.ok()) return ex.status();
   RewriteResult out;
   out.complete = ex.value().complete;
+  out.degradation = ex.value().degradation;
   RelationId acdom = AcdomRelation(symbols);
   for (const Rule& rule : ex.value().theory.rules()) {
     if (IsGuardedRule(rule)) {
@@ -243,6 +268,7 @@ Result<RewriteResult> RewriteNfgToNearlyGuarded(
   ExpansionResult ex = expander.Run();
   RewriteResult out;
   out.complete = ex.complete;
+  out.degradation = ex.degradation;
   RelationId acdom = AcdomRelation(symbols);
   for (const Rule& rule : ex.theory.rules()) {
     if (IsGuardedRule(rule)) {

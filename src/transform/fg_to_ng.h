@@ -7,6 +7,7 @@
 
 #include <cstddef>
 
+#include "core/budget.h"
 #include "core/status.h"
 #include "core/symbol_table.h"
 #include "core/theory.h"
@@ -28,6 +29,10 @@ struct ExpansionOptions {
   // Enumerate every guard-tuple variant of Defs 10/11 instead of only the
   // subsuming fresh-variable guards (ablation; see rewriting.cc).
   bool exhaustive_guards = false;
+  // Optional execution budget; checked per worklist item and, amortized,
+  // inside the selection enumeration. Not owned. Exhaustion stops the
+  // closure cleanly with complete = false and a populated degradation.
+  ExecutionBudget* budget = nullptr;
 };
 
 struct ExpansionResult {
@@ -37,6 +42,8 @@ struct ExpansionResult {
   size_t selections_tried = 0;
   size_t rewritings_added = 0;
   size_t fresh_relations = 0;
+  // Why the closure stopped early (kNone when complete).
+  DegradationReason degradation;
 };
 
 // ex(Σ): closes the normal frontier-guarded theory Σ under rc- and
@@ -50,6 +57,7 @@ Result<ExpansionResult> Expand(const Theory& theory, SymbolTable* symbols,
 struct RewriteResult {
   Theory theory;
   bool complete = true;
+  DegradationReason degradation;
   ExpansionResult expansion_stats;
 };
 

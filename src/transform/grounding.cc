@@ -20,7 +20,18 @@ Result<GroundingResult> PartialGrounding(const Theory& theory,
     }
   }
   GroundingResult out;
+  uint64_t round = 0;
   for (const Rule& rule : theory.rules()) {
+    // One "round" per input rule: a deterministic boundary for budget
+    // and fault-plan checks.
+    ++round;
+    if (options.budget != nullptr &&
+        !options.budget->CheckRound(GovernedStage::kGrounding, round,
+                                    out.theory.size())) {
+      out.complete = false;
+      out.degradation = options.budget->reason();
+      return out;
+    }
     std::vector<Term> unsafe = UnsafeVars(rule, affected);
     std::vector<Term> safe;
     for (Term v : rule.UVars()) {
@@ -43,6 +54,14 @@ Result<GroundingResult> PartialGrounding(const Theory& theory,
     while (true) {
       if (out.theory.size() >= options.max_rules) {
         out.complete = false;
+        out.degradation.stage = GovernedStage::kGrounding;
+        out.degradation.limit = BudgetLimit::kRules;
+        return out;
+      }
+      if (options.budget != nullptr &&
+          !options.budget->CheckPoint(GovernedStage::kGrounding)) {
+        out.complete = false;
+        out.degradation = options.budget->reason();
         return out;
       }
       Substitution s;

@@ -8,6 +8,7 @@
 #ifndef GEREL_TRANSFORM_GROUNDING_H_
 #define GEREL_TRANSFORM_GROUNDING_H_
 
+#include "core/budget.h"
 #include "core/database.h"
 #include "core/status.h"
 #include "core/theory.h"
@@ -18,11 +19,16 @@ struct GroundingOptions {
   // Cap on the number of produced rules (the grounding is exponential in
   // the number of safe variables per rule).
   size_t max_rules = 500000;
+  // Optional execution budget; checked (amortized) per produced rule.
+  // Not owned.
+  ExecutionBudget* budget = nullptr;
 };
 
 struct GroundingResult {
   Theory theory;
   bool complete = true;
+  // Why the grounding stopped early (kNone when complete).
+  DegradationReason degradation;
 };
 
 // pg(Σ, D): substitutes safe variables by the ground terms of D (and the

@@ -74,11 +74,29 @@ class Saturator {
   SaturationResult Run() {
     std::vector<size_t> frontier(rules_.size());
     for (size_t i = 0; i < frontier.size(); ++i) frontier[i] = i;
+    uint64_t round = 0;
+    ExecutionBudget* budget = options_.budget;
+    const FaultPlan* fault = budget != nullptr ? budget->fault_plan() : nullptr;
     while (!frontier.empty() && result_.complete) {
+      ++round;
+      if (budget != nullptr &&
+          !budget->CheckRound(GovernedStage::kSaturation, round,
+                              rules_.size())) {
+        result_.complete = false;
+        break;
+      }
       size_t snapshot = rules_.size();
       buffers_.clear();
       buffers_.resize(frontier.size());
       auto work = [&](size_t task, size_t lane) {
+        // Workers observe the shared exhaustion flag between units; a
+        // skipped unit marks its buffer overflowed so the merge records
+        // the closure as incomplete.
+        if (budget != nullptr && budget->ExhaustedFast()) {
+          buffers_[task].overflow = true;
+          return;
+        }
+        MaybeInjectWorkerDelay(fault, task);
         Derive(frontier[task], snapshot, &scratch_[lane], &buffers_[task]);
       };
       if (pool_) {
@@ -102,6 +120,15 @@ class Saturator {
       frontier.clear();
       for (size_t i = first_new; i < rules_.size(); ++i)
         frontier.push_back(i);
+    }
+    if (!result_.complete) {
+      if (budget != nullptr && budget->exhausted()) {
+        result_.degradation = budget->reason();
+      } else {
+        result_.degradation.stage = GovernedStage::kSaturation;
+        result_.degradation.limit = BudgetLimit::kRules;
+        result_.degradation.round = round;
+      }
     }
     for (const Rule& r : rules_) {
       result_.closure.AddRule(r);
@@ -159,6 +186,13 @@ class Saturator {
     // Bound a single item's emissions: past max_rules the merge is
     // certain to mark the closure incomplete, so stop deriving.
     if (out->rules.size() > options_.max_rules) {
+      out->overflow = true;
+      return;
+    }
+    // Amortized deadline/cancel check inside (possibly explosive)
+    // derivation; an exhausted unit stops and reports overflow.
+    if (options_.budget != nullptr &&
+        !options_.budget->CheckPoint(GovernedStage::kSaturation)) {
       out->overflow = true;
       return;
     }
@@ -516,6 +550,7 @@ Result<DatalogTranslation> NearlyGuardedToDatalog(
   if (!sat.ok()) return sat.status();
   DatalogTranslation out;
   out.complete = sat.value().complete;
+  out.degradation = sat.value().degradation;
   out.datalog = std::move(sat.value().datalog);
   for (const Rule& r : datalog_part.rules()) out.datalog.AddRule(r);
   return out;

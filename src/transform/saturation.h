@@ -17,6 +17,7 @@
 
 #include <cstddef>
 
+#include "core/budget.h"
 #include "core/status.h"
 #include "core/symbol_table.h"
 #include "core/theory.h"
@@ -43,6 +44,10 @@ struct SaturationOptions {
   // each round derives against an immutable snapshot of the closure and
   // merges in deterministic frontier order.
   size_t num_threads = 1;
+  // Optional execution budget; checked at frontier-round boundaries and
+  // amortized inside derivation. Not owned. Exhaustion stops the closure
+  // cleanly with complete = false and a populated degradation.
+  ExecutionBudget* budget = nullptr;
 };
 
 struct SaturationResult {
@@ -52,6 +57,9 @@ struct SaturationResult {
   Theory datalog;
   bool complete = true;
   size_t inferences = 0;
+  // Why the closure stopped early (kNone when complete). The partial
+  // closure is still sound: every rule in it is a consequence of Σ.
+  DegradationReason degradation;
 };
 
 // Saturates a guarded, negation-free theory. The closure of a guarded
@@ -64,6 +72,7 @@ Result<SaturationResult> Saturate(const Theory& guarded_theory,
 struct DatalogTranslation {
   Theory datalog;
   bool complete = true;
+  DegradationReason degradation;
 };
 
 // Prop 6: a nearly guarded theory Σ translates to dat(Σg) ∪ Σd, where Σg

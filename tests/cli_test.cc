@@ -395,6 +395,157 @@ TEST(CliTest, ClassifyParseErrorSharesTheDiagnosticRenderer) {
       file));
 }
 
+// Runs a full shell command (no implicit redirection), capturing stdout.
+CommandResult RunRaw(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buffer;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+// --- Resource governance (--timeout-ms) and graceful degradation ---
+
+TEST(CliTest, AnswerNonterminatingTheoryDegradesUnderTimeout) {
+  // The chase of data/nonterminating.gerel never saturates; the budget
+  // must stop it with sound partial answers (here: all of them — the
+  // constant consequences converge in the first rounds), exit code 3,
+  // and a populated degradation reason.
+  CommandResult r = RunCli("answer " + Data("nonterminating.gerel") +
+                           " reach --route=chase --timeout-ms=200");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("may be incomplete"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("chase: deadline"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("6 answers"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("reach(a, d)"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, TimedOutAnswersAreByteIdenticalAcrossThreads) {
+  // Only stdout is compared: the stderr degradation line names the round
+  // the deadline tripped at, which legitimately varies run to run.
+  std::string base;
+  for (const char* threads : {"1", "2", "4"}) {
+    CommandResult r = RunRaw(
+        std::string(GEREL_CLI_PATH) + " answer " +
+        Data("nonterminating.gerel") +
+        " reach --route=chase --timeout-ms=200 --threads=" + threads +
+        " 2>/dev/null");
+    EXPECT_EQ(r.exit_code, 3) << r.output;
+    if (base.empty()) {
+      base = r.output;
+      EXPECT_NE(base.find("reach(a, d)"), std::string::npos) << base;
+    } else {
+      EXPECT_EQ(r.output, base) << "diverged at --threads=" << threads;
+    }
+  }
+}
+
+TEST(CliTest, ChaseDegradesOnTimeoutWithExit2) {
+  CommandResult r = RunCli("chase " + Data("nonterminating.gerel") +
+                           " --timeout-ms=100");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("saturated=0"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("degraded (chase: deadline"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, GerelFaultEnvForcesDeterministicExhaustion) {
+  CommandResult r = RunRaw("GEREL_FAULT=exhaust=chase@1 " +
+                           std::string(GEREL_CLI_PATH) + " chase " +
+                           Data("transitive_closure.gerel") +
+                           " --timeout-ms=60000 2>&1");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("degraded (chase: fault"), std::string::npos)
+      << r.output;
+}
+
+// --- Crash-safe snapshots (serve --snapshot, session `save`) ---
+
+TEST(CliTest, ServeSnapshotRoundTripAndTruncationRecovery) {
+  std::string snap = "/tmp/gerel_cli_snap_" + std::to_string(getpid()) +
+                     ".snap";
+  std::remove(snap.c_str());
+  std::string serve_args = "serve " + Data("transitive_closure.gerel") +
+                           " --snapshot=" + snap;
+  std::string input = "query t(X, Y) -> q(X, Y)\nquit\n";
+
+  // First session: no snapshot yet — prepare fresh and save one.
+  CommandResult first = RunCliWithInput(input, serve_args);
+  EXPECT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_EQ(first.output.find("loaded snapshot"), std::string::npos)
+      << first.output;
+  EXPECT_NE(first.output.find("6 answers (complete)"), std::string::npos)
+      << first.output;
+
+  // Second session: load the saved snapshot, same answers.
+  CommandResult second = RunCliWithInput(input, serve_args);
+  EXPECT_EQ(second.exit_code, 0) << second.output;
+  EXPECT_NE(second.output.find("loaded snapshot"), std::string::npos)
+      << second.output;
+  EXPECT_NE(second.output.find("6 answers (complete)"), std::string::npos)
+      << second.output;
+
+  // Simulated crash mid-write: truncate the snapshot. The load must
+  // detect it and fall back to re-materialization — same answers again.
+  ASSERT_EQ(truncate(snap.c_str(), 16), 0);
+  CommandResult third = RunCliWithInput(input, serve_args);
+  EXPECT_EQ(third.exit_code, 0) << third.output;
+  EXPECT_NE(third.output.find("re-materializing"), std::string::npos)
+      << third.output;
+  EXPECT_NE(third.output.find("6 answers (complete)"), std::string::npos)
+      << third.output;
+  std::remove(snap.c_str());
+}
+
+TEST(CliTest, ServeSaveCommandWritesSnapshot) {
+  std::string snap = "/tmp/gerel_cli_save_" + std::to_string(getpid()) +
+                     ".snap";
+  std::remove(snap.c_str());
+  CommandResult r = RunCliWithInput(
+      "save " + snap + "\nsave\nquit\n",
+      "serve " + Data("transitive_closure.gerel"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // The bare `save` is an error.
+  EXPECT_NE(r.output.find("snapshot saved to " + snap), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("error: save requires a path"), std::string::npos)
+      << r.output;
+  FILE* f = fopen(snap.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << "session save did not write " << snap;
+  fclose(f);
+  std::remove(snap.c_str());
+}
+
+// --- Serve input robustness ---
+
+TEST(CliTest, ServeEofWithoutQuitExitsCleanly) {
+  CommandResult r = RunCliWithInput("query t(X, Y) -> q(X, Y)\n",
+                                    "serve " + Data("transitive_closure.gerel"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("6 answers (complete)"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, ServeOversizedLineIsSkippedCleanly) {
+  // A 1.1 MB line exceeds the 1 MiB serve cap: it must be diagnosed and
+  // skipped (exit 1), never buffered whole or crash the session — and
+  // the session keeps serving afterwards.
+  CommandResult r = RunRaw(
+      "{ head -c 1100000 /dev/zero | tr '\\0' 'a'; printf '\\nstats\\nquit\\n'; } | " +
+      std::string(GEREL_CLI_PATH) + " serve " +
+      Data("transitive_closure.gerel") + " 2>&1");
+  EXPECT_EQ(r.exit_code, 1) << r.output.substr(0, 2000);
+  EXPECT_NE(r.output.find("exceeds"), std::string::npos)
+      << r.output.substr(0, 2000);
+  EXPECT_NE(r.output.find("queries:"), std::string::npos)
+      << r.output.substr(0, 2000);
+}
+
 TEST(CliTest, UsageOnBadInvocation) {
   EXPECT_EQ(RunCli("frobnicate nothing").exit_code, 64);
   EXPECT_EQ(RunCli("classify").exit_code, 64);

@@ -1,0 +1,206 @@
+// Tests for crash-safe PreparedKb persistence (service/snapshot.cc):
+// round-trip fidelity, corruption/version/fingerprint detection at load,
+// and the re-materialization fallback.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/parser.h"
+#include "service/prepared_kb.h"
+
+namespace gerel {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* tmp = std::getenv("TMPDIR");
+    path_ = std::string(tmp != nullptr && tmp[0] != '\0' ? tmp : "/tmp") +
+            "/gerel-snapshot-test-" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".snap";
+  }
+  void TearDown() override {
+    SetFaultPlanForTest(nullptr);
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+};
+
+const char* kWgTheory = R"(
+  gen(X) -> exists Y. e(X, Y).
+  e(X, Y), e(Y, Z) -> e(X, Z).
+  e(X, Y) -> node(X).
+)";
+
+std::unique_ptr<PreparedKb> PrepareWg(SymbolTable* syms) {
+  Theory t = ParseTheory(kWgTheory, syms).value();
+  Database db = ParseDatabase("gen(a). e(a, b). e(b, c).", syms).value();
+  Result<std::unique_ptr<PreparedKb>> kb = PreparedKb::Prepare(t, db, syms);
+  EXPECT_TRUE(kb.ok()) << kb.status().message();
+  return std::move(kb).value();
+}
+
+std::set<std::vector<Term>> QueryNodes(PreparedKb* kb, SymbolTable* syms) {
+  Rule cq = ParseRule("node(U) -> q(U)", syms).value();
+  Result<PreparedQueryResult> r = kb->Query(cq);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.value().answers;
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesModelAndAnswers) {
+  SymbolTable syms;
+  auto kb = PrepareWg(&syms);
+  std::set<std::vector<Term>> clean_answers = QueryNodes(kb.get(), &syms);
+  ASSERT_FALSE(clean_answers.empty());
+  ASSERT_TRUE(kb->SaveSnapshot(path_).ok());
+
+  SymbolTable loaded_syms;
+  Result<std::unique_ptr<PreparedKb>> loaded =
+      PreparedKb::LoadSnapshot(path_, &loaded_syms);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value()->mode(), kb->mode());
+  EXPECT_EQ(loaded.value()->model_size(), kb->model_size());
+  EXPECT_EQ(QueryNodes(loaded.value().get(), &loaded_syms), clean_answers);
+  EXPECT_EQ(loaded.value()->stats().snapshot_loads, 1u);
+}
+
+TEST_F(SnapshotTest, LoadedKbAcceptsAsserts) {
+  SymbolTable syms;
+  auto kb = PrepareWg(&syms);
+  ASSERT_TRUE(kb->SaveSnapshot(path_).ok());
+  SymbolTable loaded_syms;
+  Result<std::unique_ptr<PreparedKb>> loaded =
+      PreparedKb::LoadSnapshot(path_, &loaded_syms);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  Database extra = ParseDatabase("e(c, d).", &loaded_syms).value();
+  Result<AssertResult> asserted =
+      loaded.value()->Assert(extra.AtomsVector());
+  ASSERT_TRUE(asserted.ok()) << asserted.status().message();
+  EXPECT_EQ(asserted.value().new_atoms, 1u);
+  Rule cq = ParseRule("node(U) -> q(U)", &loaded_syms).value();
+  Result<PreparedQueryResult> r = loaded.value()->Query(cq);
+  ASSERT_TRUE(r.ok());
+  // d's predecessor chain makes c a node too.
+  Term c = loaded_syms.Constant("c");
+  EXPECT_TRUE(r.value().answers.count({c}));
+}
+
+TEST_F(SnapshotTest, LoadRequiresFreshSymbolTable) {
+  SymbolTable syms;
+  auto kb = PrepareWg(&syms);
+  ASSERT_TRUE(kb->SaveSnapshot(path_).ok());
+  // Reusing the populated table must be rejected, not silently mis-bound.
+  Result<std::unique_ptr<PreparedKb>> loaded =
+      PreparedKb::LoadSnapshot(path_, &syms);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(SnapshotTest, DetectsTruncation) {
+  SymbolTable syms;
+  auto kb = PrepareWg(&syms);
+  ASSERT_TRUE(kb->SaveSnapshot(path_).ok());
+  // Truncate at several depths: inside the header, inside the payload,
+  // and just shy of the checksum trailer. Every cut must be detected.
+  std::ifstream in(path_, std::ios::binary);
+  std::string image((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(image.size(), 30u);
+  for (size_t cut : {size_t{0}, size_t{10}, size_t{25}, image.size() - 1}) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), cut);
+    out.close();
+    SymbolTable fresh;
+    Result<std::unique_ptr<PreparedKb>> loaded =
+        PreparedKb::LoadSnapshot(path_, &fresh);
+    EXPECT_FALSE(loaded.ok()) << "undetected truncation at byte " << cut;
+  }
+}
+
+TEST_F(SnapshotTest, DetectsBitFlipAnywhere) {
+  SymbolTable syms;
+  auto kb = PrepareWg(&syms);
+  ASSERT_TRUE(kb->SaveSnapshot(path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string image((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Flip one bit in the magic, the version, the size field, the payload,
+  // and the checksum trailer.
+  for (size_t at : {size_t{2}, size_t{9}, size_t{13}, size_t{24},
+                    image.size() - 3}) {
+    std::string bad = image;
+    bad[at] ^= 0x01;
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bad.data(), bad.size());
+    out.close();
+    SymbolTable fresh;
+    Result<std::unique_ptr<PreparedKb>> loaded =
+        PreparedKb::LoadSnapshot(path_, &fresh);
+    EXPECT_FALSE(loaded.ok()) << "undetected bit flip at byte " << at;
+  }
+}
+
+TEST_F(SnapshotTest, DetectsFingerprintMismatch) {
+  SymbolTable syms;
+  auto kb = PrepareWg(&syms);
+  kb->set_snapshot_fingerprint(42);
+  ASSERT_TRUE(kb->SaveSnapshot(path_).ok());
+  SymbolTable fresh;
+  Result<std::unique_ptr<PreparedKb>> stale =
+      PreparedKb::LoadSnapshot(path_, &fresh, PreparedKbOptions(), 43);
+  EXPECT_FALSE(stale.ok());
+  SymbolTable fresh2;
+  Result<std::unique_ptr<PreparedKb>> match =
+      PreparedKb::LoadSnapshot(path_, &fresh2, PreparedKbOptions(), 42);
+  EXPECT_TRUE(match.ok()) << match.status().message();
+}
+
+TEST_F(SnapshotTest, FaultPlanCorruptionIsDetectedAndRecoverable) {
+  SymbolTable syms;
+  auto kb = PrepareWg(&syms);
+  std::set<std::vector<Term>> clean_answers = QueryNodes(kb.get(), &syms);
+
+  FaultPlan truncate;
+  truncate.snapshot_truncate_at = 12;
+  FaultPlan flip;
+  flip.snapshot_flip_byte = 30;
+  for (const FaultPlan* plan : {&truncate, &flip}) {
+    SetFaultPlanForTest(plan);
+    ASSERT_TRUE(kb->SaveSnapshot(path_).ok());
+    SetFaultPlanForTest(nullptr);
+    SymbolTable fresh;
+    Result<std::unique_ptr<PreparedKb>> loaded =
+        PreparedKb::LoadSnapshot(path_, &fresh);
+    EXPECT_FALSE(loaded.ok()) << "undetected injected corruption";
+    // Recovery: fall back to a fresh Prepare (what `gerel serve` does).
+    SymbolTable recovered_syms;
+    auto recovered = PrepareWg(&recovered_syms);
+    EXPECT_EQ(QueryNodes(recovered.get(), &recovered_syms), clean_answers);
+  }
+}
+
+TEST_F(SnapshotTest, MissingFileIsAnError) {
+  SymbolTable fresh;
+  Result<std::unique_ptr<PreparedKb>> loaded =
+      PreparedKb::LoadSnapshot(path_ + ".does-not-exist", &fresh);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(SnapshotTest, SaveCountsInStats) {
+  SymbolTable syms;
+  auto kb = PrepareWg(&syms);
+  ASSERT_TRUE(kb->SaveSnapshot(path_).ok());
+  ASSERT_TRUE(kb->SaveSnapshot(path_).ok());
+  EXPECT_EQ(kb->stats().snapshot_saves, 2u);
+}
+
+}  // namespace
+}  // namespace gerel

@@ -17,6 +17,11 @@ baseline are reported as missing (a warning, not a failure: binaries and
 cases come and go); benchmarks present only in the current run are new
 and ignored. Runs faster than --min-ms in the baseline are skipped —
 sub-noise-floor timings regress by 15% from scheduler jitter alone.
+
+Exit codes: 0 no regressions, 1 regressions over threshold, 2 unusable
+input (missing directory, no BENCH_*.json files, unparsable JSON, or a
+dump without the expected fields) — so CI can tell "perf got worse"
+from "the harness never produced comparable numbers".
 """
 
 import argparse
@@ -24,22 +29,51 @@ import json
 import pathlib
 import sys
 
+EXIT_REGRESSION = 1
+EXIT_BAD_INPUT = 2
+
+
+def fail_input(message):
+    """Input errors are diagnosed on stderr and exit 2, never a traceback."""
+    print(f"bench_diff: error: {message}", file=sys.stderr)
+    sys.exit(EXIT_BAD_INPUT)
+
 
 def load_dir(path):
     """Returns {(binary, name): wall_ms} over every BENCH_*.json in path."""
     out = {}
     root = pathlib.Path(path)
+    if not root.exists():
+        fail_input(f"directory {path} does not exist")
+    if not root.is_dir():
+        fail_input(f"{path} is not a directory")
     files = sorted(root.glob("BENCH_*.json"))
     if not files:
-        sys.exit(f"bench_diff: no BENCH_*.json files in {path}")
+        fail_input(f"no BENCH_*.json files in {path}")
     for f in files:
         try:
             doc = json.loads(f.read_text())
+        except OSError as e:
+            fail_input(f"{f}: {e}")
         except json.JSONDecodeError as e:
-            sys.exit(f"bench_diff: {f}: {e}")
+            fail_input(f"{f}: not valid JSON: {e}")
+        if not isinstance(doc, dict):
+            fail_input(f"{f}: expected a JSON object at top level")
         binary = doc.get("binary", f.stem)
-        for run in doc.get("benchmarks", []):
-            out[(binary, run["name"])] = float(run["wall_ms"])
+        benchmarks = doc.get("benchmarks", [])
+        if not isinstance(benchmarks, list):
+            fail_input(f"{f}: \"benchmarks\" must be a list")
+        for i, run in enumerate(benchmarks):
+            if not isinstance(run, dict) or "name" not in run:
+                fail_input(f"{f}: benchmarks[{i}] has no \"name\"")
+            if "wall_ms" not in run:
+                fail_input(f"{f}: benchmark {run['name']!r} has no \"wall_ms\"")
+            try:
+                wall_ms = float(run["wall_ms"])
+            except (TypeError, ValueError):
+                fail_input(f"{f}: benchmark {run['name']!r} has non-numeric "
+                           f"wall_ms {run['wall_ms']!r}")
+            out[(binary, run["name"])] = wall_ms
     return out
 
 
@@ -93,7 +127,7 @@ def main():
         for (binary, name), base_ms, cur_ms, rel in regressions:
             print(f"  {binary}:{name}: {base_ms:.3f} ms -> {cur_ms:.3f} ms "
                   f"({rel:+.1%})")
-        return 1
+        return EXIT_REGRESSION
     return 0
 
 

@@ -29,10 +29,20 @@
 //   --threads=N   (worker lanes for the chase, saturation, and Datalog
 //                  evaluation; results are byte-identical for any value)
 //
+// Resource governance (chase/answer/serve):
+//   --timeout-ms=N (wall-clock budget; exhaustion degrades to sound
+//                   partial results, never a hang or crash)
+//   --max-atoms=N  (atom ceiling; for `chase` this is the existing chase
+//                   cap, for answer/serve it bounds every pipeline stage)
+//   --snapshot=PATH (serve: load a crash-safe snapshot if it matches the
+//                   program, else prepare and save one; also saved at
+//                   session end)
+//
 // Exit codes: 0 success, 1 error, 2 chase hit a cap before saturating,
 // 3 answers are sound but possibly incomplete (a translation stage hit a
-// size cap), 64 usage.
+// size cap or a budget was exhausted), 64 usage.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,7 +56,9 @@
 #include "analyze/render.h"
 #include "chase/chase.h"
 #include "chase/chase_tree.h"
+#include "core/budget.h"
 #include "core/classify.h"
+#include "core/fault.h"
 #include "core/normalize.h"
 #include "core/parser.h"
 #include "core/printer.h"
@@ -87,7 +99,32 @@ struct ParsedArgs {
   // Worker lanes for chase/tree/translate/answer/serve (chase
   // enumeration, saturation frontier, Datalog evaluation).
   size_t threads = 1;
+  // Resource budget (0 = unlimited). --max-atoms doubles as the chase
+  // cap (existing semantics) and the budget atom ceiling.
+  double timeout_ms = 0;
+  uint64_t budget_atoms = 0;
+  // serve: crash-safe snapshot path (empty = no persistence).
+  std::string snapshot;
 };
+
+// Budget limits from the command line; unlimited() when no flag was set.
+BudgetLimits CliBudget(const ParsedArgs& args) {
+  BudgetLimits limits;
+  limits.timeout_ms = args.timeout_ms;
+  limits.max_atoms = args.budget_atoms;
+  return limits;
+}
+
+// FNV-1a over the program text: the snapshot fingerprint.
+uint64_t FingerprintText(const std::string& text) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // 0 means "unchecked"; avoid colliding with it.
+  return h == 0 ? 1 : h;
+}
 
 bool ParseFlag(const char* arg, const char* name, long* out) {
   size_t len = std::strlen(name);
@@ -214,10 +251,18 @@ int RunChase(const ParsedArgs& args) {
   if (!text.ok()) return Fail(text.status().message());
   auto program = ParseProgram(text.value(), &syms);
   if (!program.ok()) return Fail(program.status().message());
+  ChaseOptions chase_opts = args.chase;
+  ExecutionBudget budget(CliBudget(args), GlobalFaultPlan());
+  if (args.timeout_ms > 0) chase_opts.budget = &budget;
   ChaseResult r = Chase(program.value().theory, program.value().database,
-                        &syms, args.chase);
+                        &syms, chase_opts);
   std::fprintf(stderr, "chase: %zu atoms, %zu steps, saturated=%d\n",
                r.database.size(), r.steps, r.saturated);
+  if (r.degradation.degraded()) {
+    std::fprintf(stderr, "chase: degraded (%s); atoms are sound but "
+                 "possibly incomplete\n",
+                 r.degradation.ToString().c_str());
+  }
   std::printf("%s", ToString(r.database, syms).c_str());
   return r.saturated ? 0 : 2;
 }
@@ -311,9 +356,23 @@ int Answer(const ParsedArgs& args) {
   RelationId q = syms.Relation(args.relation);
   std::set<std::vector<Term>> answers;
   bool incomplete = false;
+  BudgetLimits limits = CliBudget(args);
+  ExecutionBudget budget(limits, GlobalFaultPlan());
+  ExecutionBudget* budget_ptr = limits.unlimited() ? nullptr : &budget;
+  DegradationReason degradation;
   if (args.route == "chase") {
-    answers = ChaseAnswers(program.value().theory, program.value().database,
-                           q, &syms, args.chase);
+    ChaseOptions chase_opts = args.chase;
+    chase_opts.budget = budget_ptr;
+    ChaseResult r = Chase(program.value().theory, program.value().database,
+                          &syms, chase_opts);
+    for (uint32_t ai : r.database.AtomsOf(q)) {
+      const Atom& a = r.database.atom(ai);
+      if (a.IsGroundOverConstants()) answers.insert(a.args);
+    }
+    if (!r.saturated) {
+      incomplete = true;
+      degradation = r.degradation;
+    }
   } else if (args.route == "datalog") {
     // Translate (Prop 4 + Prop 6) then evaluate.
     ExpansionOptions expansion;
@@ -322,6 +381,8 @@ int Answer(const ParsedArgs& args) {
       expansion.max_rules = args.max_rules;
       saturation.max_rules = args.max_rules;
     }
+    expansion.budget = budget_ptr;
+    saturation.budget = budget_ptr;
     saturation.num_threads = args.threads;
     Theory normal = gerel::Normalize(program.value().theory, &syms);
     auto rew = RewriteNfgToNearlyGuarded(normal, &syms, expansion);
@@ -331,16 +392,31 @@ int Answer(const ParsedArgs& args) {
     if (!dat.ok()) return Fail(dat.status().message());
     if (!rew.value().complete || !dat.value().complete) {
       incomplete = true;
-      std::fprintf(stderr,
-                   "warning: translation hit a size cap; answers are "
-                   "sound but may be incomplete (try --route=chase)\n");
+      degradation = rew.value().complete ? dat.value().degradation
+                                         : rew.value().degradation;
     }
-    auto ans = DatalogAnswers(dat.value().datalog,
-                              program.value().database, q, &syms);
-    if (!ans.ok()) return Fail(ans.status().message());
-    answers = std::move(ans).value();
+    DatalogOptions dopts;
+    dopts.num_threads = args.threads;
+    dopts.budget = budget_ptr;
+    auto eval = EvaluateDatalog(dat.value().datalog,
+                                program.value().database, &syms, dopts);
+    if (!eval.ok()) return Fail(eval.status().message());
+    if (!eval.value().complete) {
+      incomplete = true;
+      if (!degradation.degraded()) degradation = eval.value().degradation;
+    }
+    for (uint32_t ai : eval.value().database.AtomsOf(q)) {
+      const Atom& a = eval.value().database.atom(ai);
+      if (a.IsGroundOverConstants()) answers.insert(a.args);
+    }
   } else {
     return Fail("unknown route: " + args.route);
+  }
+  if (incomplete) {
+    std::fprintf(stderr,
+                 "warning: answers are sound but may be incomplete (%s)\n",
+                 degradation.degraded() ? degradation.ToString().c_str()
+                                        : "a stage hit a size cap");
   }
   for (const std::vector<Term>& tuple : answers) {
     std::printf("%s(", args.relation.c_str());
@@ -363,12 +439,38 @@ const char* ModeName(PreparedKb::Mode mode) {
   return "?";
 }
 
+// Longest serve input line accepted; longer lines are drained and
+// reported instead of ballooning memory.
+constexpr size_t kMaxServeLine = size_t{1} << 20;
+
+// Reads one line (up to `cap` bytes) from `in`. Returns false at EOF
+// with no pending content. Oversized lines are consumed to their
+// newline, truncated, and flagged via *oversized.
+bool ReadLineBounded(std::istream& in, std::string* line, size_t cap,
+                     bool* oversized) {
+  line->clear();
+  *oversized = false;
+  int ch;
+  while ((ch = in.get()) != EOF) {
+    if (ch == '\n') return true;
+    if (line->size() < cap) {
+      line->push_back(static_cast<char>(ch));
+    } else {
+      *oversized = true;
+    }
+  }
+  return !line->empty();
+}
+
 int Serve(const ParsedArgs& args) {
-  SymbolTable syms;
+  // A reader that goes away mid-session must surface as a write error,
+  // not a SIGPIPE kill.
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   auto text = ReadFile(args.file.c_str());
   if (!text.ok()) return Fail(text.status().message());
-  auto program = ParseProgram(text.value(), &syms);
-  if (!program.ok()) return Fail(program.status().message());
+  uint64_t fingerprint = FingerprintText(text.value());
   PreparedKbOptions options;
   if (args.max_rules > 0) {
     options.pipeline.expansion.max_rules = args.max_rules;
@@ -377,29 +479,74 @@ int Serve(const ParsedArgs& args) {
   }
   options.datalog.num_threads = args.threads;
   options.pipeline.saturation.num_threads = args.threads;
-  auto kb = PreparedKb::Prepare(program.value().theory,
-                                program.value().database, &syms, options);
-  if (!kb.ok()) return Fail(kb.status().message());
-  ServiceStats prepared = kb.value()->stats();
+  options.budget = CliBudget(args);
+  SymbolTable syms;
+  std::unique_ptr<PreparedKb> kb;
+  if (!args.snapshot.empty()) {
+    auto loaded =
+        PreparedKb::LoadSnapshot(args.snapshot, &syms, options, fingerprint);
+    if (loaded.ok()) {
+      kb = std::move(loaded).value();
+      std::fprintf(stderr, "loaded snapshot %s\n", args.snapshot.c_str());
+    } else {
+      std::fprintf(stderr, "gerel: %s; re-materializing\n",
+                   loaded.status().message().c_str());
+      // A failed load may have partially interned names; start over.
+      syms = SymbolTable();
+    }
+  }
+  if (kb == nullptr) {
+    auto program = ParseProgram(text.value(), &syms);
+    if (!program.ok()) return Fail(program.status().message());
+    auto prepared = PreparedKb::Prepare(program.value().theory,
+                                        program.value().database, &syms,
+                                        options);
+    if (!prepared.ok()) return Fail(prepared.status().message());
+    kb = std::move(prepared).value();
+    kb->set_snapshot_fingerprint(fingerprint);
+    if (!args.snapshot.empty()) {
+      Status s = kb->SaveSnapshot(args.snapshot);
+      if (!s.ok()) std::fprintf(stderr, "gerel: %s\n", s.message().c_str());
+    }
+  }
+  ServiceStats prepared_stats = kb->stats();
   std::fprintf(stderr,
                "prepared: mode=%s, %llu datalog rules, %llu model atoms, "
                "%.1f ms%s\n",
-               ModeName(kb.value()->mode()),
-               static_cast<unsigned long long>(prepared.datalog_rules),
-               static_cast<unsigned long long>(prepared.model_atoms),
-               prepared.prepare_wall_ms,
-               kb.value()->prepare_complete() ? "" : " (incomplete)");
-  ServiceSession session(kb.value().get(), &syms);
+               ModeName(kb->mode()),
+               static_cast<unsigned long long>(prepared_stats.datalog_rules),
+               static_cast<unsigned long long>(prepared_stats.model_atoms),
+               prepared_stats.prepare_wall_ms,
+               kb->prepare_complete() ? "" : " (incomplete)");
+  ServiceSession session(kb.get(), &syms);
   std::string line;
-  while (std::getline(std::cin, line)) {
-    ServiceSession::Response r = session.HandleLine(line);
+  bool oversized = false;
+  bool io_error = false;
+  while (ReadLineBounded(std::cin, &line, kMaxServeLine, &oversized)) {
+    ServiceSession::Response r;
+    if (oversized) {
+      r.error = true;
+      r.text = "error: input line exceeds " +
+               std::to_string(kMaxServeLine) + " bytes; skipped\n";
+      io_error = true;
+    } else {
+      r = session.HandleLine(line);
+    }
     std::fputs(r.text.c_str(), stdout);
-    std::fflush(stdout);
+    if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+      std::fprintf(stderr, "gerel: stdout write failed; exiting\n");
+      io_error = true;
+      break;
+    }
     if (r.quit) break;
   }
-  std::fputs(kb.value()->stats().ToString().c_str(), stderr);
+  if (!args.snapshot.empty()) {
+    Status s = kb->SaveSnapshot(args.snapshot);
+    if (!s.ok()) std::fprintf(stderr, "gerel: %s\n", s.message().c_str());
+  }
+  std::fputs(kb->stats().ToString().c_str(), stderr);
   if (session.saw_incomplete()) return 3;
-  return session.saw_error() ? 1 : 0;
+  return (session.saw_error() || io_error) ? 1 : 0;
 }
 
 int Dot(const ParsedArgs& args) {
@@ -433,6 +580,7 @@ int Usage();
 int Fuzz(int argc, char** argv) {
   unsigned seed = 1;
   size_t iters = 100;
+  std::string lane = "conformance";
   std::vector<testing::GenClass> classes;  // Empty = all seven.
   testing::DiffOptions opts;
   opts.shrink = false;
@@ -449,6 +597,15 @@ int Fuzz(int argc, char** argv) {
       seed = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if ((v = value("--iters")) != nullptr) {
       iters = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = value("--lane")) != nullptr) {
+      lane = v;
+      if (lane != "conformance" && lane != "fault-recovery") {
+        std::fprintf(stderr,
+                     "gerel fuzz: unknown lane '%s' "
+                     "(conformance|fault-recovery)\n",
+                     v);
+        return 64;
+      }
     } else if ((v = value("--threads")) != nullptr) {
       opts.num_threads = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if ((v = value("--class")) != nullptr) {
@@ -480,7 +637,9 @@ int Fuzz(int argc, char** argv) {
     }
   }
   testing::DiffReport report =
-      testing::RunDifferential(seed, iters, classes, opts);
+      lane == "fault-recovery"
+          ? testing::RunFaultRecovery(seed, iters, classes, opts)
+          : testing::RunDifferential(seed, iters, classes, opts);
   if (opts.log_cases) std::printf("%s", report.transcript.c_str());
   std::printf("fuzz: %zu cases (%zu checked, %zu skipped), %zu failure%s\n",
               report.iterations, report.checked, report.skipped,
@@ -504,14 +663,18 @@ int Usage() {
                "<program>\n"
                "       gerel answer <program> <relation> "
                "[--route=chase|datalog]\n"
-               "       gerel serve <program> [--threads=N]\n"
+               "       gerel serve <program> [--threads=N] "
+               "[--snapshot=PATH]\n"
                "       gerel fuzz [--seed N] [--iters N] [--class "
                "dlg|g|fg|wg|wfg|ng|nfg|all]\n"
-               "                  [--shrink] [--threads N] [--fault F] "
-               "[--log-cases]\n"
+               "                  [--lane conformance|fault-recovery] "
+               "[--shrink] [--threads N]\n"
+               "                  [--fault F] [--log-cases]\n"
                "       gerel dot preds|positions|tree <program>\n"
                "flags: --max-steps=N --max-atoms=N --max-depth=N "
-               "--max-rules=N --threads=N\n");
+               "--max-rules=N --threads=N\n"
+               "       --timeout-ms=N (degrade to sound partial results "
+               "on budget exhaustion)\n");
   return 64;
 }
 
@@ -543,6 +706,11 @@ int main(int argc, char** argv) {
       args.chase.max_steps = static_cast<size_t>(value);
     } else if (ParseFlag(argv[i], "--max-atoms", &value)) {
       args.chase.max_atoms = static_cast<size_t>(value);
+      args.budget_atoms = static_cast<uint64_t>(value);
+    } else if (ParseFlag(argv[i], "--timeout-ms", &value)) {
+      args.timeout_ms = static_cast<double>(value);
+    } else if (std::strncmp(argv[i], "--snapshot=", 11) == 0) {
+      args.snapshot = argv[i] + 11;
     } else if (ParseFlag(argv[i], "--max-depth", &value)) {
       args.chase.max_null_depth = static_cast<uint32_t>(value);
     } else if (ParseFlag(argv[i], "--max-rules", &value)) {
