@@ -251,8 +251,15 @@ class ChaseEngine {
 
   // Replays the round's trigger stream in deterministic order. Returns
   // true iff a limit stopped the merge (or truncated enumeration made
-  // the stream incomplete).
+  // the stream incomplete). Pending batched head atoms are always
+  // flushed before returning, so callers observe the true database size.
   bool MergeRound(bool first_round) {
+    bool limited = ReplayRound(first_round);
+    FlushPending();
+    return limited;
+  }
+
+  bool ReplayRound(bool first_round) {
     size_t ui = 0;
     for (uint32_t ri = 0; ri < rules_.size(); ++ri) {
       const PreparedRule& rule = rules_[ri];
@@ -281,9 +288,16 @@ class ChaseEngine {
       return true;
     }
     if (options_.max_atoms != 0 &&
-        result_.database.size() >= options_.max_atoms) {
-      cap_limit_ = BudgetLimit::kAtoms;
-      return true;
+        result_.database.size() + pending_atoms_.size() >=
+            options_.max_atoms) {
+      // The pending buffer over-approximates growth (it may hold
+      // duplicates), so flush it and re-test against the exact size —
+      // the stop decision ends up identical to per-trigger inserts.
+      FlushPending();
+      if (result_.database.size() >= options_.max_atoms) {
+        cap_limit_ = BudgetLimit::kAtoms;
+        return true;
+      }
     }
     // Amortized deadline/cancel check while the single-threaded merge
     // replays a (possibly huge) trigger stream.
@@ -352,16 +366,45 @@ class ChaseEngine {
       Atom derived = full.Apply(ha);
       // The restricted chase reads the database (HasHomomorphism) while
       // merging, so its postings must stay current; the oblivious merge
-      // defers them to the round boundary.
-      bool inserted = options_.restricted
-                          ? result_.database.Insert(derived)
-                          : result_.database.InsertDeferIndex(derived);
-      if (inserted) {
+      // defers them to the round boundary — and, with merge_batch_min
+      // set, buffers the whole round's candidates so dedup and appends
+      // can run as one (possibly parallel) batch at the flush.
+      if (options_.restricted) {
+        if (result_.database.Insert(derived)) {
+          result_.derivation.push_back(
+              ChaseStep{ri, std::move(derived), frontier_image});
+        }
+      } else if (options_.merge_batch_min != 0) {
+        pending_atoms_.push_back(std::move(derived));
+        pending_meta_.push_back(PendingMeta{ri, frontier_image});
+      } else if (result_.database.InsertDeferIndex(derived)) {
         result_.derivation.push_back(
             ChaseStep{ri, std::move(derived), frontier_image});
       }
     }
     return true;
+  }
+
+  // Drains the buffered head-atom candidates through the batch insert
+  // (parallel once the buffer reaches merge_batch_min) and appends the
+  // derivation records of the atoms that were new, in candidate order —
+  // exactly the records the per-trigger path would have produced.
+  void FlushPending() {
+    if (pending_atoms_.empty()) return;
+    WorkerPool* pool =
+        pending_atoms_.size() >= options_.merge_batch_min ? pool_.get()
+                                                          : nullptr;
+    result_.database.InsertBatchDeferIndex(pending_atoms_, pool,
+                                           &pending_new_);
+    for (size_t i = 0; i < pending_atoms_.size(); ++i) {
+      if (pending_new_[i]) {
+        result_.derivation.push_back(ChaseStep{pending_meta_[i].ri,
+                                               std::move(pending_atoms_[i]),
+                                               std::move(pending_meta_[i].frontier)});
+      }
+    }
+    pending_atoms_.clear();
+    pending_meta_.clear();
   }
 
   SymbolTable* symbols_;
@@ -372,6 +415,15 @@ class ChaseEngine {
   std::vector<Unit> units_;
   std::vector<std::vector<TriggerRec>> unit_triggers_;
   ChaseResult result_;
+  // Round-local head-atom candidates awaiting the batched flush
+  // (oblivious merge with merge_batch_min != 0 only).
+  struct PendingMeta {
+    uint32_t ri = 0;
+    std::vector<Term> frontier;
+  };
+  std::vector<Atom> pending_atoms_;
+  std::vector<PendingMeta> pending_meta_;
+  std::vector<uint8_t> pending_new_;
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
   std::unordered_map<uint32_t, uint32_t> null_depth_;
   bool skipped_depth_limited_ = false;

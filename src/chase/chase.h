@@ -63,6 +63,16 @@ struct ChaseOptions {
   // boundaries and, amortized, inside trigger enumeration; not owned.
   // Exhaustion stops the run cleanly with ChaseResult::degradation set.
   ExecutionBudget* budget = nullptr;
+  // Oblivious merge phase only: head atoms are buffered and inserted
+  // through Database::InsertBatchDeferIndex at the round boundary; once
+  // a round's buffer holds at least this many candidates the dedup and
+  // segment appends run on the worker pool. The threshold depends only
+  // on the candidate count (never the thread count) and the batch insert
+  // is order-deterministic, so results stay byte-identical for any
+  // num_threads. 0 reverts to per-trigger inserts; the restricted chase
+  // always inserts per trigger (its satisfaction check reads the
+  // database mid-merge).
+  size_t merge_batch_min = 2048;
 };
 
 // Provenance of one derived atom: which rule fired and the image of its

@@ -127,6 +127,80 @@ bool Database::InsertDeferIndex(const Atom& atom) {
   return true;
 }
 
+size_t Database::InsertBatchDeferIndex(const std::vector<Atom>& batch,
+                                       WorkerPool* pool,
+                                       std::vector<uint8_t>* is_new) {
+  size_t n = batch.size();
+  is_new->assign(n, 0);
+  if (n == 0) return 0;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    size_t added = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (InsertDeferIndex(batch[i])) {
+        (*is_new)[i] = 1;
+        ++added;
+      }
+    }
+    return added;
+  }
+  // Phase 1 — hash every atom in parallel; the shard id is the only
+  // per-atom state the dedup phase needs.
+  std::vector<uint8_t> shard_of(n);
+  constexpr size_t kHashChunk = 1024;
+  size_t chunks = (n + kHashChunk - 1) / kHashChunk;
+  pool->Run(chunks, [&](size_t c) {
+    size_t end = std::min((c + 1) * kHashChunk, n);
+    for (size_t i = c * kHashChunk; i < end; ++i) {
+      GEREL_CHECK(batch[i].IsDatabaseAtom());
+      shard_of[i] = static_cast<uint8_t>(SetShardOf(batch[i]));
+    }
+  });
+  // Phase 2 — partition candidate indices by shard, in batch order, so
+  // each shard sees its candidates in the same order the sequential
+  // loop would (first occurrence of an in-batch duplicate wins).
+  std::array<std::vector<uint32_t>, kSetShards> members;
+  for (size_t i = 0; i < n; ++i) {
+    members[shard_of[i]].push_back(static_cast<uint32_t>(i));
+  }
+  // Phase 3 — per-shard dedup in parallel. Each shard's set is touched
+  // by exactly one lane (no locks), and duplicate atoms always hash to
+  // the same shard, so the newness marks match the sequential loop.
+  pool->Run(kSetShards, [&](size_t s) {
+    for (uint32_t i : members[s]) {
+      if (set_shards_[s].set.insert(batch[i]).second) (*is_new)[i] = 1;
+    }
+  });
+  // Phase 4 — assign final indices in batch order and pre-size storage
+  // so the scatter below never grows the directory concurrently.
+  size_t base = size();
+  std::vector<uint32_t> new_list;
+  for (size_t i = 0; i < n; ++i) {
+    if ((*is_new)[i]) new_list.push_back(static_cast<uint32_t>(i));
+  }
+  if (new_list.empty()) return 0;
+  size_t end = base + new_list.size();
+  ReserveConcurrent(end);
+  for (size_t seg = base >> kSegmentBits; seg < (end + kSegmentMask) >>
+                                                    kSegmentBits;
+       ++seg) {
+    if (!segments_[seg]) segments_[seg] = std::make_unique<Segment>();
+  }
+  // Phase 5 — scatter the new atoms into their slots in parallel
+  // (distinct slots per task; the single size_ publish below is the
+  // only cross-thread handoff) and publish the new size once.
+  size_t scatter_chunks = (new_list.size() + kHashChunk - 1) / kHashChunk;
+  pool->Run(scatter_chunks, [&](size_t c) {
+    size_t stop = std::min((c + 1) * kHashChunk, new_list.size());
+    for (size_t r = c * kHashChunk; r < stop; ++r) {
+      size_t index = base + r;
+      (*segments_[index >> kSegmentBits])[index & kSegmentMask] =
+          batch[new_list[r]];
+    }
+  });
+  size_.store(end, std::memory_order_release);
+  return new_list.size();
+}
+
 void Database::IndexNewAtoms(WorkerPool* pool) {
   size_t end = size();
   if (indexed_upto_ >= end) return;

@@ -61,6 +61,19 @@ class Database {
   // identical to the sequential build (each shard's postings are
   // appended in atom-index order by a single lane).
   void IndexNewAtoms(WorkerPool* pool = nullptr);
+  // Batched InsertDeferIndex: inserts `batch` in order, writing 1 into
+  // (*is_new)[i] iff batch[i] was new (first occurrence wins for
+  // in-batch duplicates, exactly as a sequential InsertDeferIndex loop).
+  // Returns the number of new atoms. With a pool of >1 lanes the dedup
+  // hashing, per-shard set inserts, and segment appends run in parallel
+  // (shard-per-lane over the concurrent-mode set shards, scatter into a
+  // ReserveConcurrent-pre-sized directory); the resulting atom order,
+  // dedup outcome, and postings are byte-identical to the sequential
+  // loop for any lane count. Owner mode only; postings stay deferred
+  // until IndexNewAtoms.
+  size_t InsertBatchDeferIndex(const std::vector<Atom>& batch,
+                               WorkerPool* pool,
+                               std::vector<uint8_t>* is_new);
 
   bool Contains(const Atom& atom) const;
 

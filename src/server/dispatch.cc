@@ -1,0 +1,262 @@
+#include "server/dispatch.h"
+
+#include <fstream>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace gerel {
+namespace server {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+const char* ModeName(PreparedKb::Mode mode) {
+  switch (mode) {
+    case PreparedKb::Mode::kDatalog: return "datalog";
+    case PreparedKb::Mode::kGuarded: return "guarded";
+    case PreparedKb::Mode::kWeaklyGuarded: return "weakly guarded";
+  }
+  return "?";
+}
+
+}  // namespace
+
+DispatchOutcome Dispatcher::Dispatch(const WireRequest& req) {
+  if (req.op == Op::kStats) return Stats(req);
+  std::string name = req.kb.empty() ? kDefaultKbName : req.kb;
+  switch (req.op) {
+    case Op::kQuery: return Query(req, name);
+    case Op::kAssert: return Assert(req, name);
+    case Op::kPrepare: return Prepare(req, name);
+    case Op::kSave: return Save(req, name);
+    case Op::kDrop: return Drop(req, name);
+    case Op::kStats: break;  // Handled above.
+  }
+  return DispatchOutcome::Error(req.op, name, kErrBadRequest,
+                                "unhandled op");
+}
+
+DispatchOutcome Dispatcher::Query(const WireRequest& req,
+                                  const std::string& name) {
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (tenant == nullptr) {
+    return DispatchOutcome::Error(Op::kQuery, name, kErrUnknownKb,
+                                  "unknown kb \"" + name + "\"");
+  }
+  Rule cq;
+  {
+    // Parsing interns names into the tenant's symbol table — exclusive.
+    std::unique_lock<std::shared_mutex> lock(tenant->mu);
+    Result<Rule> parsed = ParseRule(req.cq, tenant->symbols);
+    if (!parsed.ok()) {
+      return DispatchOutcome::Error(Op::kQuery, name, kErrParse,
+                                    parsed.status().message());
+    }
+    cq = std::move(parsed).value();
+  }
+  // Execution and rendering only read the symbol table; the shared lock
+  // admits concurrent queries while excluding parsers and mutations.
+  // (An assert slipping in between the two locks is harmless — the
+  // query just observes the newer, still-consistent model.)
+  std::shared_lock<std::shared_mutex> lock(tenant->mu);
+  Result<PreparedQueryResult> answers = tenant->kb->Query(cq);
+  if (!answers.ok()) {
+    return DispatchOutcome::Error(Op::kQuery, name, kErrFailed,
+                                  answers.status().message());
+  }
+  DispatchOutcome out;
+  out.op = Op::kQuery;
+  out.kb = name;
+  const Atom& head = cq.head[0];
+  out.query.answers.reserve(answers.value().answers.size());
+  for (const std::vector<Term>& tuple : answers.value().answers) {
+    Atom a(head.pred, tuple);
+    out.query.answers.push_back(ToString(a, *tenant->symbols));
+  }
+  out.query.complete = answers.value().complete;
+  out.query.cache_hit = answers.value().cache_hit;
+  out.query.degradation = answers.value().degradation;
+  out.has_cursor = true;
+  out.seq = tenant->seq;
+  out.epoch = tenant->epoch;
+  return out;
+}
+
+DispatchOutcome Dispatcher::Assert(const WireRequest& req,
+                                   const std::string& name) {
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (tenant == nullptr) {
+    return DispatchOutcome::Error(Op::kAssert, name, kErrUnknownKb,
+                                  "unknown kb \"" + name + "\"");
+  }
+  std::unique_lock<std::shared_mutex> lock(tenant->mu);
+  std::string padded(Trim(req.facts));
+  if (!padded.empty() && padded.back() != '.') padded += '.';
+  Result<Database> facts = ParseDatabase(padded, tenant->symbols);
+  if (!facts.ok()) {
+    return DispatchOutcome::Error(Op::kAssert, name, kErrParse,
+                                  facts.status().message());
+  }
+  // One Assert call per request frame: the whole batch seeds a single
+  // semi-naive delta pass.
+  Result<AssertResult> result = tenant->kb->Assert(facts.value().AtomsVector());
+  if (!result.ok()) {
+    return DispatchOutcome::Error(Op::kAssert, name, kErrFailed,
+                                  result.status().message());
+  }
+  if (result.value().delta) {
+    ++tenant->seq;
+  } else {
+    // The model was rebuilt from the EDB: delta replicas cannot catch
+    // up incrementally, so open a new epoch (full resync point).
+    ++tenant->epoch;
+    tenant->seq = 0;
+  }
+  tenant->dirty = true;
+  DispatchOutcome out;
+  out.op = Op::kAssert;
+  out.kb = name;
+  out.assert_reply.new_atoms = result.value().new_atoms;
+  out.assert_reply.derived_atoms = result.value().derived_atoms;
+  out.assert_reply.delta = result.value().delta;
+  out.has_cursor = true;
+  out.seq = tenant->seq;
+  out.epoch = tenant->epoch;
+  return out;
+}
+
+DispatchOutcome Dispatcher::Prepare(const WireRequest& req,
+                                    const std::string& name) {
+  if (!TenantRegistry::ValidName(name)) {
+    return DispatchOutcome::Error(Op::kPrepare, name, kErrBadName,
+                                  "invalid kb name \"" + name + "\"");
+  }
+  if (registry_->Find(name) != nullptr) {
+    return DispatchOutcome::Error(Op::kPrepare, name, kErrKbExists,
+                                  "kb \"" + name + "\" already exists");
+  }
+  std::string text = req.program;
+  if (text.empty()) {
+    std::ifstream in(req.path);
+    if (!in) {
+      return DispatchOutcome::Error(Op::kPrepare, name, kErrIo,
+                                    "cannot open " + req.path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  TenantRegistry::PrepareInfo info;
+  Result<std::shared_ptr<Tenant>> tenant =
+      registry_->Prepare(name, text, req.max_rules, &info);
+  if (!tenant.ok()) {
+    // Covers parse failures, non-wfg theories, and prepare-race losses;
+    // the message says which.
+    return DispatchOutcome::Error(Op::kPrepare, name, kErrFailed,
+                                  tenant.status().message());
+  }
+  std::shared_lock<std::shared_mutex> lock(tenant.value()->mu);
+  DispatchOutcome out;
+  out.op = Op::kPrepare;
+  out.kb = name;
+  out.prepare.mode = ModeName(tenant.value()->kb->mode());
+  out.prepare.datalog_rules = tenant.value()->kb->datalog_rules();
+  out.prepare.model_atoms = tenant.value()->kb->model_size();
+  out.prepare.loaded_snapshot = info.loaded_snapshot;
+  out.prepare.complete = tenant.value()->kb->prepare_complete();
+  out.has_cursor = true;
+  out.seq = tenant.value()->seq;
+  out.epoch = tenant.value()->epoch;
+  return out;
+}
+
+DispatchOutcome Dispatcher::Stats(const WireRequest& req) {
+  DispatchOutcome out;
+  out.op = Op::kStats;
+  if (req.kb.empty()) {
+    // Aggregate: one block per tenant (name-sorted) plus the sum.
+    out.stats.aggregated = true;
+    for (const std::shared_ptr<Tenant>& tenant : registry_->All()) {
+      std::shared_lock<std::shared_mutex> lock(tenant->mu);
+      ServiceStats stats = tenant->kb->stats();
+      out.stats.total.Accumulate(stats);
+      out.stats.per_kb.emplace_back(tenant->name, std::move(stats));
+    }
+    return out;
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(req.kb);
+  if (tenant == nullptr) {
+    return DispatchOutcome::Error(Op::kStats, req.kb, kErrUnknownKb,
+                                  "unknown kb \"" + req.kb + "\"");
+  }
+  std::shared_lock<std::shared_mutex> lock(tenant->mu);
+  out.kb = req.kb;
+  out.stats.total = tenant->kb->stats();
+  out.has_cursor = true;
+  out.seq = tenant->seq;
+  out.epoch = tenant->epoch;
+  return out;
+}
+
+DispatchOutcome Dispatcher::Save(const WireRequest& req,
+                                 const std::string& name) {
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (tenant == nullptr) {
+    return DispatchOutcome::Error(Op::kSave, name, kErrUnknownKb,
+                                  "unknown kb \"" + name + "\"");
+  }
+  std::string path = !req.path.empty() ? req.path : tenant->snapshot_path;
+  if (path.empty()) {
+    return DispatchOutcome::Error(Op::kSave, name, kErrBadRequest,
+                                  "save requires a path");
+  }
+  // Exclusive: the saved image must correspond to one (seq, epoch).
+  std::unique_lock<std::shared_mutex> lock(tenant->mu);
+  Status s = tenant->kb->SaveSnapshot(path);
+  if (!s.ok()) {
+    return DispatchOutcome::Error(Op::kSave, name, kErrIo, s.message());
+  }
+  tenant->dirty = false;
+  DispatchOutcome out;
+  out.op = Op::kSave;
+  out.kb = name;
+  out.save.path = path;
+  out.has_cursor = true;
+  out.seq = tenant->seq;
+  out.epoch = tenant->epoch;
+  return out;
+}
+
+DispatchOutcome Dispatcher::Drop(const WireRequest& /*req*/,
+                                 const std::string& name) {
+  if (registry_->Find(name) == nullptr) {
+    return DispatchOutcome::Error(Op::kDrop, name, kErrUnknownKb,
+                                  "unknown kb \"" + name + "\"");
+  }
+  Status s = registry_->Drop(name);
+  if (!s.ok()) {
+    return DispatchOutcome::Error(Op::kDrop, name, kErrIo, s.message());
+  }
+  DispatchOutcome out;
+  out.op = Op::kDrop;
+  out.kb = name;
+  return out;
+}
+
+}  // namespace server
+}  // namespace gerel

@@ -1,0 +1,49 @@
+// The request-dispatch core shared by the socket front-end
+// (server/server.h) and the stdin REPL (server/session.h): both decode
+// their input into a WireRequest, pass it here, and render the
+// DispatchOutcome in their own framing — so the two paths cannot drift.
+//
+// Locking per request (see registry.h): request text parses under the
+// tenant's exclusive lock (parsing interns symbols), queries execute and
+// render under the shared lock, and mutations hold the exclusive lock
+// throughout (updating the replication cursor before releasing it).
+#ifndef GEREL_SERVER_DISPATCH_H_
+#define GEREL_SERVER_DISPATCH_H_
+
+#include <string>
+
+#include "server/registry.h"
+#include "server/wire.h"
+
+namespace gerel {
+namespace server {
+
+// The tenant a KB-scoped request resolves to when it names none.
+inline constexpr char kDefaultKbName[] = "default";
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(TenantRegistry* registry) : registry_(registry) {}
+
+  // Executes one request. Never fails at the C++ level: protocol and
+  // semantic failures come back as outcomes with ok = false and a
+  // stable error code.
+  DispatchOutcome Dispatch(const WireRequest& req);
+
+  TenantRegistry* registry() { return registry_; }
+
+ private:
+  DispatchOutcome Query(const WireRequest& req, const std::string& name);
+  DispatchOutcome Assert(const WireRequest& req, const std::string& name);
+  DispatchOutcome Prepare(const WireRequest& req, const std::string& name);
+  DispatchOutcome Stats(const WireRequest& req);
+  DispatchOutcome Save(const WireRequest& req, const std::string& name);
+  DispatchOutcome Drop(const WireRequest& req, const std::string& name);
+
+  TenantRegistry* const registry_;
+};
+
+}  // namespace server
+}  // namespace gerel
+
+#endif  // GEREL_SERVER_DISPATCH_H_

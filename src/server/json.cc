@@ -1,0 +1,411 @@
+#include "server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gerel {
+namespace server {
+
+namespace {
+
+// Recursive-descent parser over a string_view with a byte cursor.
+// Errors carry the offset so a malformed frame can be reported
+// precisely without echoing the (possibly huge) frame back.
+class Parser {
+ public:
+  Parser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Run() {
+    SkipSpace();
+    JsonValue v;
+    Status s = ParseValue(&v, 0);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::Error("json: " + what + " at byte " +
+                         std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status st = ParseString(&s);
+        if (!st.ok()) return st;
+        *out = JsonValue::Str(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          *out = JsonValue::Bool(true);
+          return Status::Ok();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          *out = JsonValue::Bool(false);
+          return Status::Ok();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          *out = JsonValue::Null();
+          return Status::Ok();
+        }
+        return Error("invalid literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Error("unexpected character");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipSpace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipSpace();
+      JsonValue v;
+      st = ParseValue(&v, depth + 1);
+      if (!st.ok()) return st;
+      out->Set(std::move(key), std::move(v));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipSpace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      SkipSpace();
+      JsonValue v;
+      Status st = ParseValue(&v, depth + 1);
+      if (!st.ok()) return st;
+      out->Push(std::move(v));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t cp = 0;
+            if (!ParseHex4(&cp)) return Error("invalid \\u escape");
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: require the paired low surrogate.
+              if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                  text_[pos_ + 1] == 'u') {
+                pos_ += 2;
+                uint32_t lo = 0;
+                if (!ParseHex4(&lo) || lo < 0xDC00 || lo > 0xDFFF) {
+                  return Error("invalid surrogate pair");
+                }
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                return Error("unpaired surrogate");
+              }
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Error("unpaired surrogate");
+            }
+            AppendUtf8(cp, out);
+            break;
+          }
+          default:
+            return Error("invalid escape");
+        }
+        continue;
+      }
+      if (c < 0x20) return Error("unescaped control character");
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      return Error("invalid number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string lexeme(text_.substr(start, pos_ - start));
+    *out = JsonValue::Number(std::strtod(lexeme.c_str(), nullptr));
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t max_depth_;
+};
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text, size_t max_depth) {
+  return Parser(text, max_depth).Run();
+}
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Push(JsonValue v) { items_.push_back(std::move(v)); }
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::Dump() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kNumber: {
+      double i = 0;
+      if (std::modf(number_, &i) == 0.0 && std::abs(number_) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+        return buf;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      return buf;
+    }
+    case Kind::kString:
+      return "\"" + JsonEscape(string_) + "\"";
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items_[i].Dump();
+      }
+      out += "]";
+      return out;
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + JsonEscape(members_[i].first) +
+               "\": " + members_[i].second.Dump();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "null";
+}
+
+}  // namespace server
+}  // namespace gerel

@@ -1,0 +1,92 @@
+// The TCP socket front-end: a listener plus a fixed worker pool serving
+// the JSON-lines wire protocol (docs/protocol.md) over a shared
+// Dispatcher.
+//
+// Connection model: the accept loop pushes accepted sockets onto a
+// queue; each of `num_workers` threads owns one connection at a time
+// and serves its requests in order until the peer closes (responses are
+// written in request order per connection — the protocol has no
+// interleaving). Framing failures never kill the connection unless the
+// stream is unrecoverable: a malformed or oversized frame gets an error
+// response and the session continues; a mid-frame disconnect discards
+// the partial frame.
+//
+// Graceful shutdown: Shutdown() stops accepting, lets every in-flight
+// request finish and its response flush, then joins the threads. The
+// caller (gerel-server main) then saves dirty tenants via
+// TenantRegistry::SaveDirty.
+#ifndef GEREL_SERVER_SERVER_H_
+#define GEREL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "server/dispatch.h"
+
+namespace gerel {
+namespace server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port; read the result from port().
+  uint16_t port = 0;
+  size_t num_workers = 4;
+  // Longest accepted request line; longer frames are drained to their
+  // newline and answered with an "oversized" error.
+  size_t max_line_bytes = size_t{1} << 20;
+};
+
+class SocketServer {
+ public:
+  SocketServer(Dispatcher* dispatcher, ServerOptions options)
+      : dispatcher_(dispatcher), options_(std::move(options)) {}
+  ~SocketServer() { Shutdown(); }
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds, listens, and spawns the accept and worker threads.
+  Status Start();
+  // The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  // Stops accepting, drains in-flight requests, joins all threads.
+  // Idempotent; also called by the destructor.
+  void Shutdown();
+
+  uint64_t connections_accepted() const { return connections_.load(); }
+  uint64_t requests_served() const { return requests_.load(); }
+  uint64_t protocol_errors() const { return protocol_errors_.load(); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  Dispatcher* const dispatcher_;
+  const ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // Accepted fds awaiting a worker.
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  bool started_ = false;
+};
+
+}  // namespace server
+}  // namespace gerel
+
+#endif  // GEREL_SERVER_SERVER_H_

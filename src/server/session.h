@@ -1,0 +1,82 @@
+// A line-oriented command interpreter backing the `gerel serve`
+// subcommand (docs/format.md, "Serve commands"). Since the socket
+// front-end landed, the session is a thin renderer over the same
+// request-dispatch core (server/dispatch.h) the server uses — stdin and
+// socket requests execute identical code paths and cannot drift; only
+// the framing (human text vs JSON lines) differs.
+//
+// Grammar, one command per line:
+//
+//   query <rule>      answer a conjunctive query (e.g. "query
+//                     e(X, Y) -> q(X)") against the prepared model
+//   assert <facts>    add ground facts (e.g. "assert e(a, b). e(b, c).";
+//                     the final period may be omitted); the whole line
+//                     is one batch — a single semi-naive delta pass
+//   stats             print the serving counters
+//   save <path>       persist a crash-safe snapshot of the prepared KB
+//   quit | exit       end the session
+//
+// Blank lines and lines starting with "%" or "#" are skipped. The
+// session records whether any query returned sound-but-possibly-
+// incomplete answers (saw_incomplete) and whether any command failed
+// (saw_error), so callers can map them to exit codes.
+#ifndef GEREL_SERVER_SESSION_H_
+#define GEREL_SERVER_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/symbol_table.h"
+#include "server/dispatch.h"
+#include "server/registry.h"
+#include "service/prepared_kb.h"
+
+namespace gerel {
+
+class ServiceSession {
+ public:
+  // Single-KB session over externally-owned state: `kb` and `symbols`
+  // must outlive the session, which registers them as the "default"
+  // tenant of a private registry. The session itself is not thread-safe;
+  // run one session per input stream.
+  ServiceSession(PreparedKb* kb, SymbolTable* symbols);
+
+  // Session over an external dispatcher (the CLI serve path): commands
+  // address tenant `kb_name`. `dispatcher` must outlive the session.
+  ServiceSession(server::Dispatcher* dispatcher, std::string kb_name);
+
+  struct Response {
+    std::string text;  // Complete output for the line ("" for skipped).
+    bool error = false;
+    bool quit = false;
+  };
+
+  // Executes one input line.
+  Response HandleLine(std::string_view line);
+
+  // Whether any query so far returned answers that are sound but not
+  // certified complete.
+  bool saw_incomplete() const { return saw_incomplete_; }
+  // Whether any command so far failed to parse or execute.
+  bool saw_error() const { return saw_error_; }
+
+ private:
+  Response Query(std::string_view text);
+  Response Assert(std::string_view text);
+  Response Stats();
+  Response Save(std::string_view text);
+  Response RenderError(const server::DispatchOutcome& outcome);
+
+  // Owned backing when constructed from a bare (kb, symbols) pair.
+  std::unique_ptr<server::TenantRegistry> owned_registry_;
+  std::unique_ptr<server::Dispatcher> owned_dispatcher_;
+  server::Dispatcher* dispatcher_ = nullptr;
+  std::string kb_name_;
+  bool saw_incomplete_ = false;
+  bool saw_error_ = false;
+};
+
+}  // namespace gerel
+
+#endif  // GEREL_SERVER_SESSION_H_

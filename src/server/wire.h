@@ -1,0 +1,144 @@
+// Wire protocol for the gerel KB server (docs/protocol.md).
+//
+// JSON-lines framing: one request object per line, one response object
+// per line, in order. Requests name an operation and (for KB-scoped
+// ops) a tenant:
+//
+//   {"op": "query", "kb": "main", "cq": "t(X, Y) -> q(X, Y)"}
+//   {"op": "assert", "kb": "main", "facts": "e(a, b). e(b, c)."}
+//
+// Responses always carry "status": "ok" | "error"; errors carry a
+// stable machine-readable code plus a human message:
+//
+//   {"status": "error", "op": "query", "error": {"code": "parse",
+//    "message": "..."}}
+//
+// Every response for a mutation (and every KB-scoped read) carries the
+// tenant's replication cursor: "epoch" (bumped when the model is
+// rebuilt from scratch — prepare, snapshot load, re-materializing
+// assert) and "seq" (delta mutations applied within the epoch). A
+// replica that applies delta batches in seq order within an epoch, and
+// resyncs fully on an epoch bump, reconstructs the primary's model
+// exactly; see DESIGN.md §10.
+#ifndef GEREL_SERVER_WIRE_H_
+#define GEREL_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/status.h"
+#include "server/json.h"
+#include "service/stats.h"
+
+namespace gerel {
+namespace server {
+
+// Stable wire error codes (the contract; never repurpose).
+inline constexpr char kErrBadRequest[] = "bad_request";  // malformed frame
+inline constexpr char kErrUnknownOp[] = "unknown_op";
+inline constexpr char kErrUnknownKb[] = "unknown_kb";
+inline constexpr char kErrKbExists[] = "kb_exists";
+inline constexpr char kErrBadName[] = "bad_name";
+inline constexpr char kErrParse[] = "parse";    // rule/fact/program text
+inline constexpr char kErrFailed[] = "failed";  // semantic op failure
+inline constexpr char kErrIo[] = "io";          // snapshot/file trouble
+inline constexpr char kErrOversized[] = "oversized";
+inline constexpr char kErrShutdown[] = "shutting_down";
+
+enum class Op { kQuery, kAssert, kPrepare, kStats, kSave, kDrop };
+
+const char* OpName(Op op);
+
+struct WireRequest {
+  Op op = Op::kStats;
+  // Tenant name; empty means "default" for KB-scoped ops and
+  // "aggregate over all tenants" for stats.
+  std::string kb;
+  bool has_id = false;
+  int64_t id = 0;
+  std::string cq;       // query: CQ rule text.
+  std::string facts;    // assert: fact text (array frames are joined).
+  std::string program;  // prepare: inline program text.
+  std::string path;     // prepare: program file; save: target path.
+  size_t max_rules = 0;  // prepare: per-tenant stage cap (0 = default).
+};
+
+// Decodes one parsed frame into a request. On failure the status
+// message is "<code>: <detail>" with code kErrBadRequest or
+// kErrUnknownOp.
+Result<WireRequest> DecodeRequest(const JsonValue& frame);
+
+// --- Dispatch outcomes (shared by the socket server and the REPL) ---
+
+struct QueryReply {
+  std::vector<std::string> answers;  // Rendered atoms, set order.
+  bool complete = true;
+  bool cache_hit = false;
+  DegradationReason degradation;
+};
+
+struct AssertReply {
+  size_t new_atoms = 0;
+  size_t derived_atoms = 0;
+  bool delta = true;
+};
+
+struct PrepareReply {
+  std::string mode;
+  size_t datalog_rules = 0;
+  size_t model_atoms = 0;
+  bool loaded_snapshot = false;
+  bool complete = true;
+};
+
+struct StatsReply {
+  // Per-tenant blocks, name-sorted; empty kb in the request aggregates
+  // every tenant here plus a total.
+  std::vector<std::pair<std::string, ServiceStats>> per_kb;
+  ServiceStats total;
+  bool aggregated = false;  // True when the request named no tenant.
+};
+
+struct SaveReply {
+  std::string path;
+};
+
+// The result of dispatching one request: either an error (stable code +
+// message) or the op-specific payload, plus the tenant's replication
+// cursor for KB-scoped ops.
+struct DispatchOutcome {
+  bool ok = true;
+  std::string error_code;
+  std::string error_message;
+  Op op = Op::kStats;
+  std::string kb;  // Resolved tenant name ("" for aggregate stats).
+  bool has_cursor = false;
+  uint64_t seq = 0;
+  uint64_t epoch = 0;
+  QueryReply query;
+  AssertReply assert_reply;
+  PrepareReply prepare;
+  StatsReply stats;
+  SaveReply save;
+
+  static DispatchOutcome Error(Op op, std::string kb, std::string code,
+                               std::string message);
+};
+
+// Renders the one-line JSON response for an outcome. `has_id`/`id` echo
+// the request's correlation id when present.
+std::string EncodeResponse(const DispatchOutcome& outcome, bool has_id,
+                           int64_t id);
+
+// Renders a protocol-level error response (no decoded request — e.g. a
+// malformed or oversized frame).
+std::string EncodeProtocolError(const std::string& code,
+                                const std::string& message);
+
+}  // namespace server
+}  // namespace gerel
+
+#endif  // GEREL_SERVER_WIRE_H_

@@ -18,6 +18,35 @@ void Append(std::string* out, const char* fmt, ...) {
 
 }  // namespace
 
+void ServiceStats::Accumulate(const ServiceStats& other) {
+  prepares += other.prepares;
+  queries += other.queries;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  asserts += other.asserts;
+  delta_asserts += other.delta_asserts;
+  rematerializations += other.rematerializations;
+  asserted_atoms += other.asserted_atoms;
+  delta_derived_atoms += other.delta_derived_atoms;
+  model_atoms += other.model_atoms;
+  datalog_rules += other.datalog_rules;
+  diagnostics += other.diagnostics;
+  degraded_prepares += other.degraded_prepares;
+  degraded_queries += other.degraded_queries;
+  snapshot_saves += other.snapshot_saves;
+  snapshot_loads += other.snapshot_loads;
+  snapshot_load_failures += other.snapshot_load_failures;
+  if (other.last_degradation.degraded()) {
+    last_degradation = other.last_degradation;
+  }
+  prepare_wall_ms += other.prepare_wall_ms;
+  query_wall_ms += other.query_wall_ms;
+  assert_wall_ms += other.assert_wall_ms;
+  prepare_classify_wall_ms += other.prepare_classify_wall_ms;
+  prepare_transform_wall_ms += other.prepare_transform_wall_ms;
+  prepare_materialize_wall_ms += other.prepare_materialize_wall_ms;
+}
+
 std::string ServiceStats::ToString() const {
   std::string out;
   Append(&out, "prepares:            %llu\n",

@@ -62,6 +62,12 @@ struct ServiceStats {
   double prepare_transform_wall_ms = 0.0;
   double prepare_materialize_wall_ms = 0.0;
 
+  // Adds `other`'s counters and wall times into this block. Used by the
+  // multi-tenant registry to aggregate per-KB stats into a process
+  // total: counters sum; last_degradation takes `other`'s when it is
+  // degraded (latest contributor wins), otherwise keeps the current one.
+  void Accumulate(const ServiceStats& other);
+
   // Human-readable block, one "name: value" per line.
   std::string ToString() const;
   // Single-object JSON rendering (the bench/CI format).

@@ -307,5 +307,96 @@ TEST(DatabaseTest, ConcurrentInsertHammer) {
   EXPECT_FALSE(db.Contains(Atom(r, {consts[0], consts[kWriters]})));
 }
 
+// InsertBatchDeferIndex must be indistinguishable from the equivalent
+// sequential InsertDeferIndex loop: same newness marks (first
+// occurrence wins on in-batch duplicates), same atom order, same
+// indexes — for any lane count.
+TEST(DatabaseTest, InsertBatchDeferIndexMatchesSequential) {
+  SymbolTable syms;
+  RelationId r = syms.Relation("r", 2);
+  std::vector<Term> consts;
+  for (int i = 0; i < 50; ++i) {
+    consts.push_back(syms.Constant("b" + std::to_string(i)));
+  }
+  // ~2500 candidates with planted duplicates (every 7th repeats an
+  // earlier atom) so the batch crosses the parallel paths and exercises
+  // first-occurrence-wins.
+  std::vector<Atom> batch;
+  for (int i = 0; i < 50; ++i) {
+    for (int j = 0; j < 50; ++j) {
+      batch.push_back(Atom(r, {consts[i], consts[j]}));
+      if ((i * 50 + j) % 7 == 0 && !batch.empty()) {
+        batch.push_back(batch[batch.size() / 2]);
+      }
+    }
+  }
+  Database sequential;
+  std::vector<uint8_t> expected_new;
+  for (const Atom& a : batch) {
+    expected_new.push_back(sequential.InsertDeferIndex(a) ? 1 : 0);
+  }
+  sequential.IndexNewAtoms();
+
+  WorkerPool pool(4);
+  Database batched;
+  std::vector<uint8_t> got_new;
+  size_t inserted = batched.InsertBatchDeferIndex(batch, &pool, &got_new);
+  batched.IndexNewAtoms(&pool);
+
+  EXPECT_EQ(got_new, expected_new);
+  EXPECT_EQ(inserted, sequential.size());
+  EXPECT_EQ(sequential, batched);
+  EXPECT_EQ(sequential.AtomsOf(r), batched.AtomsOf(r));
+  for (Term c : consts) {
+    EXPECT_EQ(sequential.AtomsAt(r, 0, c), batched.AtomsAt(r, 0, c));
+    EXPECT_EQ(sequential.AtomsAt(r, 1, c), batched.AtomsAt(r, 1, c));
+  }
+}
+
+TEST(DatabaseTest, InsertBatchDeferIndexAgainstExistingAtoms) {
+  SymbolTable syms;
+  RelationId r = syms.Relation("r", 2);
+  Term a = syms.Constant("a");
+  Term b = syms.Constant("b");
+  Term c = syms.Constant("c");
+  WorkerPool pool(4);
+  Database db;
+  ASSERT_TRUE(db.Insert(Atom(r, {a, b})));
+  // Batch mixes an already-present atom, a fresh one, and an in-batch
+  // duplicate of the fresh one.
+  std::vector<Atom> batch = {Atom(r, {a, b}), Atom(r, {b, c}),
+                             Atom(r, {b, c})};
+  std::vector<uint8_t> is_new;
+  EXPECT_EQ(db.InsertBatchDeferIndex(batch, &pool, &is_new), 1u);
+  EXPECT_EQ(is_new, (std::vector<uint8_t>{0, 1, 0}));
+  db.IndexNewAtoms();
+  EXPECT_EQ(db.size(), 2u);
+
+  std::vector<uint8_t> empty_new;
+  EXPECT_EQ(db.InsertBatchDeferIndex({}, &pool, &empty_new), 0u);
+  EXPECT_TRUE(empty_new.empty());
+}
+
+TEST(DatabaseTest, InsertBatchDeferIndexSequentialFallback) {
+  SymbolTable syms;
+  RelationId r = syms.Relation("r", 2);
+  std::vector<Atom> batch;
+  for (int i = 0; i < 600; ++i) {
+    batch.push_back(Atom(r, {syms.Constant("x" + std::to_string(i)),
+                             syms.Constant("y" + std::to_string(i % 13))}));
+  }
+  Database with_pool;
+  Database without_pool;
+  std::vector<uint8_t> new_a;
+  std::vector<uint8_t> new_b;
+  WorkerPool pool(4);
+  with_pool.InsertBatchDeferIndex(batch, &pool, &new_a);
+  without_pool.InsertBatchDeferIndex(batch, nullptr, &new_b);
+  with_pool.IndexNewAtoms(&pool);
+  without_pool.IndexNewAtoms();
+  EXPECT_EQ(new_a, new_b);
+  EXPECT_EQ(with_pool, without_pool);
+}
+
 }  // namespace
 }  // namespace gerel

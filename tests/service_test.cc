@@ -10,7 +10,7 @@
 #include "core/parser.h"
 #include "service/answer_cache.h"
 #include "service/prepared_kb.h"
-#include "service/session.h"
+#include "server/session.h"
 #include "transform/pipeline.h"
 
 namespace gerel {

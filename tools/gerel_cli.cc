@@ -63,8 +63,8 @@
 #include "core/parser.h"
 #include "core/printer.h"
 #include "datalog/evaluator.h"
+#include "server/session.h"
 #include "service/prepared_kb.h"
-#include "service/session.h"
 #include "transform/annotation.h"
 #include "transform/fg_to_ng.h"
 #include "core/graphviz.h"

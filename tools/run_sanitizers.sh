@@ -10,8 +10,11 @@
 # build-asan/) so the sanitized trees never pollute the primary build/.
 # By default the full ctest suite runs; pass extra ctest args to narrow,
 # e.g. `tools/run_sanitizers.sh all -L robustness` for just the
-# fault/budget/snapshot tests. Exits non-zero if any configuration
-# fails to build or any selected test fails.
+# fault/budget/snapshot tests, or `thread -L serving` to put the
+# socket server's worker pool and the mixed query/assert hammer under
+# the race detector (the loadgen smoke drops its throughput floor in
+# sanitized builds). Exits non-zero if any configuration fails to
+# build or any selected test fails.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
