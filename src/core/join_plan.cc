@@ -149,6 +149,7 @@ void JoinExecutor::Reset(const JoinPlan& plan) {
   bindings_.assign(plan.num_slots(), Term());
   bound_.assign(plan.num_slots(), 0);
   trail_.clear();
+  matched_.assign(plan.num_levels(), 0);
   if (scratch_.size() < plan.num_levels()) scratch_.resize(plan.num_levels());
 }
 
@@ -260,6 +261,7 @@ bool JoinExecutor::RecurseDb(const JoinPlan& plan, const Database& db,
     snapshot.assign(postings->begin(), postings->end());
     for (uint32_t ai : snapshot) {
       if (MatchCandidate(level, db.atom(ai), mark)) {
+        matched_[depth] = ai;
         bool keep_going = RecurseDb(plan, db, depth + 1, visitor, db_grows);
         UnwindTo(mark);
         if (!keep_going) return false;
@@ -268,6 +270,7 @@ bool JoinExecutor::RecurseDb(const JoinPlan& plan, const Database& db,
   } else {
     for (uint32_t ai : *postings) {
       if (MatchCandidate(level, db.atom(ai), mark)) {
+        matched_[depth] = ai;
         bool keep_going = RecurseDb(plan, db, depth + 1, visitor, db_grows);
         UnwindTo(mark);
         if (!keep_going) return false;
@@ -302,9 +305,10 @@ bool JoinExecutor::Execute(const JoinPlan& plan, const Database& db,
 
 bool JoinExecutor::ExecuteSeeded(const JoinPlan& plan, const Database& db,
                                  const Atom& seed, const Visitor& visitor,
-                                 bool db_grows) {
+                                 bool db_grows, uint32_t seed_index) {
   Reset(plan);
   if (!MatchCandidate(plan.levels()[0], seed, 0)) return true;
+  matched_[0] = seed_index;
   return RecurseDb(plan, db, 1, visitor, db_grows);
 }
 

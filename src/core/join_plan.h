@@ -132,9 +132,12 @@ class JoinExecutor {
 
   // As Execute, but level 0 (the plan's pinned atom) is matched only
   // against `seed`. Resets bindings first. Mismatching seeds (wrong
-  // relation or repeated-variable conflict) visit nothing.
+  // relation or repeated-variable conflict) visit nothing. `seed_index`
+  // is the seed's database index, reported through MatchedAtomIndices()
+  // for callers recording derivation supports; pass 0 if unused.
   bool ExecuteSeeded(const JoinPlan& plan, const Database& db,
-                     const Atom& seed, const Visitor& visitor, bool db_grows);
+                     const Atom& seed, const Visitor& visitor, bool db_grows,
+                     uint32_t seed_index = 0);
 
   // Enumerates embeddings into a plain atom set (read-only). Target
   // variables are rigid: pattern variables may bind onto them, but they
@@ -157,6 +160,11 @@ class JoinExecutor {
   Atom Apply(const CompiledAtom& atom) const;
   // Materializes the bound slots as a Substitution (appended to `out`).
   void AppendBindings(Substitution* out) const;
+  // Database indices of the candidate atoms matched at each plan level,
+  // in level order (one per level). Valid during the visitor of Execute
+  // and ExecuteSeeded against a Database; ExecuteOnAtoms does not
+  // maintain it. The support log of a retractable fixpoint reads this.
+  const std::vector<uint32_t>& MatchedAtomIndices() const { return matched_; }
 
  private:
   bool MatchCandidate(const PlanLevel& level, const Atom& candidate,
@@ -171,6 +179,7 @@ class JoinExecutor {
   std::vector<Term> bindings_;
   std::vector<uint8_t> bound_;
   std::vector<uint32_t> trail_;
+  std::vector<uint32_t> matched_;  // Per-level matched atom index.
   // Per-depth candidate copies for db_grows mode; capacity persists
   // across executions so steady-state rounds do not allocate.
   std::vector<std::vector<uint32_t>> scratch_;

@@ -15,6 +15,7 @@
 #include "core/status.h"
 #include "core/symbol_table.h"
 #include "core/theory.h"
+#include "datalog/support.h"
 
 namespace gerel {
 
@@ -40,6 +41,10 @@ struct DatalogOptions {
   // (every derived atom is a consequence; negated literals read only
   // fully-computed lower strata).
   ExecutionBudget* budget = nullptr;
+  // Optional derivation-support recording for incremental retraction
+  // (DRed, see datalog/support.h). Not owned; must outlive the program.
+  // Materialize clears and repopulates the log; ExtendWithDelta appends.
+  SupportLog* support_log = nullptr;
 };
 
 // Per-rule evaluation counters, indexed like Theory::rules().

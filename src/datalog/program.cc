@@ -22,7 +22,10 @@ namespace {
 // rather than a hash-map substitution.
 class RuleEvaluator {
  public:
-  explicit RuleEvaluator(const Rule& rule) : rule_(&rule) {
+  // `rule_id` is the rule's index in the backing theory, recorded into
+  // the optional SupportLog so retraction can rerun the rule later.
+  RuleEvaluator(const Rule& rule, uint32_t rule_id)
+      : rule_(&rule), rule_id_(rule_id) {
     for (const Literal& l : rule.body) {
       (l.negated ? negatives_ : positives_).push_back(l.atom);
     }
@@ -31,15 +34,24 @@ class RuleEvaluator {
     seeded_.resize(positives_.size());
   }
 
+  size_t num_positives() const { return positives_.size(); }
+
   // Fires the rule for every homomorphism with at least one positive atom
   // in the delta window. With a null `buffer`, heads are inserted into
   // *db as they are derived (and become visible to the enumeration, the
   // sequential reference semantics); with a buffer, *db is read-only and
   // heads are emitted for the caller to merge at the round barrier.
   // Returns the number of new atoms inserted (0 in buffered mode).
+  //
+  // With `slog` set in direct-insert mode, every inserted atom records a
+  // derivation support (matched positive body atom indices). In buffered
+  // mode `support_out` receives one group of num_positives() indices per
+  // buffered atom, for the caller to record at merge time.
   size_t Evaluate(Database* db, size_t delta_begin, size_t delta_end,
                   bool restrict_to_delta, std::vector<Atom>* buffer,
-                  ExecutionBudget* budget = nullptr) {
+                  ExecutionBudget* budget = nullptr,
+                  SupportLog* slog = nullptr,
+                  std::vector<uint32_t>* support_out = nullptr) {
     size_t added = 0;
     const bool db_grows = buffer == nullptr;
     const CompiledRule* firing = nullptr;
@@ -61,10 +73,21 @@ class RuleEvaluator {
         Atom derived = e.Apply(head);
         GEREL_CHECK(derived.IsDatabaseAtom());
         if (buffer != nullptr) {
-          if (!db->Contains(derived)) buffer->push_back(std::move(derived));
+          if (!db->Contains(derived)) {
+            buffer->push_back(std::move(derived));
+            if (support_out != nullptr) {
+              const std::vector<uint32_t>& body = e.MatchedAtomIndices();
+              support_out->insert(support_out->end(), body.begin(),
+                                  body.end());
+            }
+          }
         } else if (db->Insert(derived)) {
           ++added;
           ++stats_.derived;
+          if (slog != nullptr) {
+            const std::vector<uint32_t>& body = e.MatchedAtomIndices();
+            slog->Record(db->size() - 1, rule_id_, body.data(), body.size());
+          }
         }
       }
       return true;
@@ -94,7 +117,7 @@ class RuleEvaluator {
         // ExecuteSeeded matches plan level 0 (body atom j) against the
         // delta atom only; repeated-variable mismatches visit nothing.
         exec_.ExecuteSeeded(seeded_[j].plan, *db, db->atom(ai), fire,
-                            db_grows);
+                            db_grows, static_cast<uint32_t>(ai));
       }
     }
     return added;
@@ -129,6 +152,7 @@ class RuleEvaluator {
   }
 
   const Rule* rule_;  // Backing theory rule; outlives the evaluator.
+  uint32_t rule_id_ = 0;
   std::vector<Atom> positives_;
   std::vector<Atom> negatives_;
   CompiledRule full_;
@@ -149,6 +173,8 @@ struct DatalogProgram::Rep {
   std::vector<std::vector<RuleEvaluator>> strata;  // Evaluators per stratum.
   std::unique_ptr<WorkerPool> pool;
   std::vector<std::vector<Atom>> buffers;  // Parallel-round scratch.
+  // Parallel-round support scratch: one index group per buffered atom.
+  std::vector<std::vector<uint32_t>> support_buffers;
 
   // Runs all strata over *db. For a full pass the first round of each
   // stratum scans the whole database; for an incremental pass every
@@ -164,6 +190,7 @@ Result<EvalPassStats> DatalogProgram::Rep::RunPass(Database* db,
   size_t initial = db->size();
   size_t num_threads = std::max<size_t>(1, options.num_threads);
   ExecutionBudget* budget = options.budget;
+  SupportLog* slog = options.support_log;
   const FaultPlan* fault = budget != nullptr ? budget->fault_plan() : nullptr;
   for (size_t si = 0; si < strat.strata.size() && pass.complete; ++si) {
     const std::vector<uint32_t>& stratum = strat.strata[si];
@@ -190,7 +217,7 @@ Result<EvalPassStats> DatalogProgram::Rep::RunPass(Database* db,
       if (num_threads == 1) {
         for (RuleEvaluator& ev : evaluators) {
           added += ev.Evaluate(db, begin, delta_end, restrict,
-                               /*buffer=*/nullptr, budget);
+                               /*buffer=*/nullptr, budget, slog);
         }
       } else {
         // Parallel round: the database is immutable while the rules
@@ -199,16 +226,20 @@ Result<EvalPassStats> DatalogProgram::Rep::RunPass(Database* db,
         // Insert calls, so the resulting database is independent of
         // thread scheduling.
         buffers.resize(evaluators.size());
+        if (slog != nullptr) support_buffers.resize(evaluators.size());
         std::vector<char> unit_done(evaluators.size(), 0);
         pool->Run(evaluators.size(), [&](size_t k) {
           buffers[k].clear();
+          if (slog != nullptr) support_buffers[k].clear();
           // Workers observe the shared exhaustion flag between units;
           // a skipped unit leaves unit_done unset so the merge applies
           // only completed units.
           if (budget != nullptr && budget->ExhaustedFast()) return;
           MaybeInjectWorkerDelay(fault, k);
           evaluators[k].Evaluate(db, begin, delta_end, restrict,
-                                 &buffers[k], budget);
+                                 &buffers[k], budget, /*slog=*/nullptr,
+                                 slog != nullptr ? &support_buffers[k]
+                                                 : nullptr);
           unit_done[k] = 1;
         });
         for (size_t k = 0; k < evaluators.size(); ++k) {
@@ -216,11 +247,18 @@ Result<EvalPassStats> DatalogProgram::Rep::RunPass(Database* db,
             pass.complete = false;
             continue;
           }
+          const size_t stride = evaluators[k].num_positives();
+          size_t bi = 0;
           for (Atom& atom : buffers[k]) {
             if (db->Insert(std::move(atom))) {
               ++added;
               ++rule_stats[stratum[k]].derived;
+              if (slog != nullptr) {
+                slog->Record(db->size() - 1, stratum[k],
+                             support_buffers[k].data() + bi * stride, stride);
+              }
             }
+            ++bi;
           }
         }
       }
@@ -273,7 +311,7 @@ Result<DatalogProgram> DatalogProgram::Compile(Theory theory,
     std::vector<RuleEvaluator> evaluators;
     evaluators.reserve(stratum.size());
     for (uint32_t ri : stratum) {
-      evaluators.emplace_back(rep->theory.rules()[ri]);
+      evaluators.emplace_back(rep->theory.rules()[ri], ri);
     }
     rep->strata.push_back(std::move(evaluators));
   }
@@ -289,6 +327,9 @@ DatalogProgram& DatalogProgram::operator=(DatalogProgram&&) noexcept = default;
 DatalogProgram::~DatalogProgram() = default;
 
 Result<EvalPassStats> DatalogProgram::Materialize(Database* db) {
+  // A full pass recomputes the fixpoint from the caller's base atoms;
+  // any supports from a previous life of the database are stale.
+  if (rep_->options.support_log != nullptr) rep_->options.support_log->Clear();
   if (rep_->options.populate_acdom) {
     PopulateAcdom(rep_->theory, rep_->symbols, db);
   }

@@ -42,6 +42,7 @@ DispatchOutcome Dispatcher::Dispatch(const WireRequest& req) {
   switch (req.op) {
     case Op::kQuery: return Query(req, name);
     case Op::kAssert: return Assert(req, name);
+    case Op::kRetract: return Retract(req, name);
     case Op::kPrepare: return Prepare(req, name);
     case Op::kSave: return Save(req, name);
     case Op::kDrop: return Drop(req, name);
@@ -134,6 +135,51 @@ DispatchOutcome Dispatcher::Assert(const WireRequest& req,
   out.assert_reply.new_atoms = result.value().new_atoms;
   out.assert_reply.derived_atoms = result.value().derived_atoms;
   out.assert_reply.delta = result.value().delta;
+  out.has_cursor = true;
+  out.seq = tenant->seq;
+  out.epoch = tenant->epoch;
+  return out;
+}
+
+DispatchOutcome Dispatcher::Retract(const WireRequest& req,
+                                    const std::string& name) {
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (tenant == nullptr) {
+    return DispatchOutcome::Error(Op::kRetract, name, kErrUnknownKb,
+                                  "unknown kb \"" + name + "\"");
+  }
+  std::unique_lock<std::shared_mutex> lock(tenant->mu);
+  std::string padded(Trim(req.facts));
+  if (!padded.empty() && padded.back() != '.') padded += '.';
+  Result<Database> facts = ParseDatabase(padded, tenant->symbols);
+  if (!facts.ok()) {
+    return DispatchOutcome::Error(Op::kRetract, name, kErrParse,
+                                  facts.status().message());
+  }
+  Result<RetractResult> result =
+      tenant->kb->Retract(facts.value().AtomsVector());
+  if (!result.ok()) {
+    // Covers retracting an unknown or derived-only fact: the KB is
+    // untouched, so the cursor does not move.
+    return DispatchOutcome::Error(Op::kRetract, name, kErrFailed,
+                                  result.status().message());
+  }
+  if (result.value().delta) {
+    // DRed ran: replicas replay the retraction as one delta step.
+    ++tenant->seq;
+  } else {
+    // Fallback re-materialization: full resync point.
+    ++tenant->epoch;
+    tenant->seq = 0;
+  }
+  tenant->dirty = true;
+  DispatchOutcome out;
+  out.op = Op::kRetract;
+  out.kb = name;
+  out.retract.removed = result.value().removed_atoms;
+  out.retract.overdeleted = result.value().overdeleted_atoms;
+  out.retract.rederived = result.value().rederived_atoms;
+  out.retract.delta = result.value().delta;
   out.has_cursor = true;
   out.seq = tenant->seq;
   out.epoch = tenant->epoch;

@@ -35,6 +35,7 @@ class Dispatcher {
  private:
   DispatchOutcome Query(const WireRequest& req, const std::string& name);
   DispatchOutcome Assert(const WireRequest& req, const std::string& name);
+  DispatchOutcome Retract(const WireRequest& req, const std::string& name);
   DispatchOutcome Prepare(const WireRequest& req, const std::string& name);
   DispatchOutcome Stats(const WireRequest& req);
   DispatchOutcome Save(const WireRequest& req, const std::string& name);

@@ -7,13 +7,14 @@
 // lock (short — it only touches the symbol table), queries then execute
 // and render under the shared lock (PreparedKb::Query takes its own
 // internal shared lock; parsed Term/Rule ids stay valid because symbol
-// tables only grow), and mutations (assert/prepare/save/drop) hold the
-// exclusive lock throughout.
+// tables only grow), and mutations (assert/retract/prepare/save/drop)
+// hold the exclusive lock throughout.
 //
 // Replication cursor: every tenant carries (epoch, seq). epoch starts
 // at 1 on prepare or snapshot load and bumps — resetting seq to 0 —
 // whenever the model is rebuilt from the EDB (a re-materializing
-// assert). seq increments once per delta-path assert batch. A replica
+// assert or retract). seq increments once per delta-path assert batch
+// and once per DRed-path retract batch. A replica
 // that applies batches in seq order within an epoch and resyncs on an
 // epoch bump reconstructs the primary's model exactly (DESIGN.md §10);
 // the cursor is already on the wire so replication needs no protocol

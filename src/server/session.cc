@@ -59,11 +59,12 @@ ServiceSession::Response ServiceSession::HandleLine(std::string_view line) {
   if (cmd == "stats") return Stats();
   if (cmd == "query") return Query(rest);
   if (cmd == "assert") return Assert(rest);
+  if (cmd == "retract") return Retract(rest);
   if (cmd == "save") return Save(rest);
   r.error = true;
   saw_error_ = true;
   r.text = "error: unknown command \"" + std::string(cmd) +
-           "\" (expected query, assert, stats, save, quit)\n";
+           "\" (expected query, assert, retract, stats, save, quit)\n";
   return r;
 }
 
@@ -119,6 +120,24 @@ ServiceSession::Response ServiceSession::Assert(std::string_view text) {
                 outcome.assert_reply.new_atoms,
                 outcome.assert_reply.derived_atoms,
                 outcome.assert_reply.delta ? "delta" : "rematerialized");
+  r.text = line;
+  return r;
+}
+
+ServiceSession::Response ServiceSession::Retract(std::string_view text) {
+  server::WireRequest req;
+  req.op = server::Op::kRetract;
+  req.kb = kb_name_;
+  req.facts = std::string(text);
+  server::DispatchOutcome outcome = dispatcher_->Dispatch(req);
+  if (!outcome.ok) return RenderError(outcome);
+  Response r;
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "retracted %zu, overdeleted %zu, rederived %zu (%s)\n",
+                outcome.retract.removed, outcome.retract.overdeleted,
+                outcome.retract.rederived,
+                outcome.retract.delta ? "dred" : "rematerialized");
   r.text = line;
   return r;
 }

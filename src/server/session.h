@@ -12,6 +12,11 @@
 //   assert <facts>    add ground facts (e.g. "assert e(a, b). e(b, c).";
 //                     the final period may be omitted); the whole line
 //                     is one batch — a single semi-naive delta pass
+//   retract <facts>   remove EDB facts; served incrementally by DRed
+//                     (overdelete → rederive → prune) or, when a
+//                     fallback applies, by re-materializing the model.
+//                     Retracting a fact not in the EDB is an error and
+//                     leaves the KB untouched
 //   stats             print the serving counters
 //   save <path>       persist a crash-safe snapshot of the prepared KB
 //   quit | exit       end the session
@@ -64,6 +69,7 @@ class ServiceSession {
  private:
   Response Query(std::string_view text);
   Response Assert(std::string_view text);
+  Response Retract(std::string_view text);
   Response Stats();
   Response Save(std::string_view text);
   Response RenderError(const server::DispatchOutcome& outcome);

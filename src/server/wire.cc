@@ -7,6 +7,7 @@ const char* OpName(Op op) {
   switch (op) {
     case Op::kQuery: return "query";
     case Op::kAssert: return "assert";
+    case Op::kRetract: return "retract";
     case Op::kPrepare: return "prepare";
     case Op::kStats: return "stats";
     case Op::kSave: return "save";
@@ -49,6 +50,8 @@ Result<WireRequest> DecodeRequest(const JsonValue& frame) {
     req.op = Op::kQuery;
   } else if (op == "assert") {
     req.op = Op::kAssert;
+  } else if (op == "retract") {
+    req.op = Op::kRetract;
   } else if (op == "prepare") {
     req.op = Op::kPrepare;
   } else if (op == "stats") {
@@ -76,7 +79,8 @@ Result<WireRequest> DecodeRequest(const JsonValue& frame) {
       if (!s.ok()) return s;
       break;
     }
-    case Op::kAssert: {
+    case Op::kAssert:
+    case Op::kRetract: {
       const JsonValue* facts = frame.Get("facts");
       if (facts == nullptr) return BadRequest("missing field \"facts\"");
       if (facts->is_string()) {
@@ -213,6 +217,15 @@ std::string EncodeResponse(const DispatchOutcome& outcome, bool has_id,
       out += ", \"new\": " + std::to_string(a.new_atoms);
       out += ", \"derived\": " + std::to_string(a.derived_atoms);
       out += std::string(", \"delta\": ") + (a.delta ? "true" : "false");
+      AppendCursor(outcome, &out);
+      break;
+    }
+    case Op::kRetract: {
+      const RetractReply& r = outcome.retract;
+      out += ", \"removed\": " + std::to_string(r.removed);
+      out += ", \"overdeleted\": " + std::to_string(r.overdeleted);
+      out += ", \"rederived\": " + std::to_string(r.rederived);
+      out += std::string(", \"delta\": ") + (r.delta ? "true" : "false");
       AppendCursor(outcome, &out);
       break;
     }

@@ -16,7 +16,8 @@
 // Every response for a mutation (and every KB-scoped read) carries the
 // tenant's replication cursor: "epoch" (bumped when the model is
 // rebuilt from scratch — prepare, snapshot load, re-materializing
-// assert) and "seq" (delta mutations applied within the epoch). A
+// assert or retract) and "seq" (delta mutations applied within the
+// epoch; a DRed retract is a delta step). A
 // replica that applies delta batches in seq order within an epoch, and
 // resyncs fully on an epoch bump, reconstructs the primary's model
 // exactly; see DESIGN.md §10.
@@ -48,7 +49,7 @@ inline constexpr char kErrIo[] = "io";          // snapshot/file trouble
 inline constexpr char kErrOversized[] = "oversized";
 inline constexpr char kErrShutdown[] = "shutting_down";
 
-enum class Op { kQuery, kAssert, kPrepare, kStats, kSave, kDrop };
+enum class Op { kQuery, kAssert, kRetract, kPrepare, kStats, kSave, kDrop };
 
 const char* OpName(Op op);
 
@@ -60,7 +61,7 @@ struct WireRequest {
   bool has_id = false;
   int64_t id = 0;
   std::string cq;       // query: CQ rule text.
-  std::string facts;    // assert: fact text (array frames are joined).
+  std::string facts;    // assert/retract: fact text (array frames joined).
   std::string program;  // prepare: inline program text.
   std::string path;     // prepare: program file; save: target path.
   size_t max_rules = 0;  // prepare: per-tenant stage cap (0 = default).
@@ -83,6 +84,15 @@ struct QueryReply {
 struct AssertReply {
   size_t new_atoms = 0;
   size_t derived_atoms = 0;
+  bool delta = true;
+};
+
+struct RetractReply {
+  size_t removed = 0;      // EDB atoms removed.
+  size_t overdeleted = 0;  // Derived atoms the DRed cascade deleted.
+  size_t rederived = 0;    // Overdeleted atoms restored by rederivation.
+  // True: the DRed delta path ran (replicas apply it as a seq step).
+  // False: the model was rebuilt from the surviving EDB (epoch bump).
   bool delta = true;
 };
 
@@ -120,6 +130,7 @@ struct DispatchOutcome {
   uint64_t epoch = 0;
   QueryReply query;
   AssertReply assert_reply;
+  RetractReply retract;
   PrepareReply prepare;
   StatsReply stats;
   SaveReply save;

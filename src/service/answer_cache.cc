@@ -30,6 +30,30 @@ void AnswerCache::Insert(const std::string& key, Entry entry) {
   }
 }
 
+size_t AnswerCache::EvictReading(const std::unordered_set<RelationId>& preds,
+                                 size_t* retained) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    bool affected = false;
+    for (RelationId p : it->second.reads) {
+      if (preds.count(p) != 0) {
+        affected = true;
+        break;
+      }
+    }
+    if (affected) {
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  if (retained != nullptr) *retained = lru_.size();
+  return evicted;
+}
+
 void AnswerCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();

@@ -3,8 +3,13 @@
 //
 // The cache is internally locked so that many PreparedKb::Query calls —
 // which run concurrently under the KB's shared lock — can probe and fill
-// it; Assert clears it under the KB's exclusive lock (any cached answer
-// set may be stale once the model grows).
+// it. Invalidation is dependency-aware: every entry carries the set of
+// predicates its compiled join read (body relations plus any appended
+// acdom guards), and a write (Assert/Retract) evicts, via EvictReading,
+// only the entries whose read-set intersects the dependency closure of
+// the changed predicates — cached answers over unrelated predicates
+// survive the write. Clear() remains for program recompilation, where
+// the rule set itself (and hence every read-set's meaning) changes.
 #ifndef GEREL_SERVICE_ANSWER_CACHE_H_
 #define GEREL_SERVICE_ANSWER_CACHE_H_
 
@@ -13,9 +18,11 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "core/symbol_table.h"
 #include "core/term.h"
 
 namespace gerel {
@@ -25,6 +32,9 @@ class AnswerCache {
   struct Entry {
     std::set<std::vector<Term>> answers;
     bool complete = true;
+    // Predicates the answering join read, sorted and deduplicated by the
+    // caller; the invalidation key for EvictReading.
+    std::vector<RelationId> reads;
   };
 
   // `capacity` = maximum number of cached queries; 0 disables the cache
@@ -39,7 +49,14 @@ class AnswerCache {
   // key when over capacity.
   void Insert(const std::string& key, Entry entry);
 
-  // Drops every entry (model changed).
+  // Drops every entry whose read-set intersects `preds` (the dependency
+  // closure of a write). Returns the number of entries evicted; when
+  // `retained` is non-null it receives the number of entries that
+  // survived the sweep (the selectivity counters in ServiceStats).
+  size_t EvictReading(const std::unordered_set<RelationId>& preds,
+                      size_t* retained = nullptr);
+
+  // Drops every entry (program recompiled).
   void Clear();
 
   size_t size() const;

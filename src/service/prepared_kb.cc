@@ -1,5 +1,6 @@
 #include "service/prepared_kb.h"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <utility>
@@ -155,16 +156,60 @@ Status PreparedKb::CompileProgram() {
     }
   }
   // The compiled program evaluates under the shared prepare/assert
-  // budget (budget_ outlives program_).
+  // budget (budget_ outlives program_), recording one derivation support
+  // per inserted atom for incremental retraction.
   DatalogOptions dopts = options_.datalog;
   dopts.budget = budget_.get();
+  dopts.support_log = &supports_;
   Result<DatalogProgram> program =
       DatalogProgram::Compile(std::move(program_rules), symbols_, dopts);
   if (!program.ok()) return program.status();
   program_ = std::make_unique<DatalogProgram>(std::move(program).value());
   compile_complete_ = complete;
   compile_degradation_ = degradation;
+  BuildDependencyIndex();
   return Status::Ok();
+}
+
+void PreparedKb::BuildDependencyIndex() {
+  dependents_.clear();
+  for (const Rule& r : program_->theory().rules()) {
+    for (const Literal& l : r.body) {
+      // Negated literals count too: under stratified negation a write to
+      // the negated relation can flip derivations of the head.
+      std::vector<RelationId>& heads = dependents_[l.atom.pred];
+      for (const Atom& h : r.head) heads.push_back(h.pred);
+    }
+  }
+}
+
+std::unordered_set<RelationId> PreparedKb::DependencyClosure(
+    std::unordered_set<RelationId> preds) const {
+  std::vector<RelationId> frontier(preds.begin(), preds.end());
+  while (!frontier.empty()) {
+    RelationId p = frontier.back();
+    frontier.pop_back();
+    auto it = dependents_.find(p);
+    if (it == dependents_.end()) continue;
+    for (RelationId q : it->second) {
+      if (preds.insert(q).second) frontier.push_back(q);
+    }
+  }
+  return preds;
+}
+
+void PreparedKb::EvictCacheForWrite(std::unordered_set<RelationId> written,
+                                    bool domain_changed) {
+  // A changed active domain invalidates acdom readers (queries with
+  // head-only variables range over acdom) and everything derivable from
+  // acdom guards the rewriting introduced.
+  if (domain_changed) written.insert(acdom_);
+  size_t retained = 0;
+  size_t evicted =
+      cache_.EvictReading(DependencyClosure(std::move(written)), &retained);
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.cache_evicted_entries += evicted;
+  stats_.cache_retained_entries += retained;
 }
 
 Status PreparedKb::MaterializeModel() {
@@ -173,6 +218,10 @@ Status PreparedKb::MaterializeModel() {
   if (!pass.ok()) return pass.status();
   materialize_complete_ = pass.value().complete;
   materialize_degradation_ = pass.value().degradation;
+  // The support log only licenses DRed over a complete negation-free
+  // fixpoint: a truncated pass may have skipped derivations whose
+  // absence a later overdelete would misread.
+  supports_valid_ = pass.value().complete && !program_->has_negation();
   return Status::Ok();
 }
 
@@ -277,9 +326,17 @@ Result<PreparedQueryResult> PreparedKb::Query(const Rule& cq,
     result.degradation = DegradationLocked();
   }
   // A budget-truncated answer set is transient (a retry with a fresh
-  // deadline may do better); only deterministic results are cached.
+  // deadline may do better); only deterministic results are cached. The
+  // entry is tagged with the predicates the join read (body relations
+  // plus any appended acdom guards) so writes can invalidate it by
+  // dependency instead of clearing the cache.
   if (!truncated) {
-    cache_.Insert(key, {result.answers, result.complete});
+    std::vector<RelationId> reads;
+    reads.reserve(positives.size());
+    for (const Atom& a : positives) reads.push_back(a.pred);
+    std::sort(reads.begin(), reads.end());
+    reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+    cache_.Insert(key, {result.answers, result.complete, std::move(reads)});
   }
   std::lock_guard<std::mutex> slock(stats_mu_);
   ++stats_.queries;
@@ -306,6 +363,14 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
   // work (the compiled program's options point at budget_).
   budget_->Arm(options_.budget, GlobalFaultPlan());
   AssertResult out;
+  // Whether the write grows the active domain (a term the model's acdom
+  // does not know yet); decides if acdom readers must be evicted.
+  bool domain_changed = false;
+  for (const Atom& f : facts) {
+    for (Term t : f.AllTerms()) {
+      if (!model_.Contains(Atom(acdom_, {t}))) domain_changed = true;
+    }
+  }
   for (const Atom& f : facts) {
     if (edb_.Insert(f)) ++out.new_atoms;
   }
@@ -357,9 +422,18 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
     if (!pass.value().complete) {
       materialize_complete_ = false;
       materialize_degradation_ = pass.value().degradation;
+      supports_valid_ = false;
     }
   }
-  cache_.Clear();
+  if (recompile) {
+    // The rule set itself changed (fresh grounding): every read-set is
+    // tagged against the old program, so nothing can be kept.
+    cache_.Clear();
+  } else {
+    std::unordered_set<RelationId> written;
+    for (const Atom& f : facts) written.insert(f.pred);
+    EvictCacheForWrite(std::move(written), domain_changed);
+  }
   DegradationReason reason = DegradationLocked();
   std::lock_guard<std::mutex> slock(stats_mu_);
   ++stats_.asserts;
@@ -381,6 +455,363 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
   stats_.datalog_rules = program_->theory().size();
   stats_.assert_wall_ms += MsSince(start);
   return out;
+}
+
+Result<RetractResult> PreparedKb::Retract(const std::vector<Atom>& facts) {
+  for (const Atom& f : facts) {
+    if (!f.IsDatabaseAtom()) {
+      return Status::Error("retracted facts must be ground");
+    }
+  }
+  Clock::time_point start = Clock::now();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  budget_->Arm(options_.budget, GlobalFaultPlan());
+  // Validate before touching anything: retracting an unknown fact or a
+  // derived-only atom is a clean no-op error.
+  std::unordered_set<Atom, AtomHash> targets;
+  for (const Atom& f : facts) {
+    if (!edb_.Contains(f)) {
+      return Status::Error("cannot retract a fact that is not in the EDB");
+    }
+    targets.insert(f);
+  }
+  RetractResult out;
+  out.removed_atoms = targets.size();
+  if (targets.empty()) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.retracts;
+    ++stats_.retracts_dred;
+    stats_.retract_wall_ms += MsSince(start);
+    return out;
+  }
+
+  // Which active-domain terms vanish with the retracted facts: count
+  // every term occurrence in the (non-acdom) EDB, subtract the retracted
+  // occurrences, and a term whose count hits zero leaves the domain
+  // unless it is a program constant (PopulateAcdom's two sources).
+  std::unordered_map<uint32_t, size_t> occurrences;
+  for (const Atom& a : edb_.atoms()) {
+    if (a.pred == acdom_) continue;
+    for (Term t : a.AllTerms()) ++occurrences[t.bits()];
+  }
+  // The exclusion set must be the *source* theory's constants, not the
+  // compiled program's: in wg mode the partial grounding bakes EDB
+  // constants into rules, so the compiled theory "contains" every domain
+  // constant and nothing would ever vanish — leaving stale acdom atoms
+  // that a fresh Prepare would not derive.
+  std::unordered_set<uint32_t> program_constants;
+  for (Term t : weakly_guarded_.Constants()) {
+    program_constants.insert(t.bits());
+  }
+  bool null_retracted = false;
+  for (const Atom& f : targets) {
+    for (Term t : f.AllTerms()) {
+      if (t.IsNull()) null_retracted = true;
+    }
+    if (f.pred == acdom_) continue;
+    for (Term t : f.AllTerms()) --occurrences[t.bits()];
+  }
+  std::vector<Term> vanished;
+  std::unordered_set<uint32_t> vanished_seen;
+  for (const Atom& f : targets) {
+    if (f.pred == acdom_) continue;
+    for (Term t : f.AllTerms()) {
+      if (occurrences[t.bits()] == 0 &&
+          program_constants.count(t.bits()) == 0 &&
+          vanished_seen.insert(t.bits()).second) {
+        vanished.push_back(t);
+      }
+    }
+  }
+
+  // In wg mode the compiled program is dat(pg(Σ, D)): the grounding is a
+  // function of the constant domain, so a shrinking domain invalidates
+  // it (stale acdom/grounded constants would over-answer relative to a
+  // fresh Prepare) and a retracted labeled null is outside what the
+  // grounding reasons about at all.
+  bool wg_domain_shrinks = false;
+  if (mode_ == Mode::kWeaklyGuarded) {
+    for (Term t : vanished) {
+      if (t.IsConstant()) wg_domain_shrinks = true;
+    }
+  }
+  bool recompile = mode_ == Mode::kWeaklyGuarded &&
+                   (wg_domain_shrinks || null_retracted);
+  bool fallback =
+      recompile || program_->has_negation() || !supports_valid_;
+
+  // The surviving EDB, needed by both paths (an overdeleted atom that is
+  // still a base fact must not be deleted).
+  Database new_edb;
+  for (const Atom& a : edb_.atoms()) {
+    if (targets.count(a) == 0) new_edb.Insert(a);
+  }
+
+  size_t overdeleted = 0;
+  size_t rederived = 0;
+  bool dred_ok = false;
+  if (!fallback) {
+    Database new_model;
+    SupportLog new_log;
+    dred_ok = RetractDRed(targets, vanished, new_edb, &new_model, &new_log,
+                          &overdeleted, &rederived);
+    if (dred_ok) {
+      edb_ = std::move(new_edb);
+      model_ = std::move(new_model);
+      supports_ = std::move(new_log);
+      supports_valid_ = true;
+      out.overdeleted_atoms = overdeleted;
+      out.rederived_atoms = rederived;
+    }
+  }
+  double transform_ms = 0.0;
+  double materialize_ms = 0.0;
+  if (!dred_ok) {
+    // Fallback: rebuild the model from the surviving EDB (recompiling
+    // the data-dependent stages first when the wg grounding is stale).
+    // A budget that tripped mid-DRed degrades this pass too — the model
+    // stays a sound under-approximation, never unsound.
+    edb_ = std::move(new_edb);
+    if (recompile) {
+      Clock::time_point transform_start = Clock::now();
+      Status s = CompileProgram();
+      if (!s.ok()) return s;
+      transform_ms = MsSince(transform_start);
+    }
+    Clock::time_point materialize_start = Clock::now();
+    Status s = MaterializeModel();
+    if (!s.ok()) return s;
+    materialize_ms = MsSince(materialize_start);
+    out.delta = false;
+  }
+  if (recompile) {
+    cache_.Clear();
+  } else {
+    std::unordered_set<RelationId> written;
+    for (const Atom& f : targets) written.insert(f.pred);
+    EvictCacheForWrite(std::move(written), !vanished.empty());
+  }
+  DegradationReason reason = DegradationLocked();
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.retracts;
+  stats_.retracted_atoms += out.removed_atoms;
+  if (out.delta) {
+    ++stats_.retracts_dred;
+    stats_.overdeleted_atoms += out.overdeleted_atoms;
+    stats_.rederived_atoms += out.rederived_atoms;
+  } else {
+    ++stats_.retracts_rematerialized;
+    ++stats_.rematerializations;
+    if (recompile) ++stats_.prepares;
+    stats_.prepare_transform_wall_ms += transform_ms;
+    stats_.prepare_materialize_wall_ms += materialize_ms;
+  }
+  if (reason.degraded()) {
+    ++stats_.degraded_prepares;
+    stats_.last_degradation = reason;
+  }
+  stats_.model_atoms = model_.size();
+  stats_.datalog_rules = program_->theory().size();
+  stats_.retract_wall_ms += MsSince(start);
+  return out;
+}
+
+bool PreparedKb::RetractDRed(const std::unordered_set<Atom, AtomHash>& targets,
+                             const std::vector<Term>& vanished,
+                             const Database& new_edb, Database* new_model,
+                             SupportLog* new_log, size_t* overdeleted,
+                             size_t* rederived) const {
+  const size_t n = model_.size();
+  std::vector<uint8_t> deleted(n, 0);
+  auto find_index = [&](const Atom& a) -> int64_t {
+    const std::vector<uint32_t>* postings = &model_.AtomsOf(a.pred);
+    if (model_.position_index_enabled() && !a.args.empty()) {
+      const std::vector<uint32_t>& cand = model_.AtomsAt(a.pred, 0, a.args[0]);
+      if (cand.size() < postings->size()) postings = &cand;
+    }
+    for (uint32_t ai : *postings) {
+      if (model_.atom(ai) == a) return ai;
+    }
+    return -1;
+  };
+  // Seed deletions: the retracted facts themselves plus the acdom atoms
+  // of terms leaving the active domain.
+  for (const Atom& f : targets) {
+    int64_t i = find_index(f);
+    if (i >= 0) deleted[i] = 1;  // EDB ⊆ model, so this always hits.
+  }
+  for (Term t : vanished) {
+    int64_t i = find_index(Atom(acdom_, {t}));
+    if (i >= 0) deleted[i] = 1;
+  }
+  size_t seeds = 0;
+  for (size_t i = 0; i < n; ++i) seeds += deleted[i];
+
+  // Overdelete: one forward pass suffices because supports are
+  // well-founded — every recorded body index precedes the derived
+  // atom's index, so deleted[] is final for all support members by the
+  // time atom i is visited.
+  if (!budget_->CheckRound(GovernedStage::kDatalog, 1, n)) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (deleted[i]) continue;
+    if (!budget_->CheckPoint(GovernedStage::kDatalog)) return false;
+    SupportLog::Entry e = supports_.Of(i);
+    if (e.rule == SupportLog::kNoRule) continue;  // Base fact.
+    bool dead = false;
+    for (uint32_t p = e.begin; p < e.end; ++p) {
+      if (deleted[supports_.pool[p]]) {
+        dead = true;
+        break;
+      }
+    }
+    if (!dead) continue;
+    // An atom that is still a base fact survives its lost witness.
+    if (new_edb.Contains(model_.atom(i))) continue;
+    deleted[i] = 1;
+  }
+  size_t total_deleted = 0;
+  for (size_t i = 0; i < n; ++i) total_deleted += deleted[i];
+  *overdeleted = total_deleted - seeds;
+
+  // Prune: rebuild the surviving model in order, remapping supports.
+  // A surviving atom whose witness cites a deleted atom is exactly the
+  // base-fact case above; it degrades to a no-rule entry.
+  std::vector<uint32_t> remap(n, 0);
+  std::vector<uint32_t> body_scratch;
+  for (size_t i = 0; i < n; ++i) {
+    if (deleted[i]) continue;
+    new_model->Insert(model_.atom(i));
+    uint32_t ni = static_cast<uint32_t>(new_model->size() - 1);
+    remap[i] = ni;
+    SupportLog::Entry e = supports_.Of(i);
+    if (e.rule == SupportLog::kNoRule) continue;
+    bool stale = false;
+    body_scratch.clear();
+    for (uint32_t p = e.begin; p < e.end; ++p) {
+      if (deleted[supports_.pool[p]]) {
+        stale = true;
+        break;
+      }
+      body_scratch.push_back(remap[supports_.pool[p]]);
+    }
+    if (stale) continue;
+    new_log->Record(ni, e.rule, body_scratch.data(), body_scratch.size());
+  }
+
+  // Rederive: an overdeleted atom may still be entailed by the pruned
+  // model (a second derivation the single-witness log did not record, or
+  // via atoms rederived this round). For each candidate, unify it with a
+  // rule head and join the rule's body over the new model; repeat until
+  // a pass restores nothing. This converges to exactly the least model
+  // of the surviving EDB: every candidate is in the old model, so no
+  // new atoms can appear, and any entailed candidate is eventually
+  // restored once its body atoms are.
+  const Theory& th = program_->theory();
+  std::unordered_map<RelationId, std::vector<std::pair<uint32_t, uint32_t>>>
+      heads_by_pred;
+  for (uint32_t ri = 0; ri < th.rules().size(); ++ri) {
+    const Rule& r = th.rules()[ri];
+    for (uint32_t hi = 0; hi < r.head.size(); ++hi) {
+      heads_by_pred[r.head[hi].pred].emplace_back(ri, hi);
+    }
+  }
+  std::vector<Atom> candidates;
+  candidates.reserve(total_deleted);
+  for (size_t i = 0; i < n; ++i) {
+    if (deleted[i]) candidates.push_back(model_.atom(i));
+  }
+  JoinExecutor exec;
+  auto try_rederive = [&](const Atom& goal, uint32_t* out_rule,
+                          std::vector<uint32_t>* out_body) -> bool {
+    auto it = heads_by_pred.find(goal.pred);
+    if (it == heads_by_pred.end()) return false;
+    for (auto [ri, hi] : it->second) {
+      const Rule& r = th.rules()[ri];
+      const Atom& h = r.head[hi];
+      if (h.args.size() != goal.args.size() ||
+          h.annotation.size() != goal.annotation.size()) {
+        continue;
+      }
+      // Unify the ground goal against the head atom: constants must
+      // match, variables bind consistently.
+      std::vector<std::pair<Term, Term>> binds;
+      bool ok = true;
+      auto unify = [&](Term ht, Term gt) {
+        if (!ok) return;
+        if (!ht.IsVariable()) {
+          if (ht != gt) ok = false;
+          return;
+        }
+        for (const auto& [v, val] : binds) {
+          if (v == ht) {
+            if (val != gt) ok = false;
+            return;
+          }
+        }
+        binds.emplace_back(ht, gt);
+      };
+      for (size_t k = 0; k < h.args.size(); ++k) unify(h.args[k], goal.args[k]);
+      for (size_t k = 0; k < h.annotation.size(); ++k) {
+        unify(h.annotation[k], goal.annotation[k]);
+      }
+      if (!ok) continue;
+      std::vector<Atom> positives;
+      positives.reserve(r.body.size());
+      for (const Literal& l : r.body) positives.push_back(l.atom);
+      std::vector<Term> pre_bound;
+      pre_bound.reserve(binds.size());
+      for (const auto& [v, val] : binds) pre_bound.push_back(v);
+      JoinPlan plan(positives, pre_bound);
+      exec.Reset(plan);
+      for (const auto& [v, val] : binds) exec.Bind(v, val);
+      bool found = false;
+      exec.Execute(
+          plan, *new_model,
+          [&](const JoinExecutor& e) {
+            *out_rule = ri;
+            *out_body = e.MatchedAtomIndices();
+            found = true;
+            return false;  // The first witness suffices.
+          },
+          /*db_grows=*/false);
+      if (found) return true;
+    }
+    return false;
+  };
+  std::vector<char> restored(candidates.size(), 0);
+  uint64_t round = 1;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (!budget_->CheckRound(GovernedStage::kDatalog, ++round,
+                             new_model->size())) {
+      return false;
+    }
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (restored[ci]) continue;
+      if (!budget_->CheckPoint(GovernedStage::kDatalog)) return false;
+      uint32_t rule = 0;
+      body_scratch.clear();
+      if (!try_rederive(candidates[ci], &rule, &body_scratch)) continue;
+      new_model->Insert(candidates[ci]);
+      new_log->Record(new_model->size() - 1, rule, body_scratch.data(),
+                      body_scratch.size());
+      restored[ci] = 1;
+      ++*rederived;
+      progress = true;
+    }
+  }
+  return true;
+}
+
+std::vector<Atom> PreparedKb::ModelAtoms() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return model_.AtomsVector();
+}
+
+std::vector<Atom> PreparedKb::EdbAtoms() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return edb_.AtomsVector();
 }
 
 ServiceStats PreparedKb::stats() const {

@@ -27,11 +27,28 @@
 //             are derived. Falls back to re-running the data-dependent
 //             stages only when a weakly guarded theory meets constants
 //             outside the grounded domain (or the program has negation).
+//   Retract:  remove EDB facts incrementally by DRed (delete/re-derive):
+//             a per-atom derivation-support log recorded during
+//             materialization overdeletes the support cascade in one
+//             forward pass, the pruned model is rebuilt, and overdeleted
+//             atoms are rederived against it by rerunning their rules —
+//             the result is exactly the least model of the surviving
+//             EDB. Falls back to an epoch-bump full re-materialization
+//             when the program has negation, the support log is invalid
+//             (degraded materialization, snapshot load), a weakly
+//             guarded theory's constant domain shrinks or the retracted
+//             facts carry labeled nulls, or the budget trips mid-retract.
 //
-// Concurrency: Query takes a shared lock, Assert an exclusive one — any
-// number of reader threads can query while asserts serialize. All symbol
-// table access happens under the lock, so sessions may keep parsing on
-// the thread that asserts.
+// Concurrency: Query takes a shared lock, Assert/Retract an exclusive
+// one — any number of reader threads can query while writes serialize.
+// All symbol table access happens under the lock, so sessions may keep
+// parsing on the thread that asserts.
+//
+// Writes invalidate the answer cache by predicate dependency, not
+// wholesale: CompileProgram records body→head edges of the compiled
+// rules, each cached entry is tagged with the predicates its join read,
+// and Assert/Retract evict only entries reading the dependency closure
+// of the changed predicates (answer_cache.h).
 #ifndef GEREL_SERVICE_PREPARED_KB_H_
 #define GEREL_SERVICE_PREPARED_KB_H_
 
@@ -39,6 +56,7 @@
 #include <set>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -51,6 +69,7 @@
 #include "core/symbol_table.h"
 #include "core/theory.h"
 #include "datalog/program.h"
+#include "datalog/support.h"
 #include "service/answer_cache.h"
 #include "service/stats.h"
 #include "transform/pipeline.h"
@@ -106,6 +125,21 @@ struct AssertResult {
   bool delta = true;
 };
 
+struct RetractResult {
+  // Distinct EDB atoms removed.
+  size_t removed_atoms = 0;
+  // Derived atoms the DRed cascade overdeleted beyond the retracted
+  // seeds (0 on the re-materialization fallback).
+  size_t overdeleted_atoms = 0;
+  // Overdeleted atoms the rederivation phase proved still entailed and
+  // restored (0 on the fallback).
+  size_t rederived_atoms = 0;
+  // False when the retract rebuilt the model from the surviving EDB
+  // instead of running DRed. The server maps this to an epoch bump (a
+  // replica cannot apply the change as a delta).
+  bool delta = true;
+};
+
 class PreparedKb {
  public:
   // Which stages the §7 pipeline collapsed to for this theory.
@@ -135,9 +169,18 @@ class PreparedKb {
                                     ExecutionBudget* budget) const;
 
   // Adds ground facts to the knowledge base and re-derives their
-  // consequences. Thread-safe: takes an exclusive lock and invalidates
-  // the answer cache.
+  // consequences. Thread-safe: takes an exclusive lock and evicts the
+  // cached answers that depend on the changed predicates.
   Result<AssertResult> Assert(const std::vector<Atom>& facts);
+
+  // Removes ground EDB facts and incrementally deletes the derived
+  // consequences that lose their last recorded support (DRed), falling
+  // back to full re-materialization when the incremental path cannot be
+  // trusted (see the class comment). Every fact must be a current EDB
+  // atom: an unknown or derived-only fact is a clean no-op error (no
+  // state changes). A retracted fact may survive in the model when it is
+  // still entailed by the remaining facts. Thread-safe: exclusive lock.
+  Result<RetractResult> Retract(const std::vector<Atom>& facts);
 
   // Consistent snapshot of the serving counters.
   ServiceStats stats() const;
@@ -180,6 +223,10 @@ class PreparedKb {
   bool prepare_complete() const;
   size_t model_size() const;
   size_t datalog_rules() const;
+  // Snapshot copies of the materialized model / base facts, for tests
+  // and the differential harness (shared lock; order is insertion order).
+  std::vector<Atom> ModelAtoms() const;
+  std::vector<Atom> EdbAtoms() const;
 
  private:
   PreparedKb(SymbolTable* symbols, const PreparedKbOptions& options);
@@ -189,6 +236,26 @@ class PreparedKb {
   Status CompileProgram();
   // Rebuilds the materialized model from the EDB. Exclusive lock held.
   Status MaterializeModel();
+  // Records the compiled program's body→head predicate edges for
+  // dependency-aware cache invalidation (also called by LoadSnapshot).
+  void BuildDependencyIndex();
+  // All predicates transitively derivable from `preds` (including
+  // `preds` themselves). Exclusive lock held.
+  std::unordered_set<RelationId> DependencyClosure(
+      std::unordered_set<RelationId> preds) const;
+  // Evicts cached entries reading the closure of `written` (plus acdom
+  // when the active domain changed) and updates the selectivity
+  // counters. Exclusive lock held; takes stats_mu_ internally.
+  void EvictCacheForWrite(std::unordered_set<RelationId> written,
+                          bool domain_changed);
+  // The DRed core: overdelete/prune/rederive against `new_edb` into
+  // *new_model / *new_log. Returns false when the budget tripped
+  // mid-retract; the caller falls back to re-materialization. Exclusive
+  // lock held; model_/supports_ are read, not written.
+  bool RetractDRed(const std::unordered_set<Atom, AtomHash>& targets,
+                   const std::vector<Term>& vanished, const Database& new_edb,
+                   Database* new_model, SupportLog* new_log,
+                   size_t* overdeleted, size_t* rederived) const;
   // Completeness certificate for a query: no body relation of `cq` can
   // hold a labeled null in the chase.
   bool QueryCannotHaveNullWitnesses(const Rule& cq) const;
@@ -224,6 +291,17 @@ class PreparedKb {
   Database edb_;    // Base facts: the initial database plus all asserts.
   Database model_;  // edb_ plus every derived consequence (and acdom).
   std::unique_ptr<DatalogProgram> program_;
+  // One derivation support per model atom, recorded by the program
+  // during Materialize/ExtendWithDelta (the program's options point at
+  // this log). Valid only when the last full pass completed and the
+  // program is negation-free; an invalid log routes Retract to the
+  // re-materialization fallback, which rebuilds it (self-healing — the
+  // snapshot format does not persist supports).
+  SupportLog supports_;
+  bool supports_valid_ = false;
+  // Direct body→head predicate edges of the compiled program, for the
+  // cache-invalidation closure.
+  std::unordered_map<RelationId, std::vector<RelationId>> dependents_;
   bool compile_complete_ = true;
   bool materialize_complete_ = true;
   DegradationReason compile_degradation_;

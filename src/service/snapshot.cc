@@ -441,10 +441,16 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::LoadSnapshot(
   // saturation artifacts are all baked into the stored rule set.
   DatalogOptions dopts = options.datalog;
   dopts.budget = kb->budget_.get();
+  // Derivation supports are not persisted: the loaded model keeps
+  // supports_valid_ = false, so the first Retract re-materializes (and
+  // rebuilds the support log as a side effect). The dependency index is
+  // pure program structure, so it is rebuilt here for cache eviction.
+  dopts.support_log = &kb->supports_;
   Result<DatalogProgram> program =
       DatalogProgram::Compile(std::move(program_rules), symbols, dopts);
   if (!program.ok()) return program.status();
   kb->program_ = std::make_unique<DatalogProgram>(std::move(program).value());
+  kb->BuildDependencyIndex();
   {
     std::lock_guard<std::mutex> slock(kb->stats_mu_);
     kb->stats_.snapshot_loads = 1;

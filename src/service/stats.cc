@@ -28,6 +28,14 @@ void ServiceStats::Accumulate(const ServiceStats& other) {
   rematerializations += other.rematerializations;
   asserted_atoms += other.asserted_atoms;
   delta_derived_atoms += other.delta_derived_atoms;
+  retracts += other.retracts;
+  retracts_dred += other.retracts_dred;
+  retracts_rematerialized += other.retracts_rematerialized;
+  retracted_atoms += other.retracted_atoms;
+  overdeleted_atoms += other.overdeleted_atoms;
+  rederived_atoms += other.rederived_atoms;
+  cache_evicted_entries += other.cache_evicted_entries;
+  cache_retained_entries += other.cache_retained_entries;
   model_atoms += other.model_atoms;
   datalog_rules += other.datalog_rules;
   diagnostics += other.diagnostics;
@@ -42,6 +50,7 @@ void ServiceStats::Accumulate(const ServiceStats& other) {
   prepare_wall_ms += other.prepare_wall_ms;
   query_wall_ms += other.query_wall_ms;
   assert_wall_ms += other.assert_wall_ms;
+  retract_wall_ms += other.retract_wall_ms;
   prepare_classify_wall_ms += other.prepare_classify_wall_ms;
   prepare_transform_wall_ms += other.prepare_transform_wall_ms;
   prepare_materialize_wall_ms += other.prepare_materialize_wall_ms;
@@ -67,6 +76,22 @@ std::string ServiceStats::ToString() const {
          static_cast<unsigned long long>(asserted_atoms));
   Append(&out, "delta derived atoms: %llu\n",
          static_cast<unsigned long long>(delta_derived_atoms));
+  Append(&out, "retracts:            %llu\n",
+         static_cast<unsigned long long>(retracts));
+  Append(&out, "retracts_dred:       %llu\n",
+         static_cast<unsigned long long>(retracts_dred));
+  Append(&out, "retracts_rematerialized: %llu\n",
+         static_cast<unsigned long long>(retracts_rematerialized));
+  Append(&out, "retracted atoms:     %llu\n",
+         static_cast<unsigned long long>(retracted_atoms));
+  Append(&out, "overdeleted atoms:   %llu\n",
+         static_cast<unsigned long long>(overdeleted_atoms));
+  Append(&out, "rederived atoms:     %llu\n",
+         static_cast<unsigned long long>(rederived_atoms));
+  Append(&out, "cache evicted:       %llu\n",
+         static_cast<unsigned long long>(cache_evicted_entries));
+  Append(&out, "cache retained:      %llu\n",
+         static_cast<unsigned long long>(cache_retained_entries));
   Append(&out, "model atoms:         %llu\n",
          static_cast<unsigned long long>(model_atoms));
   Append(&out, "datalog rules:       %llu\n",
@@ -91,6 +116,7 @@ std::string ServiceStats::ToString() const {
   Append(&out, "  materialize ms:    %.3f\n", prepare_materialize_wall_ms);
   Append(&out, "query wall ms:       %.3f\n", query_wall_ms);
   Append(&out, "assert wall ms:      %.3f\n", assert_wall_ms);
+  Append(&out, "retract wall ms:     %.3f\n", retract_wall_ms);
   return out;
 }
 
@@ -114,6 +140,22 @@ std::string ServiceStats::ToJson() const {
          static_cast<unsigned long long>(asserted_atoms));
   Append(&out, "\"delta_derived_atoms\": %llu, ",
          static_cast<unsigned long long>(delta_derived_atoms));
+  Append(&out, "\"retracts\": %llu, ",
+         static_cast<unsigned long long>(retracts));
+  Append(&out, "\"retracts_dred\": %llu, ",
+         static_cast<unsigned long long>(retracts_dred));
+  Append(&out, "\"retracts_rematerialized\": %llu, ",
+         static_cast<unsigned long long>(retracts_rematerialized));
+  Append(&out, "\"retracted_atoms\": %llu, ",
+         static_cast<unsigned long long>(retracted_atoms));
+  Append(&out, "\"overdeleted_atoms\": %llu, ",
+         static_cast<unsigned long long>(overdeleted_atoms));
+  Append(&out, "\"rederived_atoms\": %llu, ",
+         static_cast<unsigned long long>(rederived_atoms));
+  Append(&out, "\"cache_evicted_entries\": %llu, ",
+         static_cast<unsigned long long>(cache_evicted_entries));
+  Append(&out, "\"cache_retained_entries\": %llu, ",
+         static_cast<unsigned long long>(cache_retained_entries));
   Append(&out, "\"model_atoms\": %llu, ",
          static_cast<unsigned long long>(model_atoms));
   Append(&out, "\"datalog_rules\": %llu, ",
@@ -138,7 +180,8 @@ std::string ServiceStats::ToJson() const {
   Append(&out, "\"prepare_materialize_wall_ms\": %.6f, ",
          prepare_materialize_wall_ms);
   Append(&out, "\"query_wall_ms\": %.6f, ", query_wall_ms);
-  Append(&out, "\"assert_wall_ms\": %.6f}", assert_wall_ms);
+  Append(&out, "\"assert_wall_ms\": %.6f, ", assert_wall_ms);
+  Append(&out, "\"retract_wall_ms\": %.6f}", retract_wall_ms);
   return out;
 }
 

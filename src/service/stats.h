@@ -31,6 +31,23 @@ struct ServiceStats {
   uint64_t asserted_atoms = 0;
   // Atoms derived by delta extensions (excludes full re-materializations).
   uint64_t delta_derived_atoms = 0;
+  // Retract counters: every Retract is either served by the incremental
+  // DRed path (overdelete → rederive → prune) or falls back to a full
+  // re-materialization (negation strata, invalid supports, wg-mode
+  // domain shrink/null, budget exhaustion mid-retract).
+  uint64_t retracts = 0;
+  uint64_t retracts_dred = 0;
+  uint64_t retracts_rematerialized = 0;
+  // EDB atoms removed by Retract.
+  uint64_t retracted_atoms = 0;
+  // Derived atoms overdeleted by the DRed cascade (beyond the retracted
+  // seeds) and atoms the rederivation phase restored.
+  uint64_t overdeleted_atoms = 0;
+  uint64_t rederived_atoms = 0;
+  // Cache-eviction selectivity: entries evicted by dependency-aware
+  // write invalidation vs entries that survived those sweeps.
+  uint64_t cache_evicted_entries = 0;
+  uint64_t cache_retained_entries = 0;
   // Current sizes.
   uint64_t model_atoms = 0;
   uint64_t datalog_rules = 0;
@@ -53,6 +70,7 @@ struct ServiceStats {
   double prepare_wall_ms = 0.0;
   double query_wall_ms = 0.0;
   double assert_wall_ms = 0.0;
+  double retract_wall_ms = 0.0;
   // Prepare-phase breakdown (cumulative across recompiles): classify =
   // normalize + classification + pre-flight analysis; transform = the §5–§7
   // pipeline (expansion, grounding, saturation, Datalog compilation);

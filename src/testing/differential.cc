@@ -778,7 +778,223 @@ CaseVerdict CheckFaultRecoveryCase(const GeneratedCase& c,
   return CaseVerdict::kOk;
 }
 
+// Certain ground facts of a materialized model (theory relations only;
+// atoms mentioning labeled nulls are identity-sensitive and excluded).
+std::set<std::string> GroundFactSetOf(const std::vector<Atom>& atoms,
+                                      const Theory& theory,
+                                      const SymbolTable& symbols) {
+  std::set<RelationId> rels;
+  for (RelationId r : theory.Relations()) rels.insert(r);
+  std::set<std::string> out;
+  for (const Atom& a : atoms) {
+    if (rels.count(a.pred) > 0 && a.IsGroundOverConstants()) {
+      out.insert(ToString(a, symbols));
+    }
+  }
+  return out;
+}
+
+// One CRUD case: see the RunCrud header comment for the checked
+// properties.
+CaseVerdict CheckCrudCase(const GeneratedCase& c, SymbolTable* symbols,
+                          const DiffOptions& options, DiffFailure* failure) {
+  failure->cls = c.cls;
+  failure->case_seed = c.seed;
+  auto fail = [&](const char* lane, std::string detail) {
+    failure->lane = lane;
+    failure->detail = std::move(detail);
+    return CaseVerdict::kFail;
+  };
+
+  Classification cls = Classify(c.theory);
+  if (!cls.weakly_frontier_guarded) return CaseVerdict::kSkip;
+
+  KbQueryOptions pipeline_opts;
+  pipeline_opts.saturation.max_rules = 400;
+  pipeline_opts.saturation.max_body_atoms = 6;
+  pipeline_opts.expansion.max_rules = 2000;
+  pipeline_opts.grounding.max_rules = 2000;
+  PreparedKbOptions po;
+  po.pipeline = pipeline_opts;
+  po.datalog.num_threads = options.num_threads;
+
+  bool is_datalog = true;
+  for (const Rule& r : c.theory.rules()) {
+    if (!r.IsDatalog()) is_datalog = false;
+  }
+
+  // Start the KB on a prefix of the generated database; the suffix is
+  // the assert pool.
+  std::vector<Atom> all = c.database.AtomsVector();
+  size_t start_n = (all.size() * 2) / 3;
+  if (start_n == 0 && !all.empty()) start_n = 1;
+  std::vector<Atom> edb(all.begin(), all.begin() + start_n);
+  std::vector<Atom> pool(all.begin() + start_n, all.end());
+  Database d0;
+  for (const Atom& a : edb) d0.Insert(a);
+  Result<std::unique_ptr<PreparedKb>> prepared =
+      PreparedKb::Prepare(c.theory, d0, symbols, po);
+  if (!prepared.ok()) return CaseVerdict::kSkip;
+  PreparedKb* kb = prepared.value().get();
+
+  size_t compared = 0;
+  bool checkpoint_failed = false;
+  // Human-readable op trace, prefixed to failure details so a repro
+  // names the exact interleaving.
+  std::string ops_log;
+  // Compares the live KB against a fresh Prepare from the surviving
+  // EDB. Returns false with *failure set when a property is violated.
+  auto checkpoint = [&](const char* when) -> bool {
+    Database cur;
+    for (const Atom& a : edb) cur.Insert(a);
+    Result<std::unique_ptr<PreparedKb>> fresh =
+        PreparedKb::Prepare(c.theory, cur, symbols, po);
+    if (!fresh.ok()) return true;  // Nothing comparable.
+    if (kb->prepare_complete() && fresh.value()->prepare_complete()) {
+      std::set<std::string> live_facts;
+      std::set<std::string> fresh_facts;
+      if (is_datalog) {
+        // Null-free models compare exactly.
+        for (const Atom& a : kb->ModelAtoms()) {
+          live_facts.insert(ToString(a, *symbols));
+        }
+        for (const Atom& a : fresh.value()->ModelAtoms()) {
+          fresh_facts.insert(ToString(a, *symbols));
+        }
+      } else {
+        live_facts = GroundFactSetOf(kb->ModelAtoms(), c.theory, *symbols);
+        fresh_facts =
+            GroundFactSetOf(fresh.value()->ModelAtoms(), c.theory, *symbols);
+      }
+      if (live_facts != fresh_facts) {
+        fail("crud-model", "[" + ops_log + "] " + when + ": " +
+                               DescribeFactDiff(fresh_facts, live_facts));
+        return false;
+      }
+      ++compared;
+    }
+    Result<PreparedQueryResult> ql = kb->Query(c.query);
+    Result<PreparedQueryResult> qf = fresh.value()->Query(c.query);
+    if (ql.ok() && qf.ok() && qf.value().complete) {
+      if (ql.value().complete) {
+        if (ql.value().answers != qf.value().answers) {
+          fail("crud-answers",
+               "[" + ops_log + "] " + when + ": " +
+                   DescribeAnswerDiff(qf.value().answers, ql.value().answers,
+                                      *symbols));
+          return false;
+        }
+      } else if (!IsSubset(ql.value().answers, qf.value().answers)) {
+        fail("crud-unsound",
+             "[" + ops_log + "] " + when + ": " +
+                 DescribeAnswerDiff(qf.value().answers, ql.value().answers,
+                                    *symbols));
+        return false;
+      }
+      ++compared;
+    }
+    return true;
+  };
+
+  std::mt19937 rng(c.seed);
+  const size_t kOps = 8;
+  for (size_t op = 0; op < kOps && !checkpoint_failed; ++op) {
+    switch (rng() % 3) {
+      case 0: {  // Assert up to two pool atoms.
+        if (pool.empty()) break;
+        std::vector<Atom> batch;
+        size_t take = 1 + rng() % 2;
+        while (take-- > 0 && !pool.empty()) {
+          batch.push_back(pool.back());
+          pool.pop_back();
+        }
+        for (const Atom& a : batch) {
+          ops_log += "assert " + ToString(a, *symbols) + "; ";
+        }
+        Result<AssertResult> ar = kb->Assert(batch);
+        if (!ar.ok()) return fail("crud-assert", ar.status().message());
+        edb.insert(edb.end(), batch.begin(), batch.end());
+        if (!checkpoint("after assert")) checkpoint_failed = true;
+        break;
+      }
+      case 1: {  // Retract one random surviving EDB fact.
+        if (edb.empty()) break;
+        size_t idx = rng() % edb.size();
+        Atom victim = edb[idx];
+        ops_log += "retract " + ToString(victim, *symbols) + "; ";
+        Result<RetractResult> rr = kb->Retract({victim});
+        if (!rr.ok()) return fail("crud-retract", rr.status().message());
+        edb.erase(edb.begin() + idx);
+        // Retracting it again must fail cleanly without mutating.
+        size_t before = kb->model_size();
+        Result<RetractResult> again = kb->Retract({victim});
+        if (again.ok()) {
+          return fail("crud-retract-missing-error",
+                      "retract of a non-EDB fact succeeded");
+        }
+        if (kb->model_size() != before) {
+          return fail("crud-retract-error-mutated",
+                      "failed retract changed the model size");
+        }
+        if (!checkpoint("after retract")) checkpoint_failed = true;
+        break;
+      }
+      case 2: {  // Query (populates the cache across mutations).
+        ops_log += "query; ";
+        (void)kb->Query(c.query);
+        break;
+      }
+    }
+  }
+  if (checkpoint_failed) return CaseVerdict::kFail;
+  return compared > 0 ? CaseVerdict::kOk : CaseVerdict::kSkip;
+}
+
 }  // namespace
+
+DiffReport RunCrud(unsigned seed, size_t iters,
+                   const std::vector<GenClass>& classes,
+                   const DiffOptions& options) {
+  const std::vector<GenClass>& run_classes =
+      classes.empty() ? AllGenClasses() : classes;
+  DiffReport report;
+  for (GenClass cls : run_classes) {
+    unsigned cls_index = static_cast<unsigned>(cls);
+    for (size_t iter = 0; iter < iters; ++iter) {
+      unsigned cseed = CaseSeed(seed, cls_index, static_cast<unsigned>(iter));
+      SymbolTable symbols;
+      CaseGenerator gen(cseed, &symbols, options.gen);
+      GeneratedCase c = gen.Next(cls);
+      ++report.iterations;
+      if (options.log_cases) report.transcript += CaseToString(c, symbols);
+      DiffFailure f;
+      CaseVerdict verdict = CheckCrudCase(c, &symbols, options, &f);
+      std::string line = std::string(GenClassTag(cls)) + " " +
+                         std::to_string(iter) + " seed=" +
+                         std::to_string(cseed);
+      switch (verdict) {
+        case CaseVerdict::kOk:
+          ++report.checked;
+          report.transcript += line + " ok\n";
+          break;
+        case CaseVerdict::kSkip:
+          ++report.skipped;
+          report.transcript += line + " skip\n";
+          break;
+        case CaseVerdict::kFail:
+          ++report.checked;
+          report.transcript += line + " FAIL(" + f.lane + ")\n";
+          f.iteration = iter;
+          f.repro = CaseToString(c, symbols);
+          f.repro_rules = c.theory.size();
+          report.failures.push_back(std::move(f));
+          if (options.stop_on_failure) return report;
+          break;
+      }
+    }
+  }
+  return report;
+}
 
 DiffReport RunFaultRecovery(unsigned seed, size_t iters,
                             const std::vector<GenClass>& classes,

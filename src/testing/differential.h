@@ -131,6 +131,24 @@ DiffReport RunFaultRecovery(unsigned seed, size_t iters,
                             const std::vector<GenClass>& classes,
                             const DiffOptions& options = DiffOptions());
 
+// CRUD lane (`gerel fuzz --lane crud`). For each seeded case, prepares
+// a PreparedKb on a prefix of the generated database and then replays a
+// deterministic random interleaving of assert / retract / query ops.
+// After every mutation the live KB is compared against a *fresh*
+// Prepare from the surviving EDB: certain ground facts must agree (the
+// full model, for Datalog-class theories), query answers must agree
+// when both sides are complete (live answers must stay sound against a
+// complete fresh run otherwise), and retracting a fact that is not in
+// the EDB must fail without touching the model. This exercises the
+// DRed overdelete/rederive/prune path, the re-materialization
+// fallbacks, and dependency-aware cache invalidation (a stale cached
+// answer served after a covering write diverges from the fresh KB).
+// The transcript is a pure function of (seed, iters, classes, gen
+// options) — thread counts never affect it.
+DiffReport RunCrud(unsigned seed, size_t iters,
+                   const std::vector<GenClass>& classes,
+                   const DiffOptions& options = DiffOptions());
+
 }  // namespace gerel::testing
 
 #endif  // GEREL_TESTING_DIFFERENTIAL_H_

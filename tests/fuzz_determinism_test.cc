@@ -11,6 +11,7 @@ namespace {
 using gerel::testing::DiffOptions;
 using gerel::testing::DiffReport;
 using gerel::testing::GenClass;
+using gerel::testing::RunCrud;
 using gerel::testing::RunDifferential;
 
 DiffReport RunHarness(unsigned seed, int threads) {
@@ -19,6 +20,14 @@ DiffReport RunHarness(unsigned seed, int threads) {
   opts.log_cases = true;  // Transcript embeds every case verbatim.
   opts.stop_on_failure = false;
   return RunDifferential(seed, /*iters=*/4, /*classes=*/{}, opts);
+}
+
+DiffReport RunCrudHarness(unsigned seed, int threads) {
+  DiffOptions opts;
+  opts.num_threads = threads;
+  opts.log_cases = true;
+  opts.stop_on_failure = false;
+  return RunCrud(seed, /*iters=*/6, /*classes=*/{}, opts);
 }
 
 TEST(FuzzDeterminismTest, SameSeedSameTranscript) {
@@ -38,6 +47,22 @@ TEST(FuzzDeterminismTest, TranscriptIndependentOfThreadCount) {
   EXPECT_EQ(one.transcript, four.transcript);
   EXPECT_EQ(one.checked, four.checked);
   EXPECT_EQ(one.skipped, four.skipped);
+}
+
+TEST(FuzzDeterminismTest, CrudTranscriptIndependentOfThreadCount) {
+  // The crud lane mutates a live PreparedKb between checks; its op
+  // stream, verdicts, and transcript must still be a pure function of
+  // the seed — materialization thread counts never leak into it.
+  DiffReport one = RunCrudHarness(11, 1);
+  DiffReport two = RunCrudHarness(11, 2);
+  DiffReport four = RunCrudHarness(11, 4);
+  EXPECT_FALSE(one.transcript.empty());
+  EXPECT_EQ(one.transcript, two.transcript);
+  EXPECT_EQ(one.transcript, four.transcript);
+  EXPECT_EQ(one.checked, four.checked);
+  EXPECT_EQ(one.skipped, four.skipped);
+  EXPECT_TRUE(one.ok()) << one.failures[0].lane << ": "
+                        << one.failures[0].detail;
 }
 
 TEST(FuzzDeterminismTest, DifferentSeedsDiffer) {

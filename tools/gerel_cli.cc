@@ -599,10 +599,11 @@ int Fuzz(int argc, char** argv) {
       iters = static_cast<size_t>(std::strtoul(v, nullptr, 10));
     } else if ((v = value("--lane")) != nullptr) {
       lane = v;
-      if (lane != "conformance" && lane != "fault-recovery") {
+      if (lane != "conformance" && lane != "fault-recovery" &&
+          lane != "crud") {
         std::fprintf(stderr,
                      "gerel fuzz: unknown lane '%s' "
-                     "(conformance|fault-recovery)\n",
+                     "(conformance|fault-recovery|crud)\n",
                      v);
         return 64;
       }
@@ -639,7 +640,9 @@ int Fuzz(int argc, char** argv) {
   testing::DiffReport report =
       lane == "fault-recovery"
           ? testing::RunFaultRecovery(seed, iters, classes, opts)
-          : testing::RunDifferential(seed, iters, classes, opts);
+          : lane == "crud" ? testing::RunCrud(seed, iters, classes, opts)
+                           : testing::RunDifferential(seed, iters, classes,
+                                                      opts);
   if (opts.log_cases) std::printf("%s", report.transcript.c_str());
   std::printf("fuzz: %zu cases (%zu checked, %zu skipped), %zu failure%s\n",
               report.iterations, report.checked, report.skipped,
@@ -667,7 +670,7 @@ int Usage() {
                "[--snapshot=PATH]\n"
                "       gerel fuzz [--seed N] [--iters N] [--class "
                "dlg|g|fg|wg|wfg|ng|nfg|all]\n"
-               "                  [--lane conformance|fault-recovery] "
+               "                  [--lane conformance|fault-recovery|crud] "
                "[--shrink] [--threads N]\n"
                "                  [--fault F] [--log-cases]\n"
                "       gerel dot preds|positions|tree <program>\n"

@@ -2,13 +2,16 @@
 //
 //   gerel-loadgen [--connect=HOST:PORT] [--program=FILE] [--kb=NAME]
 //                 [--snapshot-dir=DIR] [--clients=N] [--requests=N]
-//                 [--assert-every=N] [--workers=N] [--query=CQ]
-//                 [--assert-rel=REL] [--min-rps=N] [--quiet]
+//                 [--assert-every=N] [--retract-every=N] [--workers=N]
+//                 [--query=CQ] [--assert-rel=REL] [--min-rps=N] [--quiet]
 //
 // Default (in-process) mode boots a registry + socket server on an
 // ephemeral loopback port, measures cold start (fresh prepare) vs warm
 // start (snapshot reload) of the benchmark tenant, then drives a mixed
-// query/assert workload from `--clients` real socket connections.
+// query/assert/retract workload from `--clients` real socket
+// connections — each client periodically retracts the edge it asserted
+// last (the DRed delta path), so the steady state exercises all three
+// verbs. `--retract-every=0` disables retracts.
 // `--connect` skips the start measurements and aims the same workload
 // at an already-running server (the tenant is prepared on demand).
 //
@@ -64,7 +67,8 @@ struct Args {
   std::string assert_rel = "e";
   size_t clients = 8;
   size_t requests = 250;    // Per client.
-  size_t assert_every = 8;  // Every Nth request is an assert batch.
+  size_t assert_every = 8;   // Every Nth request is an assert batch.
+  size_t retract_every = 16;  // Every Nth request retracts the last assert.
   size_t workers = 8;       // In-process server worker threads.
   double min_rps = 0;       // Fail below this throughput (0 = report only).
   bool quiet = false;
@@ -76,9 +80,9 @@ int Usage() {
       "usage: gerel-loadgen [--connect=HOST:PORT] [--program=FILE]\n"
       "                     [--kb=NAME] [--snapshot-dir=DIR]\n"
       "                     [--clients=N] [--requests=N]\n"
-      "                     [--assert-every=N] [--workers=N]\n"
-      "                     [--query=CQ] [--assert-rel=REL]\n"
-      "                     [--min-rps=N] [--quiet]\n");
+      "                     [--assert-every=N] [--retract-every=N]\n"
+      "                     [--workers=N] [--query=CQ]\n"
+      "                     [--assert-rel=REL] [--min-rps=N] [--quiet]\n");
   return 64;
 }
 
@@ -201,15 +205,27 @@ void RunClient(const Args& args, const std::string& host, uint16_t port,
       "{\"op\": \"query\", \"kb\": \"" + args.kb + "\", \"cq\": \"" +
       JsonEscape(args.query) + "\"}";
   std::string response;
+  // The fact this client asserted most recently and has not yet
+  // retracted; retract slots fall back to a query while it is empty.
+  std::string pending_retract;
   for (size_t i = 0; i < args.requests; ++i) {
     std::string frame;
     if (args.assert_every != 0 && i % args.assert_every == 1) {
       // Fresh constants per client keep every batch on the delta path.
       std::string tag = "lg" + std::to_string(client_index) + "_" +
                         std::to_string(i);
+      std::string fact =
+          args.assert_rel + "(" + tag + "a, " + tag + "b)";
       frame = "{\"op\": \"assert\", \"kb\": \"" + args.kb +
-              "\", \"facts\": \"" + args.assert_rel + "(" + tag + "a, " +
-              tag + "b)\"}";
+              "\", \"facts\": \"" + fact + "\"}";
+      pending_retract = fact;
+    } else if (args.retract_every != 0 &&
+               i % args.retract_every == 3 && !pending_retract.empty()) {
+      // Retract this client's own last assert: always a live EDB fact,
+      // so the server takes the DRed delta path.
+      frame = "{\"op\": \"retract\", \"kb\": \"" + args.kb +
+              "\", \"facts\": \"" + pending_retract + "\"}";
+      pending_retract.clear();
     } else {
       frame = query_frame;
     }
@@ -255,6 +271,8 @@ int main(int argc, char** argv) {
       args.requests = std::strtoul(p, nullptr, 10);
     } else if (const char* p = value("--assert-every=")) {
       args.assert_every = std::strtoul(p, nullptr, 10);
+    } else if (const char* p = value("--retract-every=")) {
+      args.retract_every = std::strtoul(p, nullptr, 10);
     } else if (const char* p = value("--workers=")) {
       args.workers = std::strtoul(p, nullptr, 10);
     } else if (const char* p = value("--min-rps=")) {
