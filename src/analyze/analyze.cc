@@ -529,39 +529,171 @@ void CheckStratification(const Theory& theory, const SymbolTable& symbols,
   }
 }
 
-// --- GR050: chase-termination risk ---------------------------------------
+// --- GR050 / GR070-GR072: chase termination ------------------------------
 
-void CheckAcyclicity(const Theory& theory, const SpanLookup& spans,
-                     std::vector<Diagnostic>* out) {
-  size_t first_existential = theory.rules().size();
+// Index of the first existential rule, or rules().size() for Datalog.
+size_t FirstExistentialRule(const Theory& theory) {
   for (size_t i = 0; i < theory.rules().size(); ++i) {
-    if (!theory.rules()[i].EVars().empty()) {
-      first_existential = i;
-      break;
-    }
+    if (!theory.rules()[i].EVars().empty()) return i;
   }
+  return theory.rules().size();
+}
+
+void CheckTermination(const Theory& theory,
+                      const TerminationCertificate& cert,
+                      const SymbolTable& symbols, const SpanLookup& spans,
+                      std::vector<Diagnostic>* out) {
+  size_t first_existential = FirstExistentialRule(theory);
   if (first_existential == theory.rules().size()) return;  // Datalog.
-  if (IsWeaklyAcyclic(theory)) return;
+  Span span = spans.Rule(first_existential);
+
+  auto order_note = [&]() {
+    std::vector<size_t> path = cert.order;
+    std::string names;
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (i > 0) names += ", ";
+      names += SkolemFunctionName(cert.graph.functions[path[i]], symbols);
+    }
+    return "Skolem function order: " + names;
+  };
+
+  switch (cert.kind) {
+    case CertificateKind::kExistentialFree:
+      return;  // Unreachable past the Datalog check above.
+    case CertificateKind::kWeaklyAcyclic: {
+      Diagnostic d;
+      d.code = "GR070";
+      d.severity = Severity::kNote;
+      d.span = span;
+      d.message =
+          "chase termination certified: theory is weakly acyclic";
+      d.notes.push_back(order_note());
+      d.notes.push_back(
+          "the Skolem (semi-oblivious) chase terminates on every database "
+          "in polynomially many steps");
+      out->push_back(std::move(d));
+      return;
+    }
+    case CertificateKind::kJointlyAcyclic: {
+      Diagnostic d;
+      d.code = "GR070";
+      d.severity = Severity::kNote;
+      d.span = span;
+      d.message =
+          "chase termination certified: theory is jointly acyclic (not "
+          "weakly acyclic)";
+      d.notes.push_back(order_note());
+      d.notes.push_back(
+          "the Skolem (semi-oblivious) chase terminates on every database; "
+          "the fully oblivious chase may diverge");
+      out->push_back(std::move(d));
+      return;
+    }
+    case CertificateKind::kMfa: {
+      Diagnostic d;
+      d.code = "GR070";
+      d.severity = Severity::kNote;
+      d.span = span;
+      d.message =
+          "chase termination certified: model-faithful acyclicity (the "
+          "critical-instance chase saturated)";
+      d.notes.push_back("theory is neither weakly nor jointly acyclic");
+      d.notes.push_back(
+          "the critical-instance Skolem chase saturated after " +
+          std::to_string(cert.critical_steps) + " step(s) with " +
+          std::to_string(cert.critical_atoms) + " atom(s)");
+      out->push_back(std::move(d));
+      return;
+    }
+    case CertificateKind::kRefuted:
+    case CertificateKind::kInconclusive:
+      break;
+  }
+
+  // No certificate: keep the long-standing GR050 warning, then say why
+  // the MFA rung failed too.
   Diagnostic d;
   d.code = "GR050";
-  d.span = spans.Rule(first_existential);
-  if (IsJointlyAcyclic(theory)) {
-    d.severity = Severity::kNote;
-    d.message =
-        "theory is not weakly acyclic, but jointly acyclic: the Skolem "
-        "(semi-oblivious) chase terminates; the fully oblivious chase may "
-        "diverge";
-  } else {
-    d.severity = Severity::kWarning;
-    d.message =
-        "theory is neither weakly nor jointly acyclic: the oblivious "
-        "chase may diverge on some database";
-    d.notes.push_back(
-        "guardedness guarantees decidable query answering, not chase "
-        "termination; use the bounded chase (--max-steps) or the Datalog "
-        "translations");
-  }
+  d.severity = Severity::kWarning;
+  d.span = span;
+  d.message =
+      "theory is neither weakly nor jointly acyclic: the oblivious "
+      "chase may diverge on some database";
+  d.notes.push_back(
+      "guardedness guarantees decidable query answering, not chase "
+      "termination; use the bounded chase (--max-steps) or the Datalog "
+      "translations");
   out->push_back(std::move(d));
+
+  if (cert.kind == CertificateKind::kRefuted) {
+    Diagnostic r;
+    r.code = "GR071";
+    r.severity = Severity::kWarning;
+    r.span = span;
+    r.message =
+        "theory is not model-faithfully acyclic: the critical-instance "
+        "chase built the cyclic Skolem path " +
+        SkolemPathString(cert.graph, cert.cycle, symbols);
+    r.notes.push_back(
+        "a null of " +
+        SkolemFunctionName(cert.graph.functions[cert.cycle.front()],
+                           symbols) +
+        " was derived on top of an earlier one; no acyclicity-based "
+        "termination certificate exists");
+    r.notes.push_back(
+        "render the dependency graph with `gerel check --dot`");
+    out->push_back(std::move(r));
+  } else {
+    Diagnostic r;
+    r.code = "GR072";
+    r.severity = Severity::kNote;
+    r.span = span;
+    r.message =
+        "termination analysis inconclusive: the critical-instance chase "
+        "stopped after " +
+        std::to_string(cert.critical_steps) +
+        " step(s) without saturating or finding a cyclic Skolem term";
+    r.notes.push_back(
+        "raise the termination caps to chase the critical instance to a "
+        "verdict");
+    out->push_back(std::move(r));
+  }
+}
+
+// --- GR080-GR084: extended lattice membership ----------------------------
+
+void CheckExtendedClasses(const Theory& theory,
+                          const ExtendedClassification& ext,
+                          const SpanLookup& spans,
+                          std::vector<Diagnostic>* out) {
+  size_t first_existential = FirstExistentialRule(theory);
+  // Memberships only matter for termination/planning once existentials
+  // are in play; staying silent on Datalog keeps `check` output lean.
+  if (first_existential == theory.rules().size()) return;
+  Span span = spans.Rule(first_existential);
+  auto note = [&](const char* code, bool member, const std::string& text) {
+    if (!member) return;
+    Diagnostic d;
+    d.code = code;
+    d.severity = Severity::kNote;
+    d.span = span;
+    d.message = text;
+    out->push_back(std::move(d));
+  };
+  note("GR080", ext.linear,
+       "theory is linear: every rule has at most one positive body atom");
+  note("GR081", ext.frontier_one,
+       "theory is frontier-one: every rule passes at most one variable to "
+       "its head");
+  note("GR082", ext.joinless,
+       "theory is joinless: no rule joins a variable across two body "
+       "atoms");
+  note("GR083", ext.domain_restricted,
+       "theory is domain-restricted: every head atom uses all or none of "
+       "its rule's body variables");
+  note("GR084", ext.shy,
+       "theory is shy: attacked variables are never joined and never "
+       "shared between frontier atoms");
 }
 
 // --- GR060: declared existentials ----------------------------------------
@@ -615,6 +747,8 @@ std::string RuleRef(size_t i, const Rule& rule, const SymbolTable& symbols) {
 }
 
 void FillWitnesses(const Theory& theory, const Classification& c,
+                   const ExtendedClassification& ext,
+                   const ExistentialDependencyGraph& graph,
                    const PositionSet& affected, const SymbolTable& symbols,
                    std::vector<ClassWitness>* out) {
   const std::vector<Rule>& rules = theory.rules();
@@ -722,6 +856,55 @@ void FillWitnesses(const Theory& theory, const Classification& c,
             return reason + " (Def 3 needs frontier-guarded, or safe and "
                             "existential-free)";
           });
+  witness("linear", ext.linear, [&](size_t i, const Rule& r) -> std::string {
+    if (IsLinearRule(r)) return "";
+    size_t positive = 0;
+    for (const Literal& l : r.body) {
+      if (!l.negated) ++positive;
+    }
+    return RuleRef(i, r, symbols) + " has " + std::to_string(positive) +
+           " positive body atoms (linear allows one)";
+  });
+  witness("frontier-one", ext.frontier_one,
+          [&](size_t i, const Rule& r) -> std::string {
+            if (IsFrontierOneRule(r)) return "";
+            return RuleRef(i, r, symbols) + " has frontier variables " +
+                   VarSetString(r.FVars(), symbols) +
+                   " (frontier-one allows one)";
+          });
+  witness("joinless", ext.joinless,
+          [&](size_t i, const Rule& r) -> std::string {
+            if (IsJoinlessRule(r)) return "";
+            for (Term x : r.UVars()) {
+              size_t atoms = 0;
+              for (const Literal& l : r.body) {
+                if (l.negated) continue;
+                std::vector<Term> all = l.atom.AllTerms();
+                if (std::find(all.begin(), all.end(), x) != all.end()) {
+                  ++atoms;
+                }
+              }
+              if (atoms > 1) {
+                return RuleRef(i, r, symbols) + ": variable " +
+                       symbols.TermName(x) +
+                       " joins two distinct positive body atoms";
+              }
+            }
+            return "";
+          });
+  witness("domain-restricted", ext.domain_restricted,
+          [&](size_t i, const Rule& r) -> std::string {
+            if (IsDomainRestrictedRule(r)) return "";
+            return RuleRef(i, r, symbols) +
+                   ": some head atom uses part (not all, not none) of the "
+                   "body variables";
+          });
+  witness("shy", ext.shy, [&](size_t i, const Rule& r) -> std::string {
+    if (IsShyRule(r, graph)) return "";
+    return RuleRef(i, r, symbols) +
+           ": an attacked variable is joined across body atoms, or two "
+           "attacked frontier variables share no body atom";
+  });
 }
 
 }  // namespace
@@ -731,6 +914,17 @@ AnalysisResult Analyze(const Theory& theory, const Database& db,
                        const AnalyzeOptions& options) {
   AnalysisResult result;
   result.classification = Classify(theory);
+  result.extended = ClassifyExtended(theory);
+  result.termination =
+      AnalyzeTermination(theory, symbols, options.termination);
+  for (size_t i : result.termination.order) {
+    result.termination_order.push_back(
+        SkolemFunctionName(result.termination.graph.functions[i], symbols));
+  }
+  for (size_t i : result.termination.cycle) {
+    result.termination_cycle.push_back(
+        SkolemFunctionName(result.termination.graph.functions[i], symbols));
+  }
   PositionSet affected = AffectedPositions(theory);
   SpanLookup spans{options.source};
 
@@ -740,7 +934,9 @@ AnalysisResult Analyze(const Theory& theory, const Database& db,
                    &result.diagnostics);
   CheckShapes(theory, db, symbols, spans, &result.diagnostics);
   CheckStratification(theory, symbols, spans, &result.diagnostics);
-  CheckAcyclicity(theory, spans, &result.diagnostics);
+  CheckTermination(theory, result.termination, symbols, spans,
+                   &result.diagnostics);
+  CheckExtendedClasses(theory, result.extended, spans, &result.diagnostics);
   CheckDeclaredExistentials(theory, symbols, options.source,
                             &result.diagnostics);
 
@@ -760,7 +956,8 @@ AnalysisResult Analyze(const Theory& theory, const Database& db,
     }
   }
   if (options.explain) {
-    FillWitnesses(theory, result.classification, affected, symbols,
+    FillWitnesses(theory, result.classification, result.extended,
+                  result.termination.graph, affected, symbols,
                   &result.witnesses);
   }
   return result;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analyze/diagnostic.h"
+#include "analyze/termination.h"
 #include "core/classify.h"
 #include "core/database.h"
 #include "core/source_map.h"
@@ -33,11 +34,13 @@ struct AnalyzeOptions {
   // Safety valve for the O(rules^2) subsumption pass; beyond this many
   // rules GR021 is skipped (a note-level diagnostic says so).
   size_t max_subsumption_rules = 512;
+  // Caps/budget for the termination pass (GR070-GR072).
+  TerminationOptions termination;
 };
 
-// Why the theory is (not) in one of the seven Figure 1 classes. When
-// `member` is false, `rule_index`/`reason` name a minimal witness: the
-// rule plus the variable/position that violates the definition.
+// Why the theory is (not) in one of the lattice classes. When `member`
+// is false, `rule_index`/`reason` name a minimal witness: the rule plus
+// the variable/position that violates the definition.
 struct ClassWitness {
   const char* class_name = "";
   bool member = false;
@@ -47,9 +50,18 @@ struct ClassWitness {
 
 struct AnalysisResult {
   Classification classification;
+  ExtendedClassification extended;
+  // The acyclicity-ladder verdict (GR070-GR072) — also the input to the
+  // PreparedKb materialization planner.
+  TerminationCertificate termination;
+  // Display names ("r0.Y") for termination.order / termination.cycle,
+  // pre-rendered here because the renderers carry no symbol table.
+  std::vector<std::string> termination_order;
+  std::vector<std::string> termination_cycle;
   std::vector<Diagnostic> diagnostics;  // Sorted by (span, code, message).
-  // Seven entries in lattice order (datalog .. nearly frontier-guarded)
-  // when AnalyzeOptions::explain is set; empty otherwise.
+  // Twelve entries in lattice order (datalog .. nearly frontier-guarded,
+  // then linear .. shy) when AnalyzeOptions::explain is set; empty
+  // otherwise.
   std::vector<ClassWitness> witnesses;
   size_t errors = 0;
   size_t warnings = 0;

@@ -18,10 +18,25 @@
 //          positions into args/annotation differently across uses
 //   GR040  negation cycle: the program is not stratifiable (cycle
 //          printed in a note)
-//   GR050  neither weakly nor jointly acyclic: the oblivious chase may
-//          diverge (a note names the class that still terminates, if any)
+//   GR050  no acyclicity-based termination certificate: the chase may
+//          diverge on some database
 //   GR060  existential variable declared in "exists" but unused in the
 //          head (or shadowed by a body occurrence)
+//   GR070  chase termination certified (weak/joint acyclicity or a
+//          saturated critical-instance chase); notes carry the witness
+//          (Skolem-function order or the critical-chase trace size)
+//   GR071  model-faithful acyclicity refuted: the critical-instance
+//          chase built a cyclic Skolem term (the closed function path is
+//          in the message; render it with `gerel check --dot`)
+//   GR072  termination analysis inconclusive: the critical-instance
+//          chase hit its step/atom caps or budget before a verdict
+//   GR080  theory is linear (at most one positive body atom per rule)
+//   GR081  theory is frontier-one (at most one frontier variable)
+//   GR082  theory is joinless (no variable joins two body atoms)
+//   GR083  theory is domain-restricted (each head atom uses all or none
+//          of its rule's body variables)
+//   GR084  theory is shy (no attacked variable is joined, no two
+//          attacked frontier variables lack a common atom)
 //
 // Severity: errors make `gerel check` exit non-zero; warnings can be
 // promoted per-code with --deny=GRxxx; notes are informational.

@@ -29,6 +29,25 @@ std::vector<std::pair<const char*, bool>> ClassList(
           {"nearly-frontier-guarded", c.nearly_frontier_guarded}};
 }
 
+std::vector<std::pair<const char*, bool>> ExtendedClassList(
+    const ExtendedClassification& c) {
+  return {{"linear", c.linear},
+          {"frontier-one", c.frontier_one},
+          {"joinless", c.joinless},
+          {"domain-restricted", c.domain_restricted},
+          {"shy", c.shy}};
+}
+
+// '["r0.Y", "r1.Z"]'.
+std::string JsonStringArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(items[i]) + "\"";
+  }
+  return out + "]";
+}
+
 }  // namespace
 
 std::string RenderText(const AnalysisResult& result,
@@ -53,6 +72,17 @@ std::string RenderText(const AnalysisResult& result,
   }
   if (classes.empty()) classes = "none of the seven classes (Fig. 1)";
   out += options.file + ": classification: " + classes + "\n";
+
+  std::string extended;
+  for (const auto& [name, member] : ExtendedClassList(result.extended)) {
+    if (!member) continue;
+    if (!extended.empty()) extended += ", ";
+    extended += name;
+  }
+  if (extended.empty()) extended = "none of the extended classes";
+  out += options.file + ": extended: " + extended + "\n";
+  out += options.file + ": termination: " +
+         std::string(CertificateKindName(result.termination.kind)) + "\n";
 
   if (!result.witnesses.empty()) {
     out += options.file + ": explain:\n";
@@ -108,6 +138,37 @@ std::string RenderJson(const AnalysisResult& result,
       if (c == '-') c = '_';
     }
     out += "\"" + key + "\": " + (member ? "true" : "false");
+  }
+  out += "},\n";
+
+  out += "  \"extended_classification\": {";
+  first = true;
+  for (const auto& [name, member] : ExtendedClassList(result.extended)) {
+    if (!first) out += ", ";
+    first = false;
+    std::string key = name;
+    for (char& c : key) {
+      if (c == '-') c = '_';
+    }
+    out += "\"" + key + "\": " + (member ? "true" : "false");
+  }
+  out += "},\n";
+
+  const TerminationCertificate& cert = result.termination;
+  out += "  \"termination\": {\"certificate\": \"" +
+         std::string(CertificateKindName(cert.kind)) +
+         "\", \"terminating\": " + (cert.terminating() ? "true" : "false");
+  if (!result.termination_order.empty()) {
+    out += ", \"order\": " + JsonStringArray(result.termination_order);
+  }
+  if (!result.termination_cycle.empty()) {
+    out += ", \"cycle\": " + JsonStringArray(result.termination_cycle);
+  }
+  if (cert.kind == CertificateKind::kMfa ||
+      cert.kind == CertificateKind::kRefuted ||
+      cert.kind == CertificateKind::kInconclusive) {
+    out += ", \"critical_steps\": " + std::to_string(cert.critical_steps) +
+           ", \"critical_atoms\": " + std::to_string(cert.critical_atoms);
   }
   out += "},\n";
 

@@ -1,0 +1,104 @@
+// Chase-termination certificates (the acyclicity ladder).
+//
+// AnalyzeTermination climbs weak acyclicity → joint acyclicity → an
+// MFA-style check (model-faithful acyclicity, Cuenca Grau et al.): run
+// the semi-oblivious chase on the *critical instance* — one atom per
+// relation over a single fresh constant, with every rule constant
+// identified with it — and watch for cyclic Skolem terms. By Marnette's
+// theorem the semi-oblivious chase terminates on every database iff it
+// terminates on the critical instance, so saturation is an exact
+// certificate; a cyclic term (an f-null built on top of an earlier
+// f-null) is the standard MFA refutation witness.
+//
+// Every outcome carries a machine-checkable witness: a topological
+// Skolem-function order (weakly/jointly acyclic), the critical-chase
+// trace size (MFA), or a cyclic function path through the existential
+// dependency graph (refuted). The analyzer (GR070–GR072), `gerel check
+// --dot`, and the PreparedKb materialization planner all consume the
+// same TerminationCertificate.
+//
+// Determinism: the critical chase runs single-threaded with fixed step
+// and atom caps on a private copy of the symbol table, so the
+// certificate — including the witness path — is a pure function of the
+// theory. `gerel check --json` output is byte-identical across runs and
+// thread counts.
+#ifndef GEREL_ANALYZE_TERMINATION_H_
+#define GEREL_ANALYZE_TERMINATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/acyclicity.h"
+#include "core/budget.h"
+#include "core/symbol_table.h"
+#include "core/theory.h"
+
+namespace gerel {
+
+enum class CertificateKind {
+  kExistentialFree,  // No existential rules: any chase trivially stops.
+  kWeaklyAcyclic,    // Position graph has no special cycle.
+  kJointlyAcyclic,   // Existential dependency graph is acyclic.
+  kMfa,              // Critical-instance Skolem chase saturated.
+  kRefuted,          // Cyclic Skolem term found: not MFA, may diverge.
+  kInconclusive,     // Budget/caps exhausted before a verdict.
+};
+
+// Stable lower-case tag ("existential-free", "weakly-acyclic", ...).
+const char* CertificateKindName(CertificateKind kind);
+
+struct TerminationOptions {
+  // Caps for the critical-instance chase. Fixed defaults keep the
+  // certificate deterministic and the analyzer cheap; raise them to
+  // chase larger theories to a verdict.
+  size_t max_steps = 2000;
+  size_t max_atoms = 4000;
+  // Optional wall-clock/cancellation budget; not owned. A budget trip
+  // downgrades the verdict to kInconclusive.
+  ExecutionBudget* budget = nullptr;
+};
+
+struct TerminationCertificate {
+  CertificateKind kind = CertificateKind::kExistentialFree;
+  // The existential dependency graph (always built; empty for
+  // existential-free theories). Rendered by ExistentialGraphDot.
+  ExistentialDependencyGraph graph;
+  // kWeaklyAcyclic/kJointlyAcyclic: indices into graph.functions in
+  // dependency order (a function precedes everything built on its
+  // nulls) — the acyclicity ordering witness.
+  std::vector<size_t> order;
+  // kRefuted: a closed cyclic walk f0 → ... → f0 of function indices
+  // (first repeated at the end) realized by an actual null-ancestry
+  // chain of the critical chase. kInconclusive: the (provisional) cycle
+  // of the existential dependency graph that pushed the ladder past
+  // joint acyclicity. Empty otherwise.
+  std::vector<size_t> cycle;
+  // kMfa: size of the saturated critical-chase trace.
+  size_t critical_steps = 0;
+  size_t critical_atoms = 0;
+  // Why the critical chase stopped early (kInconclusive only).
+  DegradationReason degradation;
+
+  // Whether the semi-oblivious (Skolem) chase provably terminates on
+  // every database.
+  bool terminating() const {
+    return kind != CertificateKind::kRefuted &&
+           kind != CertificateKind::kInconclusive;
+  }
+};
+
+// Runs the acyclicity ladder over `theory`. `symbols` is read-only (the
+// critical chase works on a private copy).
+TerminationCertificate AnalyzeTermination(
+    const Theory& theory, const SymbolTable& symbols,
+    const TerminationOptions& options = TerminationOptions());
+
+// "r0.Y -> r1.Z -> r0.Y" for a walk of function indices.
+std::string SkolemPathString(const ExistentialDependencyGraph& graph,
+                             const std::vector<size_t>& path,
+                             const SymbolTable& symbols);
+
+}  // namespace gerel
+
+#endif  // GEREL_ANALYZE_TERMINATION_H_

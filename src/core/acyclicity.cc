@@ -7,15 +7,9 @@
 #include <unordered_set>
 #include <vector>
 
-#include "core/classify.h"
-
 namespace gerel {
 
 namespace {
-
-uint64_t Key(RelationId pred, uint32_t pos) {
-  return (static_cast<uint64_t>(pred) << 32) | pos;
-}
 
 // Flattened positions of a variable in a set of atoms.
 std::vector<uint64_t> PositionsOf(Term var, const std::vector<Atom>& atoms) {
@@ -23,11 +17,11 @@ std::vector<uint64_t> PositionsOf(Term var, const std::vector<Atom>& atoms) {
   for (const Atom& a : atoms) {
     uint32_t pos = 0;
     for (Term t : a.args) {
-      if (t == var) out.push_back(Key(a.pred, pos));
+      if (t == var) out.push_back(PackPosition(a.pred, pos));
       ++pos;
     }
     for (Term t : a.annotation) {
-      if (t == var) out.push_back(Key(a.pred, pos));
+      if (t == var) out.push_back(PackPosition(a.pred, pos));
       ++pos;
     }
   }
@@ -53,6 +47,11 @@ bool Reaches(uint64_t from, uint64_t to,
 }
 
 }  // namespace
+
+std::string SkolemFunctionName(const SkolemFunction& f,
+                               const SymbolTable& symbols) {
+  return "r" + std::to_string(f.rule) + "." + symbols.VariableName(f.var);
+}
 
 bool IsWeaklyAcyclic(const Theory& theory) {
   // Position dependency graph (Fagin et al., Def 3.7): edges originate
@@ -82,29 +81,27 @@ bool IsWeaklyAcyclic(const Theory& theory) {
   return true;
 }
 
-bool IsJointlyAcyclic(const Theory& theory) {
+ExistentialDependencyGraph BuildExistentialDependencyGraph(
+    const Theory& theory) {
   // Ω(y): positions reachable by nulls invented for the existential
   // variable y — y's head positions, closed under the Def 2-style
   // propagation ("if all body positions of a universal variable are in
   // Ω(y), its head positions join Ω(y)").
-  struct EVar {
-    size_t rule = 0;
-    Term var;
-    std::unordered_set<uint64_t> omega;
-  };
-  std::vector<EVar> evars;
+  ExistentialDependencyGraph graph;
   for (size_t ri = 0; ri < theory.rules().size(); ++ri) {
     for (Term y : theory.rules()[ri].EVars()) {
-      EVar e;
-      e.rule = ri;
-      e.var = y;
+      SkolemFunction f;
+      f.rule = ri;
+      f.var = y;
+      std::unordered_set<uint64_t> omega;
       for (uint64_t q : PositionsOf(y, theory.rules()[ri].head)) {
-        e.omega.insert(q);
+        omega.insert(q);
       }
-      evars.push_back(std::move(e));
+      graph.functions.push_back(f);
+      graph.omega.push_back(std::move(omega));
     }
   }
-  for (EVar& e : evars) {
+  for (std::unordered_set<uint64_t>& omega : graph.omega) {
     bool changed = true;
     while (changed) {
       changed = false;
@@ -115,10 +112,10 @@ bool IsJointlyAcyclic(const Theory& theory) {
           if (body_pos.empty()) continue;
           bool all = std::all_of(
               body_pos.begin(), body_pos.end(),
-              [&e](uint64_t p) { return e.omega.count(p) > 0; });
+              [&omega](uint64_t p) { return omega.count(p) > 0; });
           if (!all) continue;
           for (uint64_t q : PositionsOf(x, rule.head)) {
-            if (e.omega.insert(q).second) changed = true;
+            if (omega.insert(q).second) changed = true;
           }
         }
       }
@@ -126,50 +123,81 @@ bool IsJointlyAcyclic(const Theory& theory) {
   }
   // Dependency edges: y → y′ when a frontier variable of y′'s rule can
   // be bound entirely inside Ω(y). Cycle ⇒ not jointly acyclic.
-  size_t n = evars.size();
-  std::vector<std::vector<size_t>> dep(n);
+  size_t n = graph.functions.size();
+  graph.edges.resize(n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < n; ++j) {
-      const Rule& rule_j = theory.rules()[evars[j].rule];
+      const Rule& rule_j = theory.rules()[graph.functions[j].rule];
       std::vector<Atom> body = rule_j.PositiveBody();
       for (Term x : rule_j.FVars()) {
         std::vector<uint64_t> body_pos = PositionsOf(x, body);
         if (body_pos.empty()) continue;
         bool all = std::all_of(body_pos.begin(), body_pos.end(),
                                [&](uint64_t p) {
-                                 return evars[i].omega.count(p) > 0;
+                                 return graph.omega[i].count(p) > 0;
                                });
         if (all) {
-          dep[i].push_back(j);
+          graph.edges[i].push_back(j);
           break;
         }
       }
     }
   }
-  // Cycle detection (DFS, three colors).
+  return graph;
+}
+
+bool ExistentialTopoOrder(const ExistentialDependencyGraph& graph,
+                          std::vector<size_t>* order,
+                          std::vector<size_t>* cycle) {
+  size_t n = graph.functions.size();
+  if (order != nullptr) order->clear();
+  if (cycle != nullptr) cycle->clear();
+  // Cycle detection (DFS, three colors). The work stack holds the
+  // current path, so a back edge yields the witness cycle directly.
   std::vector<int> color(n, 0);
-  std::vector<size_t> stack;
+  std::vector<size_t> postorder;
+  postorder.reserve(n);
   for (size_t s = 0; s < n; ++s) {
     if (color[s] != 0) continue;
-    // Iterative DFS.
     std::vector<std::pair<size_t, size_t>> work = {{s, 0}};
     color[s] = 1;
     while (!work.empty()) {
       auto& [u, next] = work.back();
-      if (next < dep[u].size()) {
-        size_t v = dep[u][next++];
-        if (color[v] == 1) return false;  // Back edge: cycle.
+      if (next < graph.edges[u].size()) {
+        size_t v = graph.edges[u][next++];
+        if (color[v] == 1) {
+          // Back edge u → v: the cycle is the work-stack slice from v
+          // to u, closed by repeating v.
+          if (cycle != nullptr) {
+            size_t at = 0;
+            while (work[at].first != v) ++at;
+            for (; at < work.size(); ++at) cycle->push_back(work[at].first);
+            cycle->push_back(v);
+          }
+          return false;
+        }
         if (color[v] == 0) {
           color[v] = 1;
           work.emplace_back(v, 0);
         }
       } else {
         color[u] = 2;
+        postorder.push_back(u);
         work.pop_back();
       }
     }
   }
+  if (order != nullptr) {
+    // Reverse postorder: every edge u → v places u before v, so a
+    // function precedes everything built on top of its nulls.
+    order->assign(postorder.rbegin(), postorder.rend());
+  }
   return true;
+}
+
+bool IsJointlyAcyclic(const Theory& theory) {
+  ExistentialDependencyGraph graph = BuildExistentialDependencyGraph(theory);
+  return ExistentialTopoOrder(graph, nullptr, nullptr);
 }
 
 }  // namespace gerel

@@ -212,6 +212,149 @@ Classification Classify(const Theory& theory) {
 
 namespace {
 
+// Packed positive-body positions of `x`, args then annotations (the
+// flattening used by the Ω sets of core/acyclicity.h).
+std::vector<uint64_t> PositiveBodyPositionsOf(const Rule& rule, Term x) {
+  std::vector<uint64_t> out;
+  for (const Literal& l : rule.body) {
+    if (l.negated) continue;
+    uint32_t pos = 0;
+    for (Term t : l.atom.args) {
+      if (t == x) out.push_back(PackPosition(l.atom.pred, pos));
+      ++pos;
+    }
+    for (Term t : l.atom.annotation) {
+      if (t == x) out.push_back(PackPosition(l.atom.pred, pos));
+      ++pos;
+    }
+  }
+  return out;
+}
+
+// Whether `x` is attacked through Ω(f): it occurs in the positive body
+// and every occurrence sits on an invadable position, so the chase can
+// bind it to an f-null.
+bool AttackedThrough(const Rule& rule, Term x,
+                     const std::unordered_set<uint64_t>& omega) {
+  std::vector<uint64_t> pos = PositiveBodyPositionsOf(rule, x);
+  if (pos.empty()) return false;
+  return std::all_of(pos.begin(), pos.end(),
+                     [&omega](uint64_t p) { return omega.count(p) > 0; });
+}
+
+// Indices of positive body literals whose atom mentions `x`.
+std::vector<size_t> PositiveAtomsWith(const Rule& rule, Term x) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Literal& l = rule.body[i];
+    if (l.negated) continue;
+    std::vector<Term> all = l.atom.AllTerms();
+    if (std::find(all.begin(), all.end(), x) != all.end()) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsLinearRule(const Rule& rule) {
+  size_t positive = 0;
+  for (const Literal& l : rule.body) {
+    if (!l.negated) ++positive;
+  }
+  return positive <= 1;
+}
+
+bool IsFrontierOneRule(const Rule& rule) {
+  return rule.FVars().size() <= 1;
+}
+
+bool IsJoinlessRule(const Rule& rule) {
+  for (Term x : rule.UVars()) {
+    if (PositiveAtomsWith(rule, x).size() > 1) return false;
+  }
+  return true;
+}
+
+bool IsDomainRestrictedRule(const Rule& rule) {
+  // Distinct variables of the positive body.
+  std::vector<Term> body_vars;
+  for (const Atom& a : rule.PositiveBody()) {
+    for (Term v : a.AllVars()) {
+      if (std::find(body_vars.begin(), body_vars.end(), v) ==
+          body_vars.end()) {
+        body_vars.push_back(v);
+      }
+    }
+  }
+  for (const Atom& h : rule.head) {
+    std::vector<Term> head_vars = h.AllVars();
+    size_t present = 0;
+    for (Term v : body_vars) {
+      if (std::find(head_vars.begin(), head_vars.end(), v) !=
+          head_vars.end()) {
+        ++present;
+      }
+    }
+    if (present != 0 && present != body_vars.size()) return false;
+  }
+  return true;
+}
+
+bool IsShyRule(const Rule& rule, const ExistentialDependencyGraph& graph) {
+  // (i) No variable joining two distinct positive body atoms is
+  // attacked: nulls never need to propagate through a join.
+  for (Term x : rule.UVars()) {
+    if (PositiveAtomsWith(rule, x).size() < 2) continue;
+    for (const std::unordered_set<uint64_t>& omega : graph.omega) {
+      if (AttackedThrough(rule, x, omega)) return false;
+    }
+  }
+  // (ii) No two distinct frontier variables lacking a common body atom
+  // are attacked by the same function: the head never equates two
+  // independently-invented nulls.
+  std::vector<Term> frontier = rule.FVars();
+  for (size_t a = 0; a < frontier.size(); ++a) {
+    for (size_t b = a + 1; b < frontier.size(); ++b) {
+      std::vector<size_t> atoms_a = PositiveAtomsWith(rule, frontier[a]);
+      std::vector<size_t> atoms_b = PositiveAtomsWith(rule, frontier[b]);
+      bool share_atom = false;
+      for (size_t i : atoms_a) {
+        if (std::find(atoms_b.begin(), atoms_b.end(), i) != atoms_b.end()) {
+          share_atom = true;
+        }
+      }
+      if (share_atom) continue;
+      for (const std::unordered_set<uint64_t>& omega : graph.omega) {
+        if (AttackedThrough(rule, frontier[a], omega) &&
+            AttackedThrough(rule, frontier[b], omega)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+ExtendedClassification ClassifyExtended(const Theory& theory) {
+  ExtendedClassification c;
+  c.linear = true;
+  c.frontier_one = true;
+  c.joinless = true;
+  c.domain_restricted = true;
+  c.shy = true;
+  ExistentialDependencyGraph graph = BuildExistentialDependencyGraph(theory);
+  for (const Rule& rule : theory.rules()) {
+    if (!IsLinearRule(rule)) c.linear = false;
+    if (!IsFrontierOneRule(rule)) c.frontier_one = false;
+    if (!IsJoinlessRule(rule)) c.joinless = false;
+    if (!IsDomainRestrictedRule(rule)) c.domain_restricted = false;
+    if (!IsShyRule(rule, graph)) c.shy = false;
+  }
+  return c;
+}
+
+namespace {
+
 // Argument arity of each relation as used in `theory` (annotation-free
 // atoms assumed; MakeProper runs before annotation transforms).
 std::unordered_map<RelationId, uint32_t> RelationArities(

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/acyclicity.h"
 #include "core/database.h"
 #include "core/rule.h"
 #include "core/theory.h"
@@ -91,6 +92,43 @@ struct Classification {
 };
 
 Classification Classify(const Theory& theory);
+
+// --- Extended lattice (beyond Fig. 1) -----------------------------------
+//
+// Cheap syntactic classes from the termination literature (nemo's
+// rule_properties list; Zhang/Zhang/You, "Existential Rule Languages
+// with Finite Chase"). They refine the planner's picture: linear and
+// joinless bound join width, frontier-one bounds null fan-in, shy
+// guarantees parsimonious-chase query answering.
+
+// Linear: at most one positive body atom (implies guarded).
+bool IsLinearRule(const Rule& rule);
+// Frontier-one: at most one frontier variable.
+bool IsFrontierOneRule(const Rule& rule);
+// Joinless: no variable occurs in two distinct positive body atoms
+// (repeated occurrences inside one atom are fine).
+bool IsJoinlessRule(const Rule& rule);
+// Domain-restricted: every head atom contains all universal body
+// variables or none of them.
+bool IsDomainRestrictedRule(const Rule& rule);
+// Shy (Leone et al.): a universal variable x is *attacked* by a Skolem
+// function f when every positive-body occurrence of x lies in Ω(f) —
+// i.e. x can be bound to an f-null. A rule is shy iff (i) no variable
+// occurring in two distinct positive body atoms is attacked, and (ii) no
+// two distinct frontier variables lacking a common body atom are
+// attacked by the same function. `graph` must come from
+// BuildExistentialDependencyGraph over the *whole* theory.
+bool IsShyRule(const Rule& rule, const ExistentialDependencyGraph& graph);
+
+struct ExtendedClassification {
+  bool linear = false;
+  bool frontier_one = false;
+  bool joinless = false;
+  bool domain_restricted = false;
+  bool shy = false;
+};
+
+ExtendedClassification ClassifyExtended(const Theory& theory);
 
 // --- Proper theories (Def 16) -------------------------------------------
 

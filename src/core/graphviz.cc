@@ -79,4 +79,31 @@ std::string PositionGraphDot(const Theory& theory,
   return out;
 }
 
+std::string ExistentialGraphDot(const ExistentialDependencyGraph& graph,
+                                const SymbolTable& symbols,
+                                const std::vector<size_t>& highlight) {
+  std::set<size_t> hot_nodes(highlight.begin(), highlight.end());
+  std::set<std::pair<size_t, size_t>> hot_edges;
+  for (size_t i = 0; i + 1 < highlight.size(); ++i) {
+    hot_edges.emplace(highlight[i], highlight[i + 1]);
+  }
+  std::string out = "digraph skolem {\n  rankdir=LR;\n";
+  for (size_t i = 0; i < graph.functions.size(); ++i) {
+    out += "  \"" + SkolemFunctionName(graph.functions[i], symbols) + "\"";
+    if (hot_nodes.count(i) > 0) out += " [color=red, style=bold]";
+    out += ";\n";
+  }
+  for (size_t i = 0; i < graph.functions.size(); ++i) {
+    for (size_t j : graph.edges[i]) {
+      out += "  \"" + SkolemFunctionName(graph.functions[i], symbols) +
+             "\" -> \"" + SkolemFunctionName(graph.functions[j], symbols) +
+             "\"";
+      if (hot_edges.count({i, j}) > 0) out += " [color=red, style=bold]";
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
 }  // namespace gerel

@@ -5,8 +5,11 @@
 #ifndef GEREL_CORE_GRAPHVIZ_H_
 #define GEREL_CORE_GRAPHVIZ_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
+#include "core/acyclicity.h"
 #include "core/symbol_table.h"
 #include "core/theory.h"
 
@@ -21,6 +24,16 @@ std::string PredicateGraphDot(const Theory& theory,
 // solid, special (existential) edges bold red.
 std::string PositionGraphDot(const Theory& theory,
                              const SymbolTable& symbols);
+
+// The existential (Skolem) dependency graph used by joint acyclicity:
+// one node per Skolem function ("r<rule>.<var>"), an edge f → g when
+// g-nulls can be built on top of f-nulls. `highlight` is an optional
+// walk of function indices (e.g. a termination certificate's cyclic
+// witness path, first index repeated at the end); its nodes and edges
+// render bold red.
+std::string ExistentialGraphDot(const ExistentialDependencyGraph& graph,
+                                const SymbolTable& symbols,
+                                const std::vector<size_t>& highlight = {});
 
 }  // namespace gerel
 

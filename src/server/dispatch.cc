@@ -30,6 +30,7 @@ const char* ModeName(PreparedKb::Mode mode) {
     case PreparedKb::Mode::kDatalog: return "datalog";
     case PreparedKb::Mode::kGuarded: return "guarded";
     case PreparedKb::Mode::kWeaklyGuarded: return "weakly guarded";
+    case PreparedKb::Mode::kChaseMaterialized: return "chase";
   }
   return "?";
 }

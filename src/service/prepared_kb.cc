@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "chase/chase.h"
 #include "core/join_plan.h"
 #include "core/normalize.h"
 #include "transform/annotation.h"
@@ -52,39 +53,81 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
   for (const Rule& r : kb->normal_.rules()) {
     if (!r.EVars().empty()) kb->theory_has_existentials_ = true;
   }
-  double classify_ms = MsSince(start);
-  Clock::time_point transform_start = Clock::now();
-  // Step 1: rew(Σ) (Thm 2), unless the theory is already weakly guarded.
-  // This stage is both query- and data-independent, so it never reruns.
-  if (c.weakly_guarded) {
-    kb->weakly_guarded_ = kb->normal_;
-  } else {
-    ExpansionOptions exp = options.pipeline.expansion;
-    exp.budget = kb->budget_.get();
-    Result<WfgRewriteResult> rew =
-        RewriteWfgToWeaklyGuarded(kb->normal_, symbols, exp);
-    if (!rew.ok()) return rew.status();
-    kb->rewrite_complete_ = rew.value().complete;
-    kb->rewrite_degradation_ = rew.value().degradation;
-    kb->weakly_guarded_ = std::move(rew.value().theory);
-  }
-  Classification wc = Classify(kb->weakly_guarded_);
-  // Existential-free theories are Datalog mode even with negation:
-  // Classify clears `datalog` on negation (the guardedness lattice is
-  // negation-free; §8 treats stratified negation as an extension), but
-  // the stratified evaluator handles such programs directly — and the
-  // Assert path already rematerializes instead of delta-extending them.
-  kb->mode_ = (wc.datalog || !kb->theory_has_existentials_)
-                  ? Mode::kDatalog
-                  : (wc.guarded ? Mode::kGuarded : Mode::kWeaklyGuarded);
   kb->acdom_ = AcdomRelation(symbols);
   kb->edb_ = db;
-  Status s = kb->CompileProgram();
-  if (!s.ok()) return s;
-  double transform_ms = MsSince(transform_start);
-  Clock::time_point materialize_start = Clock::now();
-  s = kb->MaterializeModel();
-  if (!s.ok()) return s;
+  double classify_ms = MsSince(start);
+  Clock::time_point transform_start = Clock::now();
+  double transform_ms = 0.0;
+  Clock::time_point materialize_start = transform_start;
+
+  // Certificate-driven materialization planning: when the acyclicity
+  // ladder certifies that the Skolem chase of Σ terminates on every
+  // database, the translation stack (rew → pg → dat) buys nothing —
+  // chasing the EDB directly is cheaper and yields a *universal* model,
+  // against which every CQ is answered completely (the dat(·) model
+  // cannot see null witnesses). Negation stays on the Datalog route
+  // (the chase is negation-free), as do existential-free theories
+  // (their least model already is the chase).
+  bool chase_materialized = false;
+  if (options.planner && kb->theory_has_existentials_ &&
+      !kb->normal_.HasNegation()) {
+    TerminationOptions topts = options.termination;
+    if (topts.budget == nullptr) topts.budget = kb->budget_.get();
+    kb->certificate_ = AnalyzeTermination(kb->normal_, *symbols, topts);
+    kb->planner_analyzed_ = true;
+    if (kb->certificate_.terminating()) {
+      kb->mode_ = Mode::kChaseMaterialized;
+      kb->weakly_guarded_ = kb->normal_;
+      kb->BuildDependencyIndex();
+      transform_ms = MsSince(transform_start);
+      materialize_start = Clock::now();
+      Status s = kb->MaterializeModel();
+      if (!s.ok()) return s;
+      if (kb->materialize_complete_) {
+        chase_materialized = true;
+      } else {
+        // The certificate promised termination but a cap or the budget
+        // intervened first; serve the translation pipeline's model
+        // instead of a degraded chase.
+        kb->model_ = Database();
+        kb->dependents_.clear();
+        kb->materialize_complete_ = true;
+        kb->materialize_degradation_ = DegradationReason();
+      }
+    }
+  }
+  if (!chase_materialized) {
+    // Step 1: rew(Σ) (Thm 2), unless the theory is already weakly
+    // guarded. This stage is both query- and data-independent, so it
+    // never reruns.
+    if (c.weakly_guarded) {
+      kb->weakly_guarded_ = kb->normal_;
+    } else {
+      ExpansionOptions exp = options.pipeline.expansion;
+      exp.budget = kb->budget_.get();
+      Result<WfgRewriteResult> rew =
+          RewriteWfgToWeaklyGuarded(kb->normal_, symbols, exp);
+      if (!rew.ok()) return rew.status();
+      kb->rewrite_complete_ = rew.value().complete;
+      kb->rewrite_degradation_ = rew.value().degradation;
+      kb->weakly_guarded_ = std::move(rew.value().theory);
+    }
+    Classification wc = Classify(kb->weakly_guarded_);
+    // Existential-free theories are Datalog mode even with negation:
+    // Classify clears `datalog` on negation (the guardedness lattice is
+    // negation-free; §8 treats stratified negation as an extension), but
+    // the stratified evaluator handles such programs directly — and the
+    // Assert path already rematerializes instead of delta-extending them.
+    kb->mode_ = (wc.datalog || !kb->theory_has_existentials_)
+                    ? Mode::kDatalog
+                    : (wc.guarded ? Mode::kGuarded : Mode::kWeaklyGuarded);
+    Status s = kb->CompileProgram();
+    if (!s.ok()) return s;
+    transform_ms = MsSince(transform_start);
+    materialize_start = Clock::now();
+    s = kb->MaterializeModel();
+    if (!s.ok()) return s;
+  }
   {
     std::lock_guard<std::mutex> lock(kb->stats_mu_);
     kb->stats_.prepares = 1;
@@ -93,8 +136,14 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::Prepare(
     kb->stats_.prepare_transform_wall_ms = transform_ms;
     kb->stats_.prepare_materialize_wall_ms = MsSince(materialize_start);
     kb->stats_.model_atoms = kb->model_.size();
-    kb->stats_.datalog_rules = kb->program_->theory().size();
+    kb->stats_.datalog_rules = kb->DatalogRulesLocked();
     kb->stats_.diagnostics = kb->preflight_.diagnostics.size();
+    kb->stats_.materialization_strategy =
+        chase_materialized ? "chase" : "datalog";
+    if (kb->planner_analyzed_) {
+      kb->stats_.termination_certificate =
+          CertificateKindName(kb->certificate_.kind);
+    }
     DegradationReason reason = kb->DegradationLocked();
     if (reason.degraded()) {
       kb->stats_.degraded_prepares = 1;
@@ -154,6 +203,10 @@ Status PreparedKb::CompileProgram() {
       }
       break;
     }
+    case Mode::kChaseMaterialized:
+      // Certified theories never compile a program; MaterializeModel
+      // chases `normal_` directly.
+      return Status::Error("CompileProgram called in chase mode");
   }
   // The compiled program evaluates under the shared prepare/assert
   // budget (budget_ outlives program_), recording one derivation support
@@ -173,7 +226,12 @@ Status PreparedKb::CompileProgram() {
 
 void PreparedKb::BuildDependencyIndex() {
   dependents_.clear();
-  for (const Rule& r : program_->theory().rules()) {
+  // Chase mode has no compiled program; the source rules' body→head
+  // edges over-approximate which predicates a write can grow (the chase
+  // derives only source predicates, plus acdom handled by the caller).
+  const Theory& edges =
+      mode_ == Mode::kChaseMaterialized ? normal_ : program_->theory();
+  for (const Rule& r : edges.rules()) {
     for (const Literal& l : r.body) {
       // Negated literals count too: under stratified negation a write to
       // the negated relation can flip derivations of the head.
@@ -213,6 +271,34 @@ void PreparedKb::EvictCacheForWrite(std::unordered_set<RelationId> written,
 }
 
 Status PreparedKb::MaterializeModel() {
+  if (mode_ == Mode::kChaseMaterialized) {
+    // Direct Skolem chase of the source theory over the EDB. The
+    // termination certificate bounds the run; the caps and budget only
+    // stop pathologies (an unsaturated result degrades queries to
+    // complete=false like any other truncated materialization).
+    ChaseOptions copts;
+    copts.max_steps = options_.chase_max_steps;
+    copts.max_atoms = options_.chase_max_atoms;
+    copts.semi_oblivious = true;
+    copts.populate_acdom = options_.datalog.populate_acdom;
+    copts.num_threads =
+        options_.datalog.num_threads < 1
+            ? 1
+            : static_cast<size_t>(options_.datalog.num_threads);
+    copts.budget = budget_.get();
+    ChaseResult run = Chase(normal_, edb_, symbols_, copts);
+    model_ = std::move(run.database);
+    materialize_complete_ = run.saturated;
+    materialize_degradation_ = run.degradation;
+    // Derivation supports are recorded by the compiled program only;
+    // chase mode always re-chases on Retract.
+    supports_valid_ = false;
+    if (run.saturated) {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.chase_materializations;
+    }
+    return Status::Ok();
+  }
   model_ = edb_;
   Result<EvalPassStats> pass = program_->Materialize(&model_);
   if (!pass.ok()) return pass.status();
@@ -226,6 +312,10 @@ Status PreparedKb::MaterializeModel() {
 }
 
 bool PreparedKb::QueryCannotHaveNullWitnesses(const Rule& cq) const {
+  // A chase-materialized model is universal: matching the CQ against it
+  // decides the certain answers even when the witnesses are nulls
+  // (answer tuples themselves stay filtered to constants).
+  if (mode_ == Mode::kChaseMaterialized) return true;
   if (!theory_has_existentials_) return true;
   for (const Literal& l : cq.body) {
     for (uint32_t i = 0; i < l.atom.arity(); ++i) {
@@ -374,6 +464,17 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
   for (const Atom& f : facts) {
     if (edb_.Insert(f)) ++out.new_atoms;
   }
+  if (mode_ == Mode::kChaseMaterialized && out.new_atoms == 0) {
+    // Every asserted fact was already in the EDB: the chase would
+    // rebuild the identical model, so skip the re-chase and report a
+    // no-op delta (replicas need no resync).
+    out.delta = true;
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.asserts;
+    ++stats_.delta_asserts;
+    stats_.assert_wall_ms += MsSince(start);
+    return out;
+  }
   bool recompile = false;
   if (mode_ == Mode::kWeaklyGuarded) {
     for (const Atom& f : facts) {
@@ -385,7 +486,10 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
       }
     }
   }
-  bool rematerialize = recompile || program_->has_negation();
+  // Chase mode has no delta path: the semi-naive evaluator cannot extend
+  // a chase-built model, so every assert re-chases from the grown EDB.
+  bool rematerialize = recompile || mode_ == Mode::kChaseMaterialized ||
+                       program_->has_negation();
   double transform_ms = 0.0;
   double materialize_ms = 0.0;
   if (recompile) {
@@ -452,7 +556,7 @@ Result<AssertResult> PreparedKb::Assert(const std::vector<Atom>& facts) {
     stats_.prepare_materialize_wall_ms += materialize_ms;
   }
   stats_.model_atoms = model_.size();
-  stats_.datalog_rules = program_->theory().size();
+  stats_.datalog_rules = DatalogRulesLocked();
   stats_.assert_wall_ms += MsSince(start);
   return out;
 }
@@ -537,8 +641,8 @@ Result<RetractResult> PreparedKb::Retract(const std::vector<Atom>& facts) {
   }
   bool recompile = mode_ == Mode::kWeaklyGuarded &&
                    (wg_domain_shrinks || null_retracted);
-  bool fallback =
-      recompile || program_->has_negation() || !supports_valid_;
+  bool fallback = recompile || mode_ == Mode::kChaseMaterialized ||
+                  program_->has_negation() || !supports_valid_;
 
   // The surviving EDB, needed by both paths (an overdeleted atom that is
   // still a base fact must not be deleted).
@@ -611,7 +715,7 @@ Result<RetractResult> PreparedKb::Retract(const std::vector<Atom>& facts) {
     stats_.last_degradation = reason;
   }
   stats_.model_atoms = model_.size();
-  stats_.datalog_rules = program_->theory().size();
+  stats_.datalog_rules = DatalogRulesLocked();
   stats_.retract_wall_ms += MsSince(start);
   return out;
 }
@@ -842,7 +946,11 @@ size_t PreparedKb::model_size() const {
 
 size_t PreparedKb::datalog_rules() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return program_->theory().size();
+  return DatalogRulesLocked();
+}
+
+size_t PreparedKb::DatalogRulesLocked() const {
+  return program_ == nullptr ? 0 : program_->theory().size();
 }
 
 }  // namespace gerel

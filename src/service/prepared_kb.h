@@ -97,6 +97,24 @@ struct PreparedKbOptions {
   // reason is recorded (degradation(), ServiceStats). Unlimited by
   // default.
   BudgetLimits budget;
+  // Certificate-driven materialization planning: when the termination
+  // analyzer (analyze/termination.h) certifies that the Skolem chase of
+  // the theory terminates on every database, Prepare skips the rewrite/
+  // grounding/saturation translation stack entirely and materializes a
+  // *universal* model by chasing the EDB directly
+  // (Mode::kChaseMaterialized). Queries against a universal model are
+  // always complete — even through null witnesses the dat(·) route
+  // cannot see. Existential-free theories and programs with negation
+  // keep the Datalog route; an uncertified theory falls back to the
+  // translations.
+  bool planner = true;
+  // Caps for the planner's certificate analysis and for the chase-mode
+  // materializations (generous: the certificate bounds the chase, the
+  // caps only stop pathologies; an unsaturated prepare-time chase falls
+  // back to the translation pipeline).
+  TerminationOptions termination;
+  size_t chase_max_steps = 1 << 20;
+  size_t chase_max_atoms = 1 << 21;
 };
 
 struct PreparedQueryResult {
@@ -144,9 +162,11 @@ class PreparedKb {
  public:
   // Which stages the §7 pipeline collapsed to for this theory.
   enum class Mode {
-    kDatalog,        // Direct evaluation; fully incremental.
-    kGuarded,        // dat(Σ) once; fully incremental.
-    kWeaklyGuarded,  // dat(pg(Σ, D)); re-grounds on new constants.
+    kDatalog,            // Direct evaluation; fully incremental.
+    kGuarded,            // dat(Σ) once; fully incremental.
+    kWeaklyGuarded,      // dat(pg(Σ, D)); re-grounds on new constants.
+    kChaseMaterialized,  // Certified terminating: direct Skolem chase,
+                         // no compiled program; writes re-chase.
   };
 
   // Runs the prepare phase over `theory` (must be weakly
@@ -218,6 +238,11 @@ class PreparedKb {
   // Pre-flight analysis of the input (Σ, D); empty when
   // PreparedKbOptions::preflight was false. Immutable after Prepare.
   const AnalysisResult& preflight() const { return preflight_; }
+  // The termination certificate the planner computed over the normalized
+  // theory (kind kExistentialFree when the planner never ran — it only
+  // analyzes negation-free theories with existentials). Immutable after
+  // Prepare; not persisted in snapshots.
+  const TerminationCertificate& certificate() const { return certificate_; }
   // Whether every prepare stage ran to completion (no cap hit); query
   // results degrade to complete=false otherwise.
   bool prepare_complete() const;
@@ -256,9 +281,13 @@ class PreparedKb {
                    const std::vector<Term>& vanished, const Database& new_edb,
                    Database* new_model, SupportLog* new_log,
                    size_t* overdeleted, size_t* rederived) const;
-  // Completeness certificate for a query: no body relation of `cq` can
-  // hold a labeled null in the chase.
+  // Completeness certificate for a query: the materialized model decides
+  // the certain answers — either it is a universal model (chase mode) or
+  // no body relation of `cq` can hold a labeled null in the chase.
   bool QueryCannotHaveNullWitnesses(const Rule& cq) const;
+  // Compiled-program rule count; 0 in chase mode (no program). Caller
+  // holds mu_.
+  size_t DatalogRulesLocked() const;
   // First recorded stage degradation (rewrite, then compile, then
   // materialize). Caller holds mu_.
   DegradationReason DegradationLocked() const;
@@ -272,6 +301,8 @@ class PreparedKb {
   PositionSet affected_;   // ap(normal_), for the completeness check.
   Mode mode_ = Mode::kDatalog;
   AnalysisResult preflight_;
+  TerminationCertificate certificate_;
+  bool planner_analyzed_ = false;
   bool rewrite_complete_ = true;
   bool theory_has_existentials_ = false;
   RelationId acdom_ = 0;

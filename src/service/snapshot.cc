@@ -33,7 +33,10 @@ namespace gerel {
 namespace {
 
 constexpr uint64_t kSnapshotMagic = 0x4752454C534E4150ull;  // "GRELSNAP"
-constexpr uint32_t kSnapshotVersion = 1;
+// v2: Mode::kChaseMaterialized joined the mode byte's range; chase-mode
+// images serialize an empty placeholder where the compiled program
+// theory would be (there is no compiled program to store).
+constexpr uint32_t kSnapshotVersion = 2;
 
 uint64_t Fnv1a(const uint8_t* data, size_t n) {
   uint64_t h = 14695981039346656037ull;
@@ -268,7 +271,7 @@ Status PreparedKb::SaveSnapshot(const std::string& path) const {
     w.U32(symbols_->NumNulls());
     w.TheoryRec(normal_);
     w.TheoryRec(weakly_guarded_);
-    w.TheoryRec(program_->theory());
+    w.TheoryRec(program_ == nullptr ? Theory() : program_->theory());
     w.DatabaseRec(edb_);
     w.DatabaseRec(model_);
     // Sorted for byte-stable images (the set iterates in hash order).
@@ -371,7 +374,7 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::LoadSnapshot(
     return CorruptError(path, "fingerprint mismatch (stale snapshot)");
   }
   uint8_t mode_byte = r.U8();
-  if (mode_byte > static_cast<uint8_t>(Mode::kWeaklyGuarded)) {
+  if (mode_byte > static_cast<uint8_t>(Mode::kChaseMaterialized)) {
     return CorruptError(path, "corrupt payload");
   }
   uint8_t flags = r.U8();
@@ -437,25 +440,35 @@ Result<std::unique_ptr<PreparedKb>> PreparedKb::LoadSnapshot(
   kb->edb_ = std::move(edb);
   kb->model_ = std::move(model);
   kb->grounded_constants_ = std::move(grounded);
-  // Only the join-plan compilation re-runs; rewrite, grounding, and
-  // saturation artifacts are all baked into the stored rule set.
-  DatalogOptions dopts = options.datalog;
-  dopts.budget = kb->budget_.get();
-  // Derivation supports are not persisted: the loaded model keeps
-  // supports_valid_ = false, so the first Retract re-materializes (and
-  // rebuilds the support log as a side effect). The dependency index is
-  // pure program structure, so it is rebuilt here for cache eviction.
-  dopts.support_log = &kb->supports_;
-  Result<DatalogProgram> program =
-      DatalogProgram::Compile(std::move(program_rules), symbols, dopts);
-  if (!program.ok()) return program.status();
-  kb->program_ = std::make_unique<DatalogProgram>(std::move(program).value());
-  kb->BuildDependencyIndex();
+  if (kb->mode_ == Mode::kChaseMaterialized) {
+    // Chase mode stores no compiled program (the serialized program
+    // theory is an empty placeholder): queries serve from the loaded
+    // universal model, and the first write re-chases from normal_.
+    kb->BuildDependencyIndex();
+  } else {
+    // Only the join-plan compilation re-runs; rewrite, grounding, and
+    // saturation artifacts are all baked into the stored rule set.
+    DatalogOptions dopts = options.datalog;
+    dopts.budget = kb->budget_.get();
+    // Derivation supports are not persisted: the loaded model keeps
+    // supports_valid_ = false, so the first Retract re-materializes (and
+    // rebuilds the support log as a side effect). The dependency index is
+    // pure program structure, so it is rebuilt here for cache eviction.
+    dopts.support_log = &kb->supports_;
+    Result<DatalogProgram> program =
+        DatalogProgram::Compile(std::move(program_rules), symbols, dopts);
+    if (!program.ok()) return program.status();
+    kb->program_ =
+        std::make_unique<DatalogProgram>(std::move(program).value());
+    kb->BuildDependencyIndex();
+  }
   {
     std::lock_guard<std::mutex> slock(kb->stats_mu_);
     kb->stats_.snapshot_loads = 1;
     kb->stats_.model_atoms = kb->model_.size();
-    kb->stats_.datalog_rules = kb->program_->theory().size();
+    kb->stats_.datalog_rules = kb->DatalogRulesLocked();
+    kb->stats_.materialization_strategy =
+        kb->mode_ == Mode::kChaseMaterialized ? "chase" : "datalog";
     DegradationReason reason = kb->DegradationLocked();
     if (reason.degraded()) kb->stats_.last_degradation = reason;
   }

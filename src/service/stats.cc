@@ -38,6 +38,15 @@ void ServiceStats::Accumulate(const ServiceStats& other) {
   cache_retained_entries += other.cache_retained_entries;
   model_atoms += other.model_atoms;
   datalog_rules += other.datalog_rules;
+  chase_materializations += other.chase_materializations;
+  // Like last_degradation: the latest contributor with a value wins
+  // (strategy strings are per-KB facts, not summable counters).
+  if (!other.materialization_strategy.empty()) {
+    materialization_strategy = other.materialization_strategy;
+  }
+  if (!other.termination_certificate.empty()) {
+    termination_certificate = other.termination_certificate;
+  }
   diagnostics += other.diagnostics;
   degraded_prepares += other.degraded_prepares;
   degraded_queries += other.degraded_queries;
@@ -96,6 +105,14 @@ std::string ServiceStats::ToString() const {
          static_cast<unsigned long long>(model_atoms));
   Append(&out, "datalog rules:       %llu\n",
          static_cast<unsigned long long>(datalog_rules));
+  Append(&out, "strategy:            %s\n",
+         materialization_strategy.empty() ? "-"
+                                          : materialization_strategy.c_str());
+  Append(&out, "termination cert:    %s\n",
+         termination_certificate.empty() ? "-"
+                                         : termination_certificate.c_str());
+  Append(&out, "chase materializations: %llu\n",
+         static_cast<unsigned long long>(chase_materializations));
   Append(&out, "diagnostics:         %llu\n",
          static_cast<unsigned long long>(diagnostics));
   Append(&out, "degraded prepares:   %llu\n",
@@ -160,6 +177,12 @@ std::string ServiceStats::ToJson() const {
          static_cast<unsigned long long>(model_atoms));
   Append(&out, "\"datalog_rules\": %llu, ",
          static_cast<unsigned long long>(datalog_rules));
+  Append(&out, "\"materialization_strategy\": \"%s\", ",
+         materialization_strategy.c_str());
+  Append(&out, "\"termination_certificate\": \"%s\", ",
+         termination_certificate.c_str());
+  Append(&out, "\"chase_materializations\": %llu, ",
+         static_cast<unsigned long long>(chase_materializations));
   Append(&out, "\"diagnostics\": %llu, ",
          static_cast<unsigned long long>(diagnostics));
   Append(&out, "\"degraded_prepares\": %llu, ",

@@ -51,6 +51,17 @@ struct ServiceStats {
   // Current sizes.
   uint64_t model_atoms = 0;
   uint64_t datalog_rules = 0;
+  // Materialization plan chosen by Prepare: "datalog" (compiled
+  // translation + least-model evaluation) or "chase" (certificate-driven
+  // direct Skolem chase; see PreparedKbOptions::planner). Empty before
+  // Prepare. The certificate string names the acyclicity-ladder verdict
+  // that licensed (or refused) the chase plan ("weakly-acyclic",
+  // "mfa", ...); empty when the planner did not analyze the theory.
+  std::string materialization_strategy;
+  std::string termination_certificate;
+  // Model rebuilds served by the direct chase: the initial chase-mode
+  // Prepare plus every chase-mode Assert/Retract rematerialization.
+  uint64_t chase_materializations = 0;
   // Diagnostics reported by the Prepare pre-flight analysis (see
   // analyze/analyze.h; 0 when the pre-flight is disabled).
   uint64_t diagnostics = 0;

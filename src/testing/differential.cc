@@ -8,6 +8,7 @@
 
 #include "analyze/analyze.h"
 #include "analyze/render.h"
+#include "analyze/termination.h"
 #include "chase/chase.h"
 #include "core/budget.h"
 #include "core/classify.h"
@@ -1097,6 +1098,167 @@ DiffReport RunDifferential(unsigned seed, size_t iters,
           if (options.stop_on_failure) return report;
           break;
         }
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// One termination-lane case: see the RunTermination header comment for
+// the checked properties.
+CaseVerdict CheckTerminationCase(const GeneratedCase& c,
+                                 SymbolTable* symbols,
+                                 const DiffOptions& options,
+                                 DiffFailure* failure) {
+  auto fail = [&](const std::string& lane,
+                  const std::string& detail) {
+    failure->cls = c.cls;
+    failure->case_seed = c.seed;
+    failure->lane = lane;
+    failure->detail = detail;
+    return CaseVerdict::kFail;
+  };
+
+  // Lane: certificate determinism. Two analyzer runs over the same
+  // theory must produce the same kind, ordering witness, and cycle
+  // witness — `gerel check --json` byte-determinism rests on this.
+  TerminationCertificate cert1 = AnalyzeTermination(c.theory, *symbols);
+  TerminationCertificate cert2 = AnalyzeTermination(c.theory, *symbols);
+  if (cert1.kind != cert2.kind || cert1.order != cert2.order ||
+      cert1.cycle != cert2.cycle) {
+    return fail("certificate-determinism",
+                std::string("two AnalyzeTermination runs disagree: ") +
+                    CertificateKindName(cert1.kind) + " vs " +
+                    CertificateKindName(cert2.kind));
+  }
+
+  // Lane: a terminating certificate must be *true*. The semi-oblivious
+  // chase over the generated database gets caps far above anything the
+  // generator emits; a certified theory that fails to saturate means
+  // the ladder proved a false statement.
+  if (cert1.terminating()) {
+    ChaseOptions copts;
+    copts.max_steps = 100000;
+    copts.max_atoms = 200000;
+    copts.semi_oblivious = true;
+    SymbolTable chase_syms = *symbols;
+    ChaseResult run = Chase(c.theory, c.database, &chase_syms, copts);
+    if (!run.saturated) {
+      return fail("certified-nontermination",
+                  std::string("certificate ") +
+                      CertificateKindName(cert1.kind) +
+                      " but the semi-oblivious chase hit its caps (" +
+                      std::to_string(run.database.size()) + " atoms, " +
+                      std::to_string(run.steps) + " steps)");
+    }
+  }
+
+  // Lane: planner agreement. For weakly frontier-guarded negation-free
+  // theories both Prepare strategies are available; the certificate-
+  // driven planner must answer exactly like the translation pipeline
+  // when both are complete, and soundly (⊆) otherwise.
+  Classification cls = Classify(c.theory);
+  if (cls.weakly_frontier_guarded && !c.theory.HasNegation()) {
+    // Same hard pipeline caps as CheckCase: generated theories are
+    // tiny, so a translation closure that runs away is pathological —
+    // cap it and let the failed Prepare skip the comparison instead of
+    // grinding (an uncapped pg+dat saturation can hang for minutes).
+    KbQueryOptions pipeline_opts;
+    pipeline_opts.saturation.max_rules = 400;
+    pipeline_opts.saturation.max_body_atoms = 6;
+    pipeline_opts.expansion.max_rules = 2000;
+    pipeline_opts.grounding.max_rules = 2000;
+    PreparedKbOptions on;
+    on.planner = true;
+    on.pipeline = pipeline_opts;
+    PreparedKbOptions off;
+    off.planner = false;
+    off.pipeline = pipeline_opts;
+    SymbolTable on_syms = *symbols;
+    SymbolTable off_syms = *symbols;
+    Result<std::unique_ptr<PreparedKb>> kb_on =
+        PreparedKb::Prepare(c.theory, c.database, &on_syms, on);
+    Result<std::unique_ptr<PreparedKb>> kb_off =
+        PreparedKb::Prepare(c.theory, c.database, &off_syms, off);
+    // Either side may legitimately fail alone — the translation
+    // pipeline can exhaust its caps on a theory the chase certifies,
+    // and vice versa — so only agreement between two successful
+    // prepares is checked.
+    if (kb_on.ok() && kb_off.ok()) {
+      Result<PreparedQueryResult> q_on = kb_on.value()->Query(c.query);
+      Result<PreparedQueryResult> q_off = kb_off.value()->Query(c.query);
+      if (q_on.ok() && q_off.ok()) {
+        bool both_complete =
+            q_on.value().complete && q_off.value().complete;
+        if (both_complete &&
+            q_on.value().answers != q_off.value().answers) {
+          return fail("planner-vs-pipeline",
+                      DescribeAnswerDiff(q_off.value().answers,
+                                         q_on.value().answers, off_syms));
+        }
+        if (q_off.value().complete &&
+            !IsSubset(q_on.value().answers, q_off.value().answers)) {
+          return fail("planner-unsound",
+                      DescribeAnswerDiff(q_off.value().answers,
+                                         q_on.value().answers, off_syms));
+        }
+      }
+    }
+    (void)options;
+  }
+
+  // An inconclusive or refuted certificate with nothing else to check
+  // still validated determinism, so it counts as checked, not skipped.
+  return CaseVerdict::kOk;
+}
+
+}  // namespace
+
+DiffReport RunTermination(unsigned seed, size_t iters,
+                          const std::vector<GenClass>& classes,
+                          const DiffOptions& options) {
+  // Default to the planner-relevant classes: the five extended classes
+  // plus the guarded boundary the translation pipeline accepts.
+  std::vector<GenClass> defaults = ExtendedGenClasses();
+  defaults.push_back(GenClass::kGuarded);
+  defaults.push_back(GenClass::kWeaklyFrontierGuarded);
+  const std::vector<GenClass>& run_classes =
+      classes.empty() ? defaults : classes;
+  DiffReport report;
+  for (GenClass cls : run_classes) {
+    unsigned cls_index = static_cast<unsigned>(cls);
+    for (size_t iter = 0; iter < iters; ++iter) {
+      unsigned cseed = CaseSeed(seed, cls_index, static_cast<unsigned>(iter));
+      SymbolTable symbols;
+      CaseGenerator gen(cseed, &symbols, options.gen);
+      GeneratedCase c = gen.Next(cls);
+      ++report.iterations;
+      if (options.log_cases) report.transcript += CaseToString(c, symbols);
+      DiffFailure f;
+      CaseVerdict verdict = CheckTerminationCase(c, &symbols, options, &f);
+      std::string line = std::string(GenClassTag(cls)) + " " +
+                         std::to_string(iter) + " seed=" +
+                         std::to_string(cseed);
+      switch (verdict) {
+        case CaseVerdict::kOk:
+          ++report.checked;
+          report.transcript += line + " ok\n";
+          break;
+        case CaseVerdict::kSkip:
+          ++report.skipped;
+          report.transcript += line + " skip\n";
+          break;
+        case CaseVerdict::kFail:
+          ++report.checked;
+          report.transcript += line + " FAIL(" + f.lane + ")\n";
+          f.iteration = iter;
+          f.repro = CaseToString(c, symbols);
+          f.repro_rules = c.theory.size();
+          report.failures.push_back(std::move(f));
+          if (options.stop_on_failure) return report;
+          break;
       }
     }
   }

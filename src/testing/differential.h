@@ -149,6 +149,24 @@ DiffReport RunCrud(unsigned seed, size_t iters,
                    const std::vector<GenClass>& classes,
                    const DiffOptions& options = DiffOptions());
 
+// Termination lane (`gerel fuzz --lane termination`). For each seeded
+// case, runs the acyclicity ladder (analyze/termination.h) and holds the
+// certificate to account:
+//   - recomputing the certificate yields byte-identical kind/order/cycle
+//     (the determinism the `gerel check --json` goldens rely on);
+//   - a *certified* theory's semi-oblivious chase must saturate over the
+//     generated database within generous caps — a terminating
+//     certificate that fails to terminate is a lane failure;
+//   - for weakly frontier-guarded negation-free cases, a PreparedKb with
+//     the certificate-driven planner enabled must agree with one with
+//     the planner disabled: equal answers when both are complete, and
+//     planner answers sound (⊆) otherwise.
+// When `classes` is empty the lane defaults to the five extended
+// classes plus wg/wfg (the planner-relevant boundary classes).
+DiffReport RunTermination(unsigned seed, size_t iters,
+                          const std::vector<GenClass>& classes,
+                          const DiffOptions& options = DiffOptions());
+
 }  // namespace gerel::testing
 
 #endif  // GEREL_TESTING_DIFFERENTIAL_H_

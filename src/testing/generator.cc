@@ -11,6 +11,19 @@ namespace gerel::testing {
 
 namespace {
 
+bool IsExtendedGenClass(GenClass cls) {
+  switch (cls) {
+    case GenClass::kLinear:
+    case GenClass::kFrontierOne:
+    case GenClass::kJoinless:
+    case GenClass::kDomainRestricted:
+    case GenClass::kShy:
+      return true;
+    default:
+      return false;
+  }
+}
+
 bool InClass(const Classification& c, GenClass cls) {
   switch (cls) {
     case GenClass::kDatalog: return c.datalog;
@@ -20,8 +33,19 @@ bool InClass(const Classification& c, GenClass cls) {
     case GenClass::kWeaklyFrontierGuarded: return c.weakly_frontier_guarded;
     case GenClass::kNearlyGuarded: return c.nearly_guarded;
     case GenClass::kNearlyFrontierGuarded: return c.nearly_frontier_guarded;
+    default: return false;
   }
-  return false;
+}
+
+bool InExtendedClass(const ExtendedClassification& c, GenClass cls) {
+  switch (cls) {
+    case GenClass::kLinear: return c.linear;
+    case GenClass::kFrontierOne: return c.frontier_one;
+    case GenClass::kJoinless: return c.joinless;
+    case GenClass::kDomainRestricted: return c.domain_restricted;
+    case GenClass::kShy: return c.shy;
+    default: return false;
+  }
 }
 
 }  // namespace
@@ -35,12 +59,23 @@ const char* GenClassTag(GenClass cls) {
     case GenClass::kWeaklyFrontierGuarded: return "wfg";
     case GenClass::kNearlyGuarded: return "ng";
     case GenClass::kNearlyFrontierGuarded: return "nfg";
+    case GenClass::kLinear: return "lin";
+    case GenClass::kFrontierOne: return "f1";
+    case GenClass::kJoinless: return "jl";
+    case GenClass::kDomainRestricted: return "dr";
+    case GenClass::kShy: return "shy";
   }
   return "?";
 }
 
 bool ParseGenClass(std::string_view tag, GenClass* out) {
   for (GenClass cls : AllGenClasses()) {
+    if (tag == GenClassTag(cls)) {
+      *out = cls;
+      return true;
+    }
+  }
+  for (GenClass cls : ExtendedGenClasses()) {
     if (tag == GenClassTag(cls)) {
       *out = cls;
       return true;
@@ -60,6 +95,17 @@ const std::vector<GenClass>& AllGenClasses() {
       GenClass::kNearlyFrontierGuarded,
   };
   return kAll;
+}
+
+const std::vector<GenClass>& ExtendedGenClasses() {
+  static const std::vector<GenClass> kExtended = {
+      GenClass::kLinear,
+      GenClass::kFrontierOne,
+      GenClass::kJoinless,
+      GenClass::kDomainRestricted,
+      GenClass::kShy,
+  };
+  return kExtended;
 }
 
 CaseGenerator::CaseGenerator(unsigned seed, SymbolTable* symbols,
@@ -208,6 +254,133 @@ Rule CaseGenerator::GenerateRule(GenClass cls, int rule_index) {
   return rule;
 }
 
+Rule CaseGenerator::GenerateExtendedRule(GenClass cls, int rule_index) {
+  bool want_existential =
+      (rng_() % 1000) <
+      static_cast<unsigned>(options_.existential_prob * 1000);
+
+  std::vector<Atom> body;
+  if (cls == GenClass::kLinear) {
+    // Linear: exactly one positive body atom.
+    body.push_back(RandomAtom(relations_[rng_() % relations_.size()], vars_));
+  } else if (cls == GenClass::kJoinless || cls == GenClass::kShy) {
+    // Disjoint per-atom variable pools: no variable spans two theory
+    // atoms, so joinlessness holds by construction (and shy's "no
+    // attacked variable is joined" is vacuous for theory-atom joins).
+    int atoms = 1 + static_cast<int>(rng_() % options_.max_body_atoms);
+    for (int i = 0; i < atoms; ++i) {
+      std::vector<Term> pool;
+      for (int j = 0; j < 2; ++j) {
+        pool.push_back(symbols_->Variable(
+            "X" + std::to_string(rule_index) + "_" + std::to_string(i) +
+            "_" + std::to_string(j)));
+      }
+      body.push_back(RandomAtom(relations_[rng_() % relations_.size()], pool));
+    }
+  } else {
+    int atoms = 1 + static_cast<int>(rng_() % options_.max_body_atoms);
+    for (int i = 0; i < atoms; ++i) {
+      body.push_back(RandomAtom(relations_[rng_() % relations_.size()], vars_));
+    }
+  }
+  std::vector<Term> used;
+  for (const Atom& a : body) {
+    for (Term v : a.ArgVars()) {
+      if (std::find(used.begin(), used.end(), v) == used.end()) {
+        used.push_back(v);
+      }
+    }
+  }
+  if (used.empty()) {
+    // All-constant body (annotation draws): force one variable.
+    body[0].args[0] = vars_[0];
+    used.push_back(vars_[0]);
+  }
+
+  std::vector<Term> head_pool = used;
+  if (cls == GenClass::kFrontierOne) {
+    // Frontier-one: at most one universal variable reaches the head.
+    head_pool = {used[rng_() % used.size()]};
+  } else if (cls == GenClass::kShy) {
+    // Shy: draw the whole frontier from one theory atom, so any two
+    // frontier variables share a body atom. Joins (sometimes added below
+    // through the wide EDB relation) stay harmless: wide never occurs in
+    // a head, so its positions are never affected and the joined
+    // variables are never attacked.
+    const Atom& fa = body[rng_() % body.size()];
+    head_pool = fa.ArgVars();
+    if (head_pool.empty()) head_pool = {used[0]};
+    if (body.size() >= 2 && rng_() % 2 == 0) {
+      std::vector<Term> wide_args;
+      for (const Atom& a : body) {
+        for (Term v : a.ArgVars()) wide_args.push_back(v);
+      }
+      if (!wide_args.empty()) {
+        size_t n = wide_args.size();
+        while (static_cast<int>(wide_args.size()) < wide_.arity) {
+          wide_args.push_back(wide_args[wide_args.size() % n]);
+        }
+        wide_args.resize(wide_.arity);
+        body.push_back(Atom(wide_.id, std::move(wide_args)));
+      }
+    }
+  }
+
+  // Head relation, layered like GenerateRule to keep most chases shallow.
+  size_t max_body_index = 0;
+  for (const Atom& a : body) {
+    for (size_t j = 0; j < relations_.size(); ++j) {
+      if (relations_[j].id == a.pred) {
+        max_body_index = std::max(max_body_index, j);
+      }
+    }
+  }
+  const RelInfo* head_rel;
+  if ((rng_() % 1000) < static_cast<unsigned>(options_.layered_prob * 1000) &&
+      max_body_index + 1 < relations_.size()) {
+    head_rel = &relations_[max_body_index +
+                           rng_() % (relations_.size() - max_body_index)];
+  } else {
+    head_rel = &relations_[rng_() % relations_.size()];
+  }
+
+  Term evar = symbols_->Variable("E" + std::to_string(rule_index));
+  std::vector<Term> head_args;
+  if (cls == GenClass::kDomainRestricted) {
+    // Each head atom uses all body variables or none of them. "All"
+    // needs head arity >= |used|; otherwise (or on a coin flip) the head
+    // is variable-free: existential and constant positions only.
+    bool all = static_cast<size_t>(head_rel->arity) >= used.size() &&
+               rng_() % 2 == 0;
+    for (int i = 0; i < head_rel->arity; ++i) {
+      if (all) {
+        head_args.push_back(static_cast<size_t>(i) < used.size()
+                                ? used[i]
+                                : (want_existential ? evar
+                                                    : used[i % used.size()]));
+      } else {
+        head_args.push_back(want_existential && i == 0 ? evar
+                                                       : RandomConstantTerm());
+      }
+    }
+  } else {
+    size_t epos = rng_() % std::max(1, head_rel->arity);
+    for (int i = 0; i < head_rel->arity; ++i) {
+      if (want_existential && static_cast<size_t>(i) == epos) {
+        head_args.push_back(evar);
+      } else {
+        head_args.push_back(head_pool[rng_() % head_pool.size()]);
+      }
+    }
+  }
+  std::vector<Term> head_ann;
+  for (int i = 0; i < head_rel->annotations; ++i) {
+    head_ann.push_back(RandomConstantTerm());
+  }
+  return Rule::Positive(
+      body, {Atom(head_rel->id, std::move(head_args), std::move(head_ann))});
+}
+
 void CaseGenerator::RepairClass(GenClass cls, Theory* theory) {
   // Guarding with the wide relation only ever shrinks ap(Σ) (wide never
   // occurs in a head, so its positions are unaffected and every variable
@@ -253,6 +426,8 @@ void CaseGenerator::RepairClass(GenClass cls, Theory* theory) {
           ok = IsNearlyFrontierGuardedRule(rule, ap);
           targets = pass == 0 ? rule.FVars() : rule.UVars();
           break;
+        default:  // Extended classes repair via RepairExtended.
+          break;
       }
       if (ok) continue;
       GEREL_CHECK(cls != GenClass::kDatalog);  // dlg is correct by construction.
@@ -268,6 +443,42 @@ void CaseGenerator::RepairClass(GenClass cls, Theory* theory) {
     }
   }
   GEREL_CHECK(InClass(Classify(*theory), cls));
+}
+
+void CaseGenerator::RepairExtended(GenClass cls, Theory* theory) {
+  // Extended membership is per-rule for linear/frontier-one/joinless/
+  // domain-restricted but global for shy (it reads the Ω sets of the
+  // whole theory), so off-class draws are *replaced* by an identity
+  // projection rule — a member of every extended class — instead of
+  // being guarded. Replacement only removes Skolem functions and Ω
+  // entries, so rules already in class stay in class and one pass
+  // settles (the second pass is a safety net).
+  for (int pass = 0; pass < 2; ++pass) {
+    if (InExtendedClass(ClassifyExtended(*theory), cls)) return;
+    ExistentialDependencyGraph graph = BuildExistentialDependencyGraph(*theory);
+    std::vector<Rule>& rules = theory->mutable_rules();
+    for (size_t i = 0; i < rules.size(); ++i) {
+      bool ok = true;
+      switch (cls) {
+        case GenClass::kLinear: ok = IsLinearRule(rules[i]); break;
+        case GenClass::kFrontierOne: ok = IsFrontierOneRule(rules[i]); break;
+        case GenClass::kJoinless: ok = IsJoinlessRule(rules[i]); break;
+        case GenClass::kDomainRestricted:
+          ok = IsDomainRestrictedRule(rules[i]);
+          break;
+        case GenClass::kShy: ok = IsShyRule(rules[i], graph); break;
+        default: break;
+      }
+      if (ok) continue;
+      const RelInfo& rel = relations_[i % relations_.size()];
+      std::vector<Term> args(static_cast<size_t>(rel.arity), vars_[0]);
+      std::vector<Term> ann;
+      for (int j = 0; j < rel.annotations; ++j) ann.push_back(constants_[0]);
+      Atom atom(rel.id, args, ann);
+      rules[i] = Rule::Positive({atom}, {atom});
+    }
+  }
+  GEREL_CHECK(InExtendedClass(ClassifyExtended(*theory), cls));
 }
 
 Rule CaseGenerator::GenerateQuery() {
@@ -366,10 +577,16 @@ GeneratedCase CaseGenerator::Next(GenClass cls) {
   GeneratedCase out;
   out.seed = seed_;
   out.cls = cls;
+  bool extended = IsExtendedGenClass(cls);
   for (int i = 0; i < options_.num_rules; ++i) {
-    out.theory.AddRule(GenerateRule(cls, i));
+    out.theory.AddRule(extended ? GenerateExtendedRule(cls, i)
+                                : GenerateRule(cls, i));
   }
-  RepairClass(cls, &out.theory);
+  if (extended) {
+    RepairExtended(cls, &out.theory);
+  } else {
+    RepairClass(cls, &out.theory);
+  }
   out.query = GenerateQuery();
   out.database = GenerateDatabase();
   ++case_index_;

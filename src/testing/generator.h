@@ -28,7 +28,10 @@
 
 namespace gerel::testing {
 
-// The seven language classes of Figure 1, smallest to largest.
+// The seven language classes of Figure 1, smallest to largest, plus the
+// extended lattice of core/classify.h (membership targets for the
+// termination lane; the structural constraints are per-rule, so members
+// are built by construction and double-checked with the classifier).
 enum class GenClass {
   kDatalog,                 // dlg
   kGuarded,                 // g
@@ -37,14 +40,21 @@ enum class GenClass {
   kWeaklyFrontierGuarded,   // wfg
   kNearlyGuarded,           // ng
   kNearlyFrontierGuarded,   // nfg
+  kLinear,                  // lin
+  kFrontierOne,             // f1
+  kJoinless,                // jl
+  kDomainRestricted,        // dr
+  kShy,                     // shy
 };
 
 // Short tag used by the CLI (--class=fg) and in transcripts.
 const char* GenClassTag(GenClass cls);
-// Parses a tag; returns false on unknown tags.
+// Parses a tag (Figure 1 or extended); returns false on unknown tags.
 bool ParseGenClass(std::string_view tag, GenClass* out);
-// All seven classes, in declaration order.
+// The seven Figure 1 classes, in declaration order.
 const std::vector<GenClass>& AllGenClasses();
+// The five extended classes (linear .. shy), in declaration order.
+const std::vector<GenClass>& ExtendedGenClasses();
 
 struct GenOptions {
   int num_relations = 3;
@@ -105,7 +115,9 @@ class CaseGenerator {
   Atom RandomAtom(const RelInfo& rel, const std::vector<Term>& pool);
   Term RandomConstantTerm();
   Rule GenerateRule(GenClass cls, int rule_index);
+  Rule GenerateExtendedRule(GenClass cls, int rule_index);
   void RepairClass(GenClass cls, Theory* theory);
+  void RepairExtended(GenClass cls, Theory* theory);
   Rule GenerateQuery();
   Database GenerateDatabase();
 

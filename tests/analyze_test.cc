@@ -323,13 +323,16 @@ TEST(AnalyzeTest, Gr050WarnsWhenNeitherWeaklyNorJointlyAcyclic) {
             std::string::npos);
 }
 
-TEST(AnalyzeTest, Gr050NoteWhenJointlyButNotWeaklyAcyclic) {
+TEST(AnalyzeTest, Gr070NoteWhenJointlyButNotWeaklyAcyclic) {
   Analyzed a = AnalyzeText(
       "p(X), q0(X) -> exists Y. r(X, Y).\n"
       "r(X, Y) -> p(Y).\n");
   ASSERT_TRUE(a.error.empty()) << a.error;
-  ASSERT_EQ(CountCode(a.result, "GR050"), 1u);
-  const Diagnostic* d = FindCode(a.result, "GR050");
+  // A certified theory gets the GR070 certificate note; the legacy
+  // GR050 warning is reserved for refuted/inconclusive theories.
+  EXPECT_EQ(CountCode(a.result, "GR050"), 0u);
+  ASSERT_EQ(CountCode(a.result, "GR070"), 1u);
+  const Diagnostic* d = FindCode(a.result, "GR070");
   EXPECT_EQ(d->severity, Severity::kNote);
   EXPECT_NE(d->message.find("jointly acyclic"), std::string::npos);
 }
@@ -341,6 +344,266 @@ TEST(AnalyzeTest, Gr050SilentOnWeaklyAcyclicAndOnDatalog) {
   Analyzed dlg = AnalyzeText("e(X, Y), t(Y, Z) -> t(X, Z).\n");
   ASSERT_TRUE(dlg.error.empty()) << dlg.error;
   EXPECT_EQ(CountCode(dlg.result, "GR050"), 0u);
+}
+
+// --- GR070-GR072: the termination certificate ----------------------------
+
+TEST(AnalyzeTest, Gr070WeaklyAcyclicCertificateCarriesTheOrder) {
+  Analyzed a =
+      AnalyzeText("a(X) -> exists Y. r(X, Y).\nr(X, Y) -> s(Y, Y).\n");
+  ASSERT_TRUE(a.error.empty()) << a.error;
+  ASSERT_EQ(CountCode(a.result, "GR070"), 1u);
+  const Diagnostic* d = FindCode(a.result, "GR070");
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_NE(d->message.find("weakly acyclic"), std::string::npos);
+  ASSERT_FALSE(d->notes.empty());
+  EXPECT_NE(d->notes[0].find("Skolem function order:"), std::string::npos);
+  EXPECT_EQ(a.result.termination.kind, CertificateKind::kWeaklyAcyclic);
+  EXPECT_TRUE(a.result.termination.terminating());
+  // The pre-rendered order names match the certificate's length.
+  EXPECT_EQ(a.result.termination_order.size(),
+            a.result.termination.order.size());
+}
+
+TEST(AnalyzeTest, Gr070MfaCertificateWhenNeitherWeaklyNorJointlyAcyclic) {
+  // The Ω-closure sees nulls in both u positions and p.1, so the
+  // dependency graph is cyclic (not JA) — but no single atom ever holds
+  // the same null twice, so u(Y, Y) never fires on a null and the
+  // critical-instance chase saturates.
+  Analyzed a = AnalyzeText(
+      "a(X) -> exists Y. u(X, Y).\n"
+      "u(X, Y) -> u(Y, X).\n"
+      "u(Y, Y) -> p(Y).\n"
+      "p(X) -> a(X).\n");
+  ASSERT_TRUE(a.error.empty()) << a.error;
+  EXPECT_EQ(CountCode(a.result, "GR050"), 0u);
+  ASSERT_EQ(CountCode(a.result, "GR070"), 1u);
+  const Diagnostic* d = FindCode(a.result, "GR070");
+  EXPECT_NE(d->message.find("model-faithful acyclicity"), std::string::npos);
+  EXPECT_EQ(a.result.termination.kind, CertificateKind::kMfa);
+  EXPECT_GT(a.result.termination.critical_steps, 0u);
+}
+
+TEST(AnalyzeTest, Gr071RefutationNamesTheCyclicSkolemPath) {
+  Analyzed a = AnalyzeText("r(X, Y) -> exists Z. r(Y, Z).\n");
+  ASSERT_TRUE(a.error.empty()) << a.error;
+  // Refuted theories keep the legacy GR050 warning and add the witness.
+  EXPECT_EQ(CountCode(a.result, "GR050"), 1u);
+  ASSERT_EQ(CountCode(a.result, "GR071"), 1u);
+  const Diagnostic* d = FindCode(a.result, "GR071");
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("cyclic Skolem path"), std::string::npos);
+  ASSERT_EQ(d->notes.size(), 2u);
+  EXPECT_NE(d->notes[1].find("gerel check --dot"), std::string::npos);
+  EXPECT_EQ(a.result.termination.kind, CertificateKind::kRefuted);
+  EXPECT_FALSE(a.result.termination.cycle.empty());
+  EXPECT_EQ(a.result.termination_cycle.size(),
+            a.result.termination.cycle.size());
+}
+
+TEST(AnalyzeTest, Gr072InconclusiveWhenTheCriticalChaseIsCapped) {
+  // The same refutable theory, but with a budget too small for the
+  // critical-instance chase to reach the cyclic Skolem term.
+  SymbolTable syms;
+  SourceMap map;
+  Result<Program> p =
+      ParseProgram("r(X, Y) -> exists Z. r(Y, Z).\n", &syms, &map);
+  ASSERT_TRUE(p.ok());
+  AnalyzeOptions options;
+  options.source = &map;
+  // One chase step invents f(*) but never the nested f(f(*)) that
+  // refutes MFA, so the ladder cannot reach a verdict.
+  options.termination.max_steps = 1;
+  AnalysisResult r =
+      Analyze(p.value().theory, p.value().database, syms, options);
+  EXPECT_EQ(CountCode(r, "GR050"), 1u);
+  EXPECT_EQ(CountCode(r, "GR071"), 0u);
+  ASSERT_EQ(CountCode(r, "GR072"), 1u);
+  const Diagnostic* d = FindCode(r, "GR072");
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_NE(d->message.find("inconclusive"), std::string::npos);
+  EXPECT_EQ(r.termination.kind, CertificateKind::kInconclusive);
+  EXPECT_FALSE(r.termination.terminating());
+}
+
+// --- GR080-GR084: the extended lattice membership matrix -----------------
+//
+// One positive and one negative theory per class. Every theory keeps at
+// least one existential rule (the notes stay silent on Datalog), and
+// the explain witnesses (indices 7..11: linear, frontier-one, joinless,
+// domain-restricted, shy) must agree with the emitted notes.
+
+TEST(AnalyzeTest, Gr080LinearMembership) {
+  Analyzed in = AnalyzeText(
+      "p(X) -> exists Y. q(X, Y).\n"
+      "q(X, Y) -> p(Y).\n",
+      /*explain=*/true);
+  ASSERT_TRUE(in.error.empty()) << in.error;
+  EXPECT_EQ(CountCode(in.result, "GR080"), 1u);
+  ASSERT_EQ(in.result.witnesses.size(), 12u);
+  EXPECT_EQ(std::string(in.result.witnesses[7].class_name), "linear");
+  EXPECT_TRUE(in.result.witnesses[7].member);
+
+  Analyzed out = AnalyzeText(
+      "p(X), r(X) -> exists Y. q(X, Y).\n", /*explain=*/true);
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  EXPECT_EQ(CountCode(out.result, "GR080"), 0u);
+  EXPECT_FALSE(out.result.witnesses[7].member);
+  EXPECT_NE(out.result.witnesses[7].reason.find("2 positive body atoms"),
+            std::string::npos);
+}
+
+TEST(AnalyzeTest, Gr081FrontierOneMembership) {
+  Analyzed in = AnalyzeText("p(X, X) -> exists Y. q(X, Y).\n",
+                            /*explain=*/true);
+  ASSERT_TRUE(in.error.empty()) << in.error;
+  EXPECT_EQ(CountCode(in.result, "GR081"), 1u);
+  EXPECT_EQ(std::string(in.result.witnesses[8].class_name), "frontier-one");
+  EXPECT_TRUE(in.result.witnesses[8].member);
+
+  Analyzed out = AnalyzeText("p(X, Z) -> exists Y. q(X, Y, Z).\n",
+                             /*explain=*/true);
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  EXPECT_EQ(CountCode(out.result, "GR081"), 0u);
+  EXPECT_FALSE(out.result.witnesses[8].member);
+}
+
+TEST(AnalyzeTest, Gr082JoinlessMembership) {
+  // Two body atoms but no shared variable: joinless without being
+  // linear.
+  Analyzed in = AnalyzeText("p(X), r(Z) -> exists Y. q(X, Y, Z).\n",
+                            /*explain=*/true);
+  ASSERT_TRUE(in.error.empty()) << in.error;
+  EXPECT_EQ(CountCode(in.result, "GR080"), 0u);
+  EXPECT_EQ(CountCode(in.result, "GR082"), 1u);
+  EXPECT_EQ(std::string(in.result.witnesses[9].class_name), "joinless");
+  EXPECT_TRUE(in.result.witnesses[9].member);
+
+  Analyzed out = AnalyzeText("p(X), r(X) -> exists Y. q(X, Y).\n",
+                             /*explain=*/true);
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  EXPECT_EQ(CountCode(out.result, "GR082"), 0u);
+  EXPECT_FALSE(out.result.witnesses[9].member);
+}
+
+TEST(AnalyzeTest, Gr083DomainRestrictedMembership) {
+  // Every head atom carries all of the rule's universal body variables.
+  Analyzed in = AnalyzeText("p(X) -> exists Y. q(X, Y).\n",
+                            /*explain=*/true);
+  ASSERT_TRUE(in.error.empty()) << in.error;
+  EXPECT_EQ(CountCode(in.result, "GR083"), 1u);
+  EXPECT_EQ(std::string(in.result.witnesses[10].class_name),
+            "domain-restricted");
+  EXPECT_TRUE(in.result.witnesses[10].member);
+
+  // Head q(X, Y) sees X but drops Z: neither all nor none.
+  Analyzed out = AnalyzeText("p(X), r(Z) -> exists Y. q(X, Y).\n",
+                             /*explain=*/true);
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  EXPECT_EQ(CountCode(out.result, "GR083"), 0u);
+  EXPECT_FALSE(out.result.witnesses[10].member);
+}
+
+TEST(AnalyzeTest, Gr084ShyMembership) {
+  // Nulls flow from q.2 into p.1, but no attacked variable is ever
+  // joined across body atoms or shared between frontier atoms.
+  Analyzed in = AnalyzeText(
+      "p(X) -> exists Y. q(X, Y).\n"
+      "q(X, Y) -> p(Y).\n",
+      /*explain=*/true);
+  ASSERT_TRUE(in.error.empty()) << in.error;
+  EXPECT_EQ(CountCode(in.result, "GR084"), 1u);
+  EXPECT_EQ(std::string(in.result.witnesses[11].class_name), "shy");
+  EXPECT_TRUE(in.result.witnesses[11].member);
+
+  // X and Y are both attacked by the same Skolem function (its nulls
+  // reach p.1) and share no body atom in the last rule: not shy.
+  Analyzed out = AnalyzeText(
+      "p(X) -> exists Y. q(X, Y).\n"
+      "q(X, Y) -> p(Y).\n"
+      "p(X), p(Y) -> r(X, Y).\n",
+      /*explain=*/true);
+  ASSERT_TRUE(out.error.empty()) << out.error;
+  EXPECT_EQ(CountCode(out.result, "GR084"), 0u);
+  EXPECT_FALSE(out.result.witnesses[11].member);
+  EXPECT_FALSE(out.result.witnesses[11].reason.empty());
+}
+
+// --- Certificate-witness goldens -----------------------------------------
+//
+// Byte-exact text renders for one certificate of each flavor: these pin
+// the exact diagnostic wording, note order, and source anchoring that
+// `gerel check` ships.
+
+TEST(AnalyzeTest, CertifiedTheoryTextRenderIsByteExact) {
+  Analyzed a = AnalyzeText(
+      "gen(X) -> exists Y. e(X, Y).\n"
+      "e(X, Y), e(Y, Z) -> e(X, Z).\n"
+      "gen(a).\n");
+  ASSERT_TRUE(a.error.empty()) << a.error;
+  RenderOptions ro{"wg.gerel", &a.map};
+  EXPECT_EQ(RenderText(a.result, ro),
+            "wg.gerel:1:1: note[GR070]: chase termination certified: theory "
+            "is weakly acyclic\n"
+            "  gen(X) -> exists Y. e(X, Y).\n"
+            "  ^~~~~~~~~~~~~~~~~~~~~~~~~~~\n"
+            "  note: Skolem function order: r0.Y\n"
+            "  note: the Skolem (semi-oblivious) chase terminates on every "
+            "database in polynomially many steps\n"
+            "wg.gerel:1:1: note[GR084]: theory is shy: attacked variables "
+            "are never joined and never shared between frontier atoms\n"
+            "  gen(X) -> exists Y. e(X, Y).\n"
+            "  ^~~~~~~~~~~~~~~~~~~~~~~~~~~\n"
+            "wg.gerel: classification: weakly-guarded, "
+            "weakly-frontier-guarded\n"
+            "wg.gerel: extended: shy\n"
+            "wg.gerel: termination: weakly-acyclic\n"
+            "wg.gerel: 0 error(s), 0 warning(s), 2 note(s)\n");
+}
+
+TEST(AnalyzeTest, RefutedTheoryTextRenderIsByteExact) {
+  Analyzed a = AnalyzeText("r(X, Y) -> exists Z. r(Y, Z).\n");
+  ASSERT_TRUE(a.error.empty()) << a.error;
+  RenderOptions ro{"cyc.gerel", &a.map};
+  EXPECT_EQ(RenderText(a.result, ro),
+            "cyc.gerel:1:1: warning[GR050]: theory is neither weakly nor "
+            "jointly acyclic: the oblivious chase may diverge on some "
+            "database\n"
+            "  r(X, Y) -> exists Z. r(Y, Z).\n"
+            "  ^~~~~~~~~~~~~~~~~~~~~~~~~~~~\n"
+            "  note: guardedness guarantees decidable query answering, not "
+            "chase termination; use the bounded chase (--max-steps) or the "
+            "Datalog translations\n"
+            "cyc.gerel:1:1: warning[GR071]: theory is not model-faithfully "
+            "acyclic: the critical-instance chase built the cyclic Skolem "
+            "path r0.Z -> r0.Z\n"
+            "  r(X, Y) -> exists Z. r(Y, Z).\n"
+            "  ^~~~~~~~~~~~~~~~~~~~~~~~~~~~\n"
+            "  note: a null of r0.Z was derived on top of an earlier one; no "
+            "acyclicity-based termination certificate exists\n"
+            "  note: render the dependency graph with `gerel check --dot`\n"
+            "cyc.gerel:1:1: note[GR080]: theory is linear: every rule has at "
+            "most one positive body atom\n"
+            "  r(X, Y) -> exists Z. r(Y, Z).\n"
+            "  ^~~~~~~~~~~~~~~~~~~~~~~~~~~~\n"
+            "cyc.gerel:1:1: note[GR081]: theory is frontier-one: every rule "
+            "passes at most one variable to its head\n"
+            "  r(X, Y) -> exists Z. r(Y, Z).\n"
+            "  ^~~~~~~~~~~~~~~~~~~~~~~~~~~~\n"
+            "cyc.gerel:1:1: note[GR082]: theory is joinless: no rule joins a "
+            "variable across two body atoms\n"
+            "  r(X, Y) -> exists Z. r(Y, Z).\n"
+            "  ^~~~~~~~~~~~~~~~~~~~~~~~~~~~\n"
+            "cyc.gerel:1:1: note[GR084]: theory is shy: attacked variables "
+            "are never joined and never shared between frontier atoms\n"
+            "  r(X, Y) -> exists Z. r(Y, Z).\n"
+            "  ^~~~~~~~~~~~~~~~~~~~~~~~~~~~\n"
+            "cyc.gerel: classification: guarded, frontier-guarded, "
+            "weakly-guarded, weakly-frontier-guarded, nearly-guarded, "
+            "nearly-frontier-guarded\n"
+            "cyc.gerel: extended: linear, frontier-one, joinless, shy\n"
+            "cyc.gerel: termination: refuted\n"
+            "cyc.gerel: 0 error(s), 2 warning(s), 4 note(s)\n");
 }
 
 // --- GR060 ---------------------------------------------------------------
@@ -387,7 +650,7 @@ TEST(AnalyzeTest, ExplainNamesAWitnessPerFailingClass) {
       "e(X, Y), e(Z, Y) -> t(X), t(Z).\n",
       /*explain=*/true);
   ASSERT_TRUE(a.error.empty()) << a.error;
-  ASSERT_EQ(a.result.witnesses.size(), 7u);
+  ASSERT_EQ(a.result.witnesses.size(), 12u);
   EXPECT_EQ(std::string(a.result.witnesses[0].class_name), "datalog");
   EXPECT_FALSE(a.result.witnesses[0].member);
   EXPECT_EQ(a.result.witnesses[0].rule_index, 0u);
@@ -403,7 +666,7 @@ TEST(AnalyzeTest, ExplainNamesAWitnessPerFailingClass) {
 TEST(AnalyzeTest, ExplainMarksMembersWithoutAWitness) {
   Analyzed a = AnalyzeText("e(X, Y), t(Y, Z) -> t(X, Z).\n", /*explain=*/true);
   ASSERT_TRUE(a.error.empty()) << a.error;
-  ASSERT_EQ(a.result.witnesses.size(), 7u);
+  ASSERT_EQ(a.result.witnesses.size(), 12u);
   EXPECT_TRUE(a.result.witnesses[0].member);  // datalog
   EXPECT_TRUE(a.result.witnesses[0].reason.empty());
   // Not guarded (no atom holds X, Y, Z), but weakly guarded.
@@ -424,7 +687,7 @@ TEST(AnalyzeTest, EmptyTheoryAndEmptyDatabase) {
   Analyzed a = AnalyzeText("", /*explain=*/true);
   ASSERT_TRUE(a.error.empty()) << a.error;
   EXPECT_TRUE(a.result.diagnostics.empty());
-  ASSERT_EQ(a.result.witnesses.size(), 7u);
+  ASSERT_EQ(a.result.witnesses.size(), 12u);
   for (const ClassWitness& w : a.result.witnesses) {
     EXPECT_TRUE(w.member) << w.class_name;  // Vacuously in every class.
   }

@@ -162,9 +162,11 @@ TEST(CliTest, ServeAnswersQueriesAndAsserts) {
 }
 
 TEST(CliTest, ServeExitsWith3OnIncompleteAnswers) {
+  // MFA-refuted: the planner cannot certify the theory, so serve takes
+  // the translation pipeline and succ-queries see the null witnesses.
   CommandResult r = RunCliWithInput(
-      "query e(U, V) -> q(U)\nquit\n",
-      "serve " + Data("weakly_guarded_gen.gerel"));
+      "query succ(U, V) -> q(U)\nquit\n",
+      "serve " + Data("nonterminating.gerel"));
   EXPECT_EQ(r.exit_code, 3) << r.output;
   EXPECT_NE(r.output.find("possibly incomplete"), std::string::npos)
       << r.output;
@@ -228,17 +230,18 @@ TEST(CliTest, ServeAssertRejectsNonGroundFacts) {
 }
 
 TEST(CliTest, ServeCompletenessCertificateLines) {
-  // Both certificate verdicts in one session: gen's positions can never
-  // hold labeled nulls (certificate holds → "(complete)"), while e holds
-  // the invented successor, so its answers are sound but possibly
-  // incomplete — which is exactly what exit code 3 certifies.
+  // Both certificate verdicts in one session on an MFA-refuted theory
+  // (pipeline mode): edge's positions can never hold labeled nulls
+  // (certificate holds → "(complete)"), while succ holds invented
+  // successors, so its answers are sound but possibly incomplete —
+  // which is exactly what exit code 3 certifies.
   CommandResult r = RunCliWithInput(
-      "query gen(U) -> q(U)\n"
-      "query e(U, V) -> q(U)\n"
+      "query edge(U, V) -> q(U)\n"
+      "query succ(U, V) -> q(U)\n"
       "quit\n",
-      "serve " + Data("weakly_guarded_gen.gerel"));
+      "serve " + Data("nonterminating.gerel"));
   EXPECT_EQ(r.exit_code, 3) << r.output;
-  EXPECT_NE(r.output.find("1 answers (complete)"), std::string::npos)
+  EXPECT_NE(r.output.find("3 answers (complete)"), std::string::npos)
       << r.output;
   EXPECT_NE(r.output.find("(sound, possibly incomplete)"), std::string::npos)
       << r.output;
@@ -278,10 +281,27 @@ TEST(CliTest, CheckJsonIsByteExact) {
       "\"frontier_guarded\": false, \"weakly_guarded\": true, "
       "\"weakly_frontier_guarded\": true, \"nearly_guarded\": true, "
       "\"nearly_frontier_guarded\": true},\n"
+      "  \"extended_classification\": {\"linear\": false, "
+      "\"frontier_one\": false, \"joinless\": false, "
+      "\"domain_restricted\": false, \"shy\": true},\n"
+      "  \"termination\": {\"certificate\": \"existential-free\", "
+      "\"terminating\": true},\n"
       "  \"diagnostics\": [],\n"
       "  \"errors\": 0, \"warnings\": 0, \"notes\": 0\n"
       "}\n",
       file));
+}
+
+TEST(CliTest, CheckJsonIsDeterministicAcrossRunsAndThreads) {
+  // The analyzer is single-threaded by construction (certificates must
+  // be byte-deterministic), so --threads is accepted and ignored.
+  std::string file = Data("diagnostics_demo.gerel");
+  CommandResult a = RunCli("check --json " + file);
+  CommandResult b = RunCli("check --json " + file);
+  CommandResult c = RunCli("check --json --threads=8 " + file);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.output, c.output);
+  EXPECT_EQ(a.exit_code, c.exit_code);
 }
 
 TEST(CliTest, CheckExplainOnDemoIsByteExact) {
@@ -296,6 +316,11 @@ TEST(CliTest, CheckExplainOnDemoIsByteExact) {
   t(X) -> exists Y. e(X, Y).
   ^~~~~~~~~~~~~~~~~~~~~~~~~
   note: guardedness guarantees decidable query answering, not chase termination; use the bounded chase (--max-steps) or the Datalog translations
+{F}:6:1: warning[GR071]: theory is not model-faithfully acyclic: the critical-instance chase built the cyclic Skolem path r0.Y -> r0.Y
+  t(X) -> exists Y. e(X, Y).
+  ^~~~~~~~~~~~~~~~~~~~~~~~~
+  note: a null of r0.Y was derived on top of an earlier one; no acyclicity-based termination certificate exists
+  note: render the dependency graph with `gerel check --dot`
 {F}:11:1: warning[GR010]: rule 2 is not weakly frontier-guarded: no positive body atom contains its unsafe frontier variables {X, Z}
   e(X, Y), e(Z, Y) -> t(X), t(Z).
   ^~~~~~~~~~~~~~~~~~~~~~~~~~~~~~
@@ -339,6 +364,8 @@ TEST(CliTest, CheckExplainOnDemoIsByteExact) {
   note: cycle: even -> odd -> even (the step odd -> even is through "not odd")
   note: stratified evaluation (Def 22) requires every negated dependency to point strictly downward
 {F}: classification: none of the seven classes (Fig. 1)
+{F}: extended: none of the extended classes
+{F}: termination: refuted
 {F}: explain:
   datalog: no: rule 0 (t(X) -> exists Y. e(X, Y)) has existential variables {Y}
   guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): no positive body atom contains all universal variables {X, Y, Z}
@@ -347,10 +374,38 @@ TEST(CliTest, CheckExplainOnDemoIsByteExact) {
   weakly-frontier-guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): no positive body atom contains all unsafe frontier variables {X, Z}; X may be bound to a labeled null during the chase: every positive occurrence (e[0]) is an affected position (Def 2)
   nearly-guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): not guarded, with unsafe variables {X, Y, Z} (Def 3 needs guarded, or safe and existential-free)
   nearly-frontier-guarded: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): not frontier-guarded, with unsafe variables {X, Y, Z} (Def 3 needs frontier-guarded, or safe and existential-free)
-{F}: 2 error(s), 8 warning(s), 0 note(s)
+  linear: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)) has 2 positive body atoms (linear allows one)
+  frontier-one: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)) has frontier variables {X, Z} (frontier-one allows one)
+  joinless: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): variable Y joins two distinct positive body atoms
+  domain-restricted: no: rule 1 (e(X, Y) -> t(Y)): some head atom uses part (not all, not none) of the body variables
+  shy: no: rule 2 (e(X, Y), e(Z, Y) -> t(X), t(Z)): an attacked variable is joined across body atoms, or two attacked frontier variables share no body atom
+{F}: 2 error(s), 9 warning(s), 0 note(s)
 )x",
       file);
   EXPECT_EQ(r.output, expected);
+}
+
+TEST(CliTest, CheckDotIsByteExactAndHighlightsTheCycle) {
+  // --dot replaces the report with the Skolem dependency graph; the
+  // MFA-refuted demo gets its cyclic witness path highlighted.
+  CommandResult r = RunCli("check --dot " + Data("diagnostics_demo.gerel"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;  // Diagnostics still gate exit.
+  EXPECT_EQ(r.output,
+            "digraph skolem {\n"
+            "  rankdir=LR;\n"
+            "  \"r0.Y\" [color=red, style=bold];\n"
+            "  \"r5.W\";\n"
+            "  \"r0.Y\" -> \"r0.Y\" [color=red, style=bold];\n"
+            "}\n");
+  // A certified theory renders the same graph with no highlight.
+  CommandResult ok =
+      RunCli("check --dot " + Data("weakly_guarded_gen.gerel"));
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  EXPECT_EQ(ok.output,
+            "digraph skolem {\n"
+            "  rankdir=LR;\n"
+            "  \"r0.Y\";\n"
+            "}\n");
 }
 
 TEST(CliTest, CheckDenyPromotesWarningsToErrors) {
@@ -361,7 +416,7 @@ TEST(CliTest, CheckDenyPromotesWarningsToErrors) {
                            " --deny=GR020");
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_NE(r.output.find("error[GR020]"), std::string::npos) << r.output;
-  EXPECT_NE(r.output.find("4 error(s), 6 warning(s)"), std::string::npos)
+  EXPECT_NE(r.output.find("4 error(s), 7 warning(s)"), std::string::npos)
       << r.output;
 }
 

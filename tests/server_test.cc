@@ -513,8 +513,8 @@ struct Reference {
 };
 
 // The acceptance differential: answers served over the socket are
-// byte-identical to the in-process PreparedKb — including the weakly
-// guarded case where answers are sound but flagged incomplete — at 1
+// byte-identical to the in-process PreparedKb — including the
+// chase-materialized weakly guarded case with a null witness — at 1
 // and 8 client threads.
 TEST(SocketServerTest, DifferentialAgainstInProcessKb) {
   struct Case {
@@ -543,7 +543,9 @@ TEST(SocketServerTest, DifferentialAgainstInProcessKb) {
     expected.push_back({std::move(answers), complete});
   }
   EXPECT_TRUE(expected[3].answers.size() > 0);
-  EXPECT_FALSE(expected[3].complete);  // The degradation-shaped case.
+  // The planner certifies kWgProgram (MFA) and serves it from the chase
+  // model, so even the null-witness e-query is answered completely.
+  EXPECT_TRUE(expected[3].complete);
 
   ServerOptions options;
   options.num_workers = 8;
@@ -654,19 +656,20 @@ TEST(SocketServerTest, MixedReadWriteHammer) {
   auto tc = client.Call(QueryFrame("tc", "e(X, Y) -> q(X, Y)"));
   ASSERT_TRUE(tc.ok());
   EXPECT_EQ(tc.value().Get("count")->as_int(), 3 + 4);
-  // The wg cycle closed under transitivity and stayed in epoch 1
-  // (no re-grounding happened during the storm)...
+  // The planner serves wg from the chase model: each of the three
+  // *distinct* new edges forced one re-chase (epoch bump), while every
+  // duplicate assert was a no-op delta — regardless of interleaving.
   auto wg = client.Call(QueryFrame("wg", "gen(X) -> q(X)"));
   ASSERT_TRUE(wg.ok());
   EXPECT_EQ(wg.value().Get("count")->as_int(), 1);
-  EXPECT_EQ(wg.value().Get("epoch")->as_int(), 1);
-  // ...and one fresh constant now re-grounds: the epoch bumps and seq
-  // resets, the full-resync signal replicas key on.
+  EXPECT_EQ(wg.value().Get("epoch")->as_int(), 4);
+  // ...and one genuinely new fact re-chases again: the epoch bumps and
+  // seq resets, the full-resync signal replicas key on.
   auto regrounded = client.Call(AssertFrame("wg", "gen(z9)"));
   ASSERT_TRUE(regrounded.ok());
   ASSERT_EQ(regrounded.value().Get("status")->as_string(), "ok");
   EXPECT_FALSE(regrounded.value().Get("delta")->as_bool());
-  EXPECT_EQ(regrounded.value().Get("epoch")->as_int(), 2);
+  EXPECT_EQ(regrounded.value().Get("epoch")->as_int(), 5);
   EXPECT_EQ(regrounded.value().Get("seq")->as_int(), 0);
 }
 

@@ -348,11 +348,12 @@ TEST(ServiceRetractTest, RematerializingRetractBumpsEpoch) {
   Backend b;
   DispatchOutcome prep = b.Prepare("wg", kWgProgram);
   ASSERT_TRUE(prep.ok) << prep.error_message;
-  EXPECT_EQ(prep.prepare.mode, "weakly guarded");
+  // The planner certifies kWgProgram (MFA) and serves it by chase.
+  EXPECT_EQ(prep.prepare.mode, "chase");
 
-  // Retracting gen(b) removes constant b from the active domain: the
-  // partial grounding is stale, so the dispatcher must see delta=false
-  // and bump the epoch (replicas resync).
+  // Chase mode has no DRed path: retracting gen(b) re-chases from the
+  // shrunk EDB, so the dispatcher must see delta=false and bump the
+  // epoch (replicas resync).
   DispatchOutcome r = b.Retract("wg", "gen(b)");
   ASSERT_TRUE(r.ok) << r.error_message;
   EXPECT_FALSE(r.retract.delta);

@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "analyze/termination.h"
 #include "core/parser.h"
 #include "service/answer_cache.h"
 #include "service/prepared_kb.h"
@@ -75,7 +76,12 @@ TEST(PreparedKbTest, NullWitnessAnswersAreSoundButIncomplete) {
   SymbolTable syms;
   Theory t = MustParseTheory(kWgTransitiveClosure, &syms);
   Database db = ParseDatabase("gen(a).", &syms).value();
-  auto kb = MustPrepare(t, db, &syms);
+  // This test pins the translation pipeline's affected-position
+  // incompleteness flag; the planner would certify the theory and serve
+  // complete answers from the chase instead.
+  PreparedKbOptions po;
+  po.planner = false;
+  auto kb = MustPrepare(t, db, &syms, po);
   // The one-shot pipeline sees a's invented successor: answer {a}. The
   // materialized model holds no ground e-atom, so the prepared route
   // answers {} — and must say so via complete=false.
@@ -166,7 +172,11 @@ TEST(PreparedKbTest, GuardedModeStaysIncrementalOnNewConstants) {
   SymbolTable syms;
   Theory t = MustParseTheory(kGuardedTheory, &syms);
   Database db = ParseDatabase("a(c1).", &syms).value();
-  auto kb = MustPrepare(t, db, &syms);
+  // Pipeline-mode behavior under test: bypass the planner, which would
+  // otherwise certify this theory and materialize by chase.
+  PreparedKbOptions po;
+  po.planner = false;
+  auto kb = MustPrepare(t, db, &syms, po);
   EXPECT_EQ(kb->mode(), PreparedKb::Mode::kGuarded);
   // dat(Σ) is database-independent: a brand-new constant still takes the
   // delta path.
@@ -182,11 +192,65 @@ TEST(PreparedKbTest, GuardedModeStaysIncrementalOnNewConstants) {
   EXPECT_EQ(got.value().answers, want);
 }
 
+TEST(PreparedKbTest, PlannerCertifiesAndChasesTerminatingTheory) {
+  SymbolTable syms;
+  Theory t = MustParseTheory(kWgTransitiveClosure, &syms);
+  Database db = ParseDatabase("gen(a).", &syms).value();
+  auto kb = MustPrepare(t, db, &syms);
+  // MFA certifies the theory; the planner skips the dat(·) translation
+  // and materializes the Skolem chase directly.
+  EXPECT_EQ(kb->mode(), PreparedKb::Mode::kChaseMaterialized);
+  EXPECT_TRUE(kb->certificate().terminating());
+  ServiceStats stats = kb->stats();
+  EXPECT_EQ(stats.materialization_strategy, "chase");
+  EXPECT_EQ(stats.termination_certificate,
+            CertificateKindName(kb->certificate().kind));
+  EXPECT_EQ(stats.chase_materializations, 1u);
+  EXPECT_EQ(stats.datalog_rules, 0u);
+  // The chase model is universal, so the e-query the pipeline flags as
+  // possibly incomplete is decided exactly here: q(a) is certain (its
+  // witness V may be a null; the answer tuple itself is ground).
+  Rule cq = MustParseRule("e(U, V) -> q(U)", &syms);
+  Result<PreparedQueryResult> got = kb->Query(cq);
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_TRUE(got.value().complete);
+  std::set<std::vector<Term>> want = {{syms.Constant("a")}};
+  EXPECT_EQ(got.value().answers, want);
+}
+
+TEST(PreparedKbTest, ChaseModeAssertRechasesAndSkipsNoOps) {
+  SymbolTable syms;
+  Theory t = MustParseTheory(kWgTransitiveClosure, &syms);
+  Database db = ParseDatabase("gen(a).", &syms).value();
+  auto kb = MustPrepare(t, db, &syms);
+  ASSERT_EQ(kb->mode(), PreparedKb::Mode::kChaseMaterialized);
+  // A genuinely new fact has no delta path in chase mode: the model is
+  // rebuilt by a fresh chase from the grown EDB.
+  Result<AssertResult> grow = kb->Assert({ParseAtom("gen(b)", &syms).value()});
+  ASSERT_TRUE(grow.ok()) << grow.status().message();
+  EXPECT_FALSE(grow.value().delta);
+  EXPECT_EQ(grow.value().new_atoms, 1u);
+  // Re-asserting an EDB fact is a no-op: no re-chase, delta reply.
+  Result<AssertResult> dup = kb->Assert({ParseAtom("gen(b)", &syms).value()});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_TRUE(dup.value().delta);
+  EXPECT_EQ(dup.value().new_atoms, 0u);
+  Rule cq = MustParseRule("gen(X) -> q(X)", &syms);
+  Result<PreparedQueryResult> got = kb->Query(cq);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().complete);
+  EXPECT_EQ(got.value().answers.size(), 2u);
+}
+
 TEST(PreparedKbTest, WeaklyGuardedRecompilesOnNewConstant) {
   SymbolTable syms;
   Theory t = MustParseTheory(kWgTransitiveClosure, &syms);
   Database db = ParseDatabase("gen(b). e(a, b).", &syms).value();
-  auto kb = MustPrepare(t, db, &syms);
+  // Pipeline-mode behavior under test: bypass the planner, which would
+  // otherwise certify this theory and materialize by chase.
+  PreparedKbOptions po;
+  po.planner = false;
+  auto kb = MustPrepare(t, db, &syms, po);
   EXPECT_EQ(kb->mode(), PreparedKb::Mode::kWeaklyGuarded);
   // A known constant extends the model incrementally...
   Result<AssertResult> known =
@@ -307,7 +371,11 @@ TEST(ServiceSessionTest, IncompleteQueryIsFlagged) {
   SymbolTable syms;
   Theory t = MustParseTheory(kWgTransitiveClosure, &syms);
   Database db = ParseDatabase("gen(a).", &syms).value();
-  auto kb = MustPrepare(t, db, &syms);
+  // The incompleteness flag only fires on the translation pipeline;
+  // the planner would certify this theory and answer completely.
+  PreparedKbOptions po;
+  po.planner = false;
+  auto kb = MustPrepare(t, db, &syms, po);
   ServiceSession session(kb.get(), &syms);
   ServiceSession::Response q = session.HandleLine("query e(U, V) -> q(U)");
   EXPECT_FALSE(q.error);

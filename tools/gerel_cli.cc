@@ -135,13 +135,16 @@ bool ParseFlag(const char* arg, const char* name, long* out) {
 
 int Usage();
 
-// `gerel check [--json] [--explain] [--deny=CODE] <program>`: run every
-// analyzer and render the diagnostics. Exit 1 when any error-severity
-// diagnostic remains (parse failures are GR000 errors; --deny promotes
-// warning codes to errors).
+// `gerel check [--json] [--explain] [--dot] [--deny=CODE] <program>`:
+// run every analyzer and render the diagnostics. Exit 1 when any
+// error-severity diagnostic remains (parse failures are GR000 errors;
+// --deny promotes warning codes to errors). --dot replaces the report
+// with the Skolem-dependency graph in Graphviz format, the termination
+// certificate's cyclic witness path highlighted.
 int Check(int argc, char** argv) {
   bool json = false;
   bool explain = false;
+  bool dot = false;
   std::vector<std::string> deny;
   std::string file;
   for (int i = 2; i < argc; ++i) {
@@ -150,8 +153,14 @@ int Check(int argc, char** argv) {
       json = true;
     } else if (arg == "--explain") {
       explain = true;
+    } else if (arg == "--dot") {
+      dot = true;
     } else if (arg.rfind("--deny=", 0) == 0) {
       deny.push_back(arg.substr(7));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      // Accepted for CLI uniformity. Analysis is single-threaded by
+      // construction (certificates must be byte-deterministic), so the
+      // value changes nothing — which the CLI tests pin down.
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else if (file.empty()) {
@@ -178,6 +187,12 @@ int Check(int argc, char** argv) {
   options.source = &map;
   AnalysisResult result = Analyze(program.value().theory,
                                   program.value().database, syms, options);
+  if (dot) {
+    std::string out = ExistentialGraphDot(result.termination.graph, syms,
+                                          result.termination.cycle);
+    std::fputs(out.c_str(), stdout);
+    return result.errors > 0 ? 1 : 0;
+  }
   for (Diagnostic& d : result.diagnostics) {
     if (d.severity == Severity::kWarning &&
         std::find(deny.begin(), deny.end(), d.code) != deny.end()) {
@@ -222,6 +237,17 @@ int Classify(const ParsedArgs& args) {
               c.nearly_guarded ? "yes" : "no");
   std::printf("nearly frontier-guarded:  %s\n",
               c.nearly_frontier_guarded ? "yes" : "no");
+  ExtendedClassification ext = ClassifyExtended(t);
+  std::printf("linear:                   %s\n", ext.linear ? "yes" : "no");
+  std::printf("frontier-one:             %s\n",
+              ext.frontier_one ? "yes" : "no");
+  std::printf("joinless:                 %s\n", ext.joinless ? "yes" : "no");
+  std::printf("domain-restricted:        %s\n",
+              ext.domain_restricted ? "yes" : "no");
+  std::printf("shy:                      %s\n", ext.shy ? "yes" : "no");
+  TerminationCertificate cert = AnalyzeTermination(t, syms);
+  std::printf("termination:              %s%s\n", CertificateKindName(cert.kind),
+              cert.terminating() ? " (skolem chase terminates)" : "");
   // Per-rule diagnosis for the tightest failing class.
   PositionSet affected = AffectedPositions(t);
   for (size_t i = 0; i < t.rules().size(); ++i) {
@@ -435,6 +461,7 @@ const char* ModeName(PreparedKb::Mode mode) {
     case PreparedKb::Mode::kDatalog: return "datalog";
     case PreparedKb::Mode::kGuarded: return "guarded";
     case PreparedKb::Mode::kWeaklyGuarded: return "weakly guarded";
+    case PreparedKb::Mode::kChaseMaterialized: return "chase";
   }
   return "?";
 }
@@ -600,10 +627,10 @@ int Fuzz(int argc, char** argv) {
     } else if ((v = value("--lane")) != nullptr) {
       lane = v;
       if (lane != "conformance" && lane != "fault-recovery" &&
-          lane != "crud") {
+          lane != "crud" && lane != "termination") {
         std::fprintf(stderr,
                      "gerel fuzz: unknown lane '%s' "
-                     "(conformance|fault-recovery|crud)\n",
+                     "(conformance|fault-recovery|crud|termination)\n",
                      v);
         return 64;
       }
@@ -640,9 +667,11 @@ int Fuzz(int argc, char** argv) {
   testing::DiffReport report =
       lane == "fault-recovery"
           ? testing::RunFaultRecovery(seed, iters, classes, opts)
-          : lane == "crud" ? testing::RunCrud(seed, iters, classes, opts)
-                           : testing::RunDifferential(seed, iters, classes,
-                                                      opts);
+          : lane == "crud"
+              ? testing::RunCrud(seed, iters, classes, opts)
+              : lane == "termination"
+                  ? testing::RunTermination(seed, iters, classes, opts)
+                  : testing::RunDifferential(seed, iters, classes, opts);
   if (opts.log_cases) std::printf("%s", report.transcript.c_str());
   std::printf("fuzz: %zu cases (%zu checked, %zu skipped), %zu failure%s\n",
               report.iterations, report.checked, report.skipped,
@@ -660,7 +689,7 @@ int Fuzz(int argc, char** argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: gerel classify|normalize|chase|tree <program>\n"
-               "       gerel check <program> [--json] [--explain] "
+               "       gerel check <program> [--json] [--explain] [--dot] "
                "[--deny=CODE]\n"
                "       gerel translate fg2ng|nfg2ng|wfg2wg|g2dat|ng2dat "
                "<program>\n"
@@ -669,9 +698,11 @@ int Usage() {
                "       gerel serve <program> [--threads=N] "
                "[--snapshot=PATH]\n"
                "       gerel fuzz [--seed N] [--iters N] [--class "
-               "dlg|g|fg|wg|wfg|ng|nfg|all]\n"
-               "                  [--lane conformance|fault-recovery|crud] "
-               "[--shrink] [--threads N]\n"
+               "dlg|g|fg|wg|wfg|ng|nfg|\n"
+               "                   lin|f1|jl|dr|shy|all]\n"
+               "                  [--lane conformance|fault-recovery|crud|"
+               "termination]\n"
+               "                  [--shrink] [--threads N]\n"
                "                  [--fault F] [--log-cases]\n"
                "       gerel dot preds|positions|tree <program>\n"
                "flags: --max-steps=N --max-atoms=N --max-depth=N "
